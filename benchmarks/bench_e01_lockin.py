@@ -1,0 +1,13 @@
+"""Benchmark: Provider lock-in from IP addressing (paper §V-A-1).
+
+Regenerates addressing-mode sweep: switching, prices, surplus, core table; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e01
+
+from conftest import run_and_record
+
+
+def test_e01_lockin(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e01)

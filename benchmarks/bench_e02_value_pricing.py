@@ -1,0 +1,13 @@
+"""Benchmark: Value pricing vs tunnelling (paper §V-A-2).
+
+Regenerates competition x tunnelling factorial of the access market; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e02
+
+from conftest import run_and_record
+
+
+def test_e02_value_pricing(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e02)

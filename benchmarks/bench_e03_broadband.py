@@ -1,0 +1,13 @@
+"""Benchmark: Residential broadband open access (paper §V-A-3).
+
+Regenerates facility count x open-access regime sweep; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e03
+
+from conftest import run_and_record
+
+
+def test_e03_broadband(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e03)

@@ -1,0 +1,13 @@
+"""Benchmark: Provider vs user routing control (paper §V-A-4).
+
+Regenerates BGP vs source routing (with/without payment) vs overlays; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e04
+
+from conftest import run_and_record
+
+
+def test_e04_routing_control(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e04)

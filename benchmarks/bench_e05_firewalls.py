@@ -1,0 +1,13 @@
+"""Benchmark: Firewall designs: protection vs innovation (paper §V-B).
+
+Regenerates threat campaign against four firewall deployments; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e05
+
+from conftest import run_and_record
+
+
+def test_e05_firewalls(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e05)

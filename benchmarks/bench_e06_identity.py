@@ -1,0 +1,13 @@
+"""Benchmark: Identity, anonymity and refusal (paper §V-B-1).
+
+Regenerates acceptance by identity scheme; disguise-detection sweep; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e06
+
+from conftest import run_and_record
+
+
+def test_e06_identity(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e06)

@@ -1,0 +1,13 @@
+"""Benchmark: QoS deployment fear/greed factorial (paper §VII).
+
+Regenerates 2x2 equilibrium analysis plus the no-closed-deployment ablation; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e07
+
+from conftest import run_and_record
+
+
+def test_e07_qos(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e07)

@@ -1,0 +1,13 @@
+"""Benchmark: Tussle isolation: DNS entanglement (paper §IV-A).
+
+Regenerates trademark-dispute damage under both naming designs; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e08
+
+from conftest import run_and_record
+
+
+def test_e08_tussle_isolation(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e08)

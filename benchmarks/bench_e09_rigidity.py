@@ -1,0 +1,13 @@
+"""Benchmark: Design for variation in outcome (paper §IV).
+
+Regenerates rigidity sweep through the adaptation simulator; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e09
+
+from conftest import run_and_record
+
+
+def test_e09_rigidity(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e09)

@@ -1,0 +1,13 @@
+"""Benchmark: Actor-network churn and freezing (paper §II-C).
+
+Regenerates entrant arrival-rate sweep over the churn simulation; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e10
+
+from conftest import run_and_record
+
+
+def test_e10_freezing(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e10)

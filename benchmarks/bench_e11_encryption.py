@@ -1,0 +1,13 @@
+"""Benchmark: Encryption/blocking escalation (paper §VI-A).
+
+Regenerates wiretap measurement plus competition sweep of the game; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e11
+
+from conftest import run_and_record
+
+
+def test_e11_encryption(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e11)

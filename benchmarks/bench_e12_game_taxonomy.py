@@ -1,0 +1,13 @@
+"""Benchmark: Game-theoretic tussle taxonomy (paper §II-B).
+
+Regenerates classification/solving of canonical games; Vickrey/VCG; the table is written to benchmarks/results/ and the
+paper's qualitative shape is asserted.
+"""
+
+from tussle.experiments import run_e12
+
+from conftest import run_and_record
+
+
+def test_e12_game_taxonomy(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_e12)

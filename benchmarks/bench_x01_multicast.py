@@ -1,0 +1,14 @@
+"""Benchmark: the multicast post-mortem exercise (paper §VII fn. 19).
+
+Regenerates the multicast deployment factorial and the QoS contrast; the
+table is written to benchmarks/results/ and the coordination-trap shape
+is asserted.
+"""
+
+from tussle.experiments import run_x01
+
+from conftest import run_and_record
+
+
+def test_x01_multicast(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_x01)

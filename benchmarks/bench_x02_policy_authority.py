@@ -1,0 +1,13 @@
+"""Benchmark: who sets the firewall policy (paper §V-B ablation).
+
+Regenerates the policy-authority grant matrix; the table is written to
+benchmarks/results/ and the empowerment shape is asserted.
+"""
+
+from tussle.experiments import run_x02
+
+from conftest import run_and_record
+
+
+def test_x02_policy_authority(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_x02)

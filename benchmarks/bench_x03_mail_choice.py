@@ -1,0 +1,13 @@
+"""Benchmark: mail-system choice and design guidelines (paper §IV-B, §VI-A).
+
+Regenerates the market-discipline, ISP-redirection and guideline-audit
+tables; written to benchmarks/results/ with shapes asserted.
+"""
+
+from tussle.experiments import run_x03
+
+from conftest import run_and_record
+
+
+def test_x03_mail_choice(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_x03)

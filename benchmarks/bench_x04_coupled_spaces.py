@@ -1,0 +1,13 @@
+"""Benchmark: dynamic tussle isolation (paper §IV-A, dynamic view).
+
+Regenerates the co-located vs separated layout comparison; the table is
+written to benchmarks/results/ and the collateral-damage shape asserted.
+"""
+
+from tussle.experiments import run_x04
+
+from conftest import run_and_record
+
+
+def test_x04_coupled_spaces(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_x04)

@@ -1,0 +1,13 @@
+"""Benchmark: the VoIP actor-network collision (paper §II-C).
+
+Regenerates the collision measurements; the table is written to
+benchmarks/results/ and the turbulence/yielding shapes asserted.
+"""
+
+from tussle.experiments import run_x05
+
+from conftest import run_and_record
+
+
+def test_x05_collision(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_x05)

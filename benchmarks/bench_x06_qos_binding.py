@@ -1,0 +1,13 @@
+"""Benchmark: QoS bound to ports vs ToS bits (paper §IV-A).
+
+Regenerates the era x binding classification table; written to
+benchmarks/results/ with the entanglement-collapse shape asserted.
+"""
+
+from tussle.experiments import run_x06
+
+from conftest import run_and_record
+
+
+def test_x06_qos_binding(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_x06)

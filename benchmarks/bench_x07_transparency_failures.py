@@ -1,0 +1,13 @@
+"""Benchmark: transparency-failure reporting (paper §VI-A).
+
+Regenerates the disclosure-compliance sweep; written to
+benchmarks/results/ with the courtesy-tracking shape asserted.
+"""
+
+from tussle.experiments import run_x07
+
+from conftest import run_and_record
+
+
+def test_x07_transparency_failures(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_x07)

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs one experiment (E01-E12), times it with
+pytest-benchmark, asserts that the paper's qualitative shape holds, and
+writes the regenerated table to ``benchmarks/results/<id>.txt`` so the
+rows survive pytest's output capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_record(benchmark, results_dir, run_experiment, rounds=1):
+    """Benchmark an experiment once, persist its table, assert its shape."""
+    result = benchmark.pedantic(run_experiment, rounds=rounds, iterations=1)
+    path = results_dir / f"{result.experiment_id.lower()}.txt"
+    path.write_text(result.format() + "\n")
+    assert result.shape_holds, (
+        f"{result.experiment_id} lost the paper's shape: "
+        + "; ".join(c.claim for c in result.checks if not c.holds)
+    )
+    return result

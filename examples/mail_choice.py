@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The mail system of §IV-B: choice, discipline, and the ISP's counter-move.
+
+Part 1 — market discipline: users free to choose abandon unreliable SMTP
+servers ("this sort of choice... imposes discipline on the marketplace").
+
+Part 2 — the counter-move: the ISP installs a port-25 redirector, and the
+user's configured choice is silently overridden ("an ISP might try to
+control what SMTP server a customer uses by redirecting packets based on
+the port number").
+
+Part 3 — the guideline audit of §VI-A, comparing the open mail
+architecture against a walled-garden messaging silo.
+
+Run:  python examples/mail_choice.py
+"""
+
+from tussle.core.guidelines import audit, tussle_readiness_grade
+from tussle.experiments.x03_mail_choice import (
+    open_mail_design,
+    walled_garden_design,
+)
+from tussle.netsim.forwarding import ForwardingEngine
+from tussle.netsim.mail import (
+    MailServer,
+    MailSystem,
+    MailUser,
+    build_mail_topology,
+    server_market_discipline,
+)
+from tussle.netsim.middlebox import Redirector
+
+
+def part1_discipline():
+    print("=== Part 1: choice disciplines the server market ===\n")
+    reliabilities = [0.99, 0.80, 0.60]
+    counts = server_market_discipline(reliabilities, seed=23)
+    for (name, users), reliability in zip(sorted(counts.items()),
+                                          reliabilities):
+        bar = "#" * (users // 2)
+        print(f"  {name} (reliability {reliability:.2f}): {users:3d} users {bar}")
+    print("\nUnreliable servers empty out once users can walk.\n")
+
+
+def part2_redirection():
+    print("=== Part 2: the ISP's redirection counter-move ===\n")
+    servers = [MailServer("user-smtp", reliability=0.99),
+               MailServer("isp-smtp", reliability=0.95)]
+    net = build_mail_topology([s.name for s in servers])
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    engine.attach_middlebox("isp-access", Redirector(
+        "isp-capture", port=25, new_destination="isp-smtp"))
+    system = MailSystem(engine, servers, seed=23)
+    user = MailUser("user", smtp_server="user-smtp", pop_server="user-smtp")
+    for _ in range(40):
+        system.send(user)
+    print(f"  user configured:   user-smtp")
+    print(f"  redirection rate:  {system.redirection_rate():.0%} "
+          f"(every send captured by the ISP)")
+    print(f"  mail still flows:  {user.delivery_rate():.0%} delivery — "
+          f"the tussle is over WHO serves it\n")
+
+
+def part3_guidelines():
+    print("=== Part 3: application design guideline audit (§VI-A) ===\n")
+    for design in (open_mail_design(), walled_garden_design()):
+        findings = audit(design)
+        grade = tussle_readiness_grade(design)
+        print(f"  {design.name}: grade {grade}, "
+              f"{len(findings)} violation(s)")
+        for finding in findings:
+            print(f"    - [{finding.guideline.identifier}] "
+                  f"{finding.guideline.title}")
+    print("\nThe guidelines operationalize 'the most we can do to protect "
+          "maturing applications\nis to bias the tussle' — toward user "
+          "choice and end-user empowerment.")
+
+
+if __name__ == "__main__":
+    part1_discipline()
+    part2_redirection()
+    part3_guidelines()

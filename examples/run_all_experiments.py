@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table (E01-E12) and print the full report.
+
+This is the one-shot reproduction driver: it runs all twelve experiment
+harnesses, prints each table, and summarizes which of the paper's
+qualitative claims held.
+
+Run:  python examples/run_all_experiments.py
+"""
+
+import time
+
+from tussle.experiments import ALL_EXPERIMENTS
+
+
+def main():
+    verdicts = {}
+    for experiment_id in sorted(ALL_EXPERIMENTS):
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[experiment_id]()
+        elapsed = time.perf_counter() - start
+        print(result.format())
+        print(f"(ran in {elapsed:.2f}s)\n")
+        verdicts[experiment_id] = result.shape_holds
+
+    print("=" * 60)
+    print("Summary: paper-claim shape checks")
+    for experiment_id, holds in verdicts.items():
+        print(f"  {experiment_id}: {'HOLDS' if holds else 'FAILS'}")
+    total = sum(verdicts.values())
+    print(f"\n{total}/{len(verdicts)} experiments reproduce the paper's shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The trust tussle of §V-B: bad guys, firewalls and third parties.
+
+Part 1 runs a threat campaign against three gateway configurations and
+shows the innovation cost of blanket filtering versus trust mediation.
+
+Part 2 shows third-party mediation: a risky online purchase becomes
+rational once the user *chooses* a liability shield and consults a
+reputation service — "there should be explicit ability to select what
+third parties are used to mediate an interaction."
+
+Run:  python examples/trust_and_firewalls.py
+"""
+
+from tussle.netsim import (
+    BlanketFirewall,
+    ForwardingEngine,
+    Network,
+    NodeKind,
+)
+from tussle.trust import (
+    AttackKind,
+    Attacker,
+    LiabilityShield,
+    MediatedInteraction,
+    ReputationService,
+    ThreatCampaign,
+    TrustAwareFirewall,
+    TrustGraph,
+)
+
+
+def build_engine():
+    net = Network()
+    net.add_node("home", kind=NodeKind.HOST)
+    net.add_node("gw", kind=NodeKind.MIDDLEBOX)
+    net.add_node("internet", kind=NodeKind.ROUTER)
+    for name in ("friend", "startup", "badguy"):
+        net.add_node(name)
+        net.add_link(name, "internet")
+    net.add_link("internet", "gw")
+    net.add_link("gw", "home")
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    return engine
+
+
+def campaign(engine):
+    return ThreatCampaign(
+        engine,
+        victim="home",
+        attackers=[Attacker("badguy", AttackKind.DOS_FLOOD, seed=1)],
+        legit_senders=[("friend", "http")],
+        new_app_senders=[("startup", "holo-chat")],  # the unforeseen app
+    )
+
+
+def part1_firewalls():
+    print("=== Part 1: firewall designs under attack ===\n")
+    print(f"{'deployment':14s} {'attacks in':>10s} {'http in':>8s} "
+          f"{'new app in':>10s}")
+
+    engine = build_engine()
+    mix = campaign(engine).run(10)
+    print(f"{'none':14s} {mix.attack_admission_rate:>10.0%} "
+          f"{mix.legit_success_rate:>8.0%} {mix.new_app_success_rate:>10.0%}")
+
+    engine = build_engine()
+    engine.attach_middlebox("gw", BlanketFirewall(
+        "blanket", allowed_applications={"http", "smtp"}))
+    mix = campaign(engine).run(10)
+    print(f"{'blanket':14s} {mix.attack_admission_rate:>10.0%} "
+          f"{mix.legit_success_rate:>8.0%} {mix.new_app_success_rate:>10.0%}")
+
+    trust = TrustGraph()
+    trust.set_trust("home", "friend", 0.9)
+    trust.set_trust("home", "startup", 0.7)  # the user CHOSE to trust them
+    engine = build_engine()
+    engine.attach_middlebox("gw", TrustAwareFirewall(
+        "trust-fw", protected="home", trust_graph=trust))
+    mix = campaign(engine).run(10)
+    print(f"{'trust-aware':14s} {mix.attack_admission_rate:>10.0%} "
+          f"{mix.legit_success_rate:>8.0%} {mix.new_app_success_rate:>10.0%}")
+
+    print("\nThe blanket firewall protects but forbids the unforeseen; the "
+          "trust-aware firewall\nconstrains 'based on who is communicating' "
+          "and lets trusted innovation through.\n")
+
+
+def part2_third_parties():
+    print("=== Part 2: third parties mediate the merchant tussle ===\n")
+    reputation = ReputationService()
+    for outcome in (True, True, False, True):  # the shop mostly delivers
+        reputation.report("web-shop", outcome)
+
+    bare = MediatedInteraction("web-shop", value=8.0,
+                               success_probability=0.5,  # the user's prior
+                               loss_if_failure=40.0)
+    mediated = MediatedInteraction(
+        "web-shop", value=8.0, success_probability=0.5, loss_if_failure=40.0,
+        mediators=[reputation, LiabilityShield(fee=0.3, cap=0.5)],
+    )
+    print(f"unmediated expected utility: {bare.expected_utility():+.2f} "
+          f"-> worth doing: {bare.worth_doing()}")
+    print(f"mediated expected utility:   {mediated.expected_utility():+.2f} "
+          f"-> worth doing: {mediated.worth_doing()}")
+    print("\n'Credit card companies limit our liability to $50... These "
+          "third parties contrast\nwith our simple model of two-party "
+          "end-to-end communication.'")
+
+
+if __name__ == "__main__":
+    part1_firewalls()
+    part2_third_parties()

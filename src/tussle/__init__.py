@@ -1,0 +1,70 @@
+"""tussle: an executable reproduction of "Tussle in Cyberspace" (Clark et
+al., SIGCOMM 2002 / IEEE-ACM ToN 2005).
+
+The paper is a position paper — it proposes design principles for networks
+whose stakeholders have conflicting interests, but ships no system. This
+library builds the closest executable equivalent: a stakeholder/policy
+simulation framework in which every tussle scenario, principle and
+post-mortem in the paper becomes a runnable experiment.
+
+Subpackages
+-----------
+``tussle.core``
+    The paper's contribution: stakeholders, mechanisms, tussle spaces, the
+    adaptation simulator, and the design principles as metrics.
+``tussle.netsim``
+    Discrete-event network substrate: topology, packets (with encryption
+    and tunnels), middleboxes, forwarding, transport, DNS, faults.
+``tussle.routing``
+    Link-state, path-vector (Gao-Rexford), user source routing with
+    payment, overlays, and visibility analysis.
+``tussle.econ``
+    Markets, pricing strategies, competition metrics, the fear-and-greed
+    investment model, broadband facilities, payments.
+``tussle.gametheory``
+    Normal-form games, zero-sum and Nash solvers, learning dynamics,
+    repeated games, Vickrey/VCG mechanisms, bounded rationality, and the
+    paper's canonical tussle games.
+``tussle.actornet``
+    Actor-network theory: actors, commitments, alignment, durability,
+    churn, disruption.
+``tussle.trust``
+    Identity framework, trust graphs, trust-aware firewalls, third-party
+    mediators, threat campaigns.
+``tussle.policy``
+    A small policy language with parser, evaluator, bounded ontology and
+    two-party negotiation.
+``tussle.experiments``
+    One module per experiment E01-E12 (see DESIGN.md), each regenerating
+    one of the paper's qualitative claims as a table.
+"""
+
+from . import actornet, core, econ, gametheory, netsim, policy, routing, trust
+from .errors import (
+    ActorNetworkError,
+    AddressingError,
+    DesignError,
+    ExperimentError,
+    GameError,
+    MarketError,
+    OntologyError,
+    PolicyError,
+    PolicyParseError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    TrustError,
+    TussleError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "actornet", "core", "econ", "gametheory", "netsim", "policy",
+    "routing", "trust",
+    "ActorNetworkError", "AddressingError", "DesignError", "ExperimentError",
+    "GameError", "MarketError", "OntologyError", "PolicyError",
+    "PolicyParseError", "RoutingError", "SimulationError", "TopologyError",
+    "TrustError", "TussleError",
+    "__version__",
+]

@@ -1,0 +1,109 @@
+"""Command-line interface: ``python -m tussle``.
+
+Subcommands
+-----------
+``list``
+    Show every experiment with its title and paper claim.
+``run E01 X03 ...``
+    Run the named experiments (default: all) and print their tables and
+    shape-check verdicts; exits non-zero if any shape fails.
+``summary``
+    Run everything and print only the one-line verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments import ALL_EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tussle",
+        description=("Executable reproduction of 'Tussle in Cyberspace' "
+                     "(Clark et al., 2002): run the paper-claim experiments."),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments", nargs="*", metavar="ID",
+        help="experiment ids (e.g. E01 X03); default: all",
+    )
+
+    subparsers.add_parser("summary", help="run everything, verdicts only")
+    return parser
+
+
+def _select(ids: Sequence[str]) -> List[str]:
+    if not ids:
+        return sorted(ALL_EXPERIMENTS)
+    selected = []
+    for raw in ids:
+        identifier = raw.upper()
+        if identifier not in ALL_EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {raw!r}; "
+                f"choose from {', '.join(sorted(ALL_EXPERIMENTS))}"
+            )
+        selected.append(identifier)
+    return selected
+
+
+def _command_list() -> int:
+    for identifier in sorted(ALL_EXPERIMENTS):
+        result_fn = ALL_EXPERIMENTS[identifier]
+        doc = (result_fn.__module__ or "").rsplit(".", 1)[-1]
+        print(f"{identifier}  ({doc})")
+    print(f"\n{len(ALL_EXPERIMENTS)} experiments; "
+          f"run them with: python -m tussle run [ID ...]")
+    return 0
+
+
+def _command_run(ids: Sequence[str]) -> int:
+    failed = []
+    for identifier in _select(ids):
+        result = ALL_EXPERIMENTS[identifier]()
+        print(result.format())
+        print()
+        if not result.shape_holds:
+            failed.append(identifier)
+    if failed:
+        print(f"SHAPE FAILURES: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def _command_summary() -> int:
+    exit_code = 0
+    for identifier in sorted(ALL_EXPERIMENTS):
+        result = ALL_EXPERIMENTS[identifier]()
+        verdict = "HOLDS" if result.shape_holds else "FAILS"
+        if not result.shape_holds:
+            exit_code = 1
+        print(f"{identifier}: {verdict}  {result.title}")
+    return exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        return _command_run(arguments.experiments)
+    if arguments.command == "summary":
+        return _command_summary()
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Actor-network theory substrate (§II-A, §II-C).
+
+Actors (human and nonhuman) with value vectors, commitments that align
+them, durability/changeability/freezing metrics, entrant churn, and the
+Christensen disruptive-entry scenario.
+"""
+
+from .actors import DEFAULT_VALUE_DIMS, Actor, ActorKind, value_distance
+from .network import ActorNetwork, Commitment
+from .alignment import AlignmentConfig, AlignmentDynamics
+from .durability import changeability, cost_to_change, durability, is_frozen
+from .churn import ChurnRecord, ChurnSimulation, seed_internet_network
+from .disruption import DisruptionOutcome, DisruptionScenario, EntryStrategy
+from .analysis import (
+    anchor_scores,
+    central_anchor,
+    fragmentation_if_removed,
+    technology_is_central_anchor,
+    to_networkx,
+)
+from .collision import CollisionResult, collide, merge_networks
+
+__all__ = [
+    "DEFAULT_VALUE_DIMS", "Actor", "ActorKind", "value_distance",
+    "ActorNetwork", "Commitment",
+    "AlignmentConfig", "AlignmentDynamics",
+    "changeability", "cost_to_change", "durability", "is_frozen",
+    "ChurnRecord", "ChurnSimulation", "seed_internet_network",
+    "DisruptionOutcome", "DisruptionScenario", "EntryStrategy",
+    "anchor_scores", "central_anchor", "fragmentation_if_removed",
+    "technology_is_central_anchor", "to_networkx",
+    "CollisionResult", "collide", "merge_networks",
+]

@@ -1,0 +1,119 @@
+"""Alignment dynamics: actors harmonizing to common interfaces.
+
+"It is the whole actor network... that becomes stable, as all the human
+and nonhuman actors align and harmonize themselves to common
+(socio-technical) interfaces" (§II-A).
+
+Each step, committed actors pull one another's values together with force
+proportional to commitment strength, damped by each actor's inertia
+(technology moves least — it is the anchor). Commitments between actors
+that stay aligned strengthen; commitments under sustained value tension
+weaken and may dissolve, which is how "tussles... have not been driven
+out" keeps a network changeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .actors import value_distance
+from .network import ActorNetwork
+
+__all__ = ["AlignmentConfig", "AlignmentDynamics"]
+
+
+@dataclass
+class AlignmentConfig:
+    """Tuning knobs for the alignment process.
+
+    Attributes
+    ----------
+    pull_rate:
+        Base fraction of the value gap closed per step at strength 1.
+    strengthen_rate / weaken_rate:
+        Commitment strength change per step when the pair is within /
+        beyond ``tension_distance``.
+    dissolve_threshold:
+        Commitments below this strength dissolve.
+    tension_distance:
+        Value distance above which a commitment is "in tension".
+    """
+
+    pull_rate: float = 0.2
+    strengthen_rate: float = 0.02
+    weaken_rate: float = 0.05
+    dissolve_threshold: float = 0.05
+    tension_distance: float = 0.8
+
+
+class AlignmentDynamics:
+    """Runs alignment steps over an :class:`ActorNetwork`."""
+
+    def __init__(self, network: ActorNetwork,
+                 config: Optional[AlignmentConfig] = None):
+        self.network = network
+        self.config = config or AlignmentConfig()
+        self.steps_run = 0
+        self.dissolved: List[Tuple[str, str]] = []
+
+    def step(self) -> float:
+        """One synchronous alignment step.
+
+        Returns the total value movement this step (a convergence gauge).
+        """
+        config = self.config
+        actors = self.network.actors
+        deltas: Dict[str, np.ndarray] = {
+            a.name: np.zeros_like(a.values) for a in actors
+        }
+        weights: Dict[str, float] = {a.name: 0.0 for a in actors}
+        for commitment in self.network.commitments:
+            actor_a = self.network.actor(commitment.a)
+            actor_b = self.network.actor(commitment.b)
+            gap = actor_b.values - actor_a.values
+            deltas[actor_a.name] += commitment.strength * gap
+            deltas[actor_b.name] -= commitment.strength * gap
+            weights[actor_a.name] += commitment.strength
+            weights[actor_b.name] += commitment.strength
+
+        movement = 0.0
+        for actor in actors:
+            weight = weights[actor.name]
+            if weight <= 0:
+                continue
+            step_vector = (
+                config.pull_rate * (1.0 - actor.inertia) * deltas[actor.name] / weight
+            )
+            actor.values = actor.values + step_vector
+            movement += float(np.linalg.norm(step_vector))
+
+        # Strength adaptation and dissolution.
+        for commitment in list(self.network.commitments):
+            distance = value_distance(
+                self.network.actor(commitment.a), self.network.actor(commitment.b)
+            )
+            if distance <= config.tension_distance:
+                commitment.strength = min(1.0, commitment.strength + config.strengthen_rate)
+            else:
+                commitment.strength -= config.weaken_rate
+                if commitment.strength < config.dissolve_threshold:
+                    self.dissolved.append((commitment.a, commitment.b))
+                    self.network.remove_commitment(commitment.a, commitment.b)
+
+        self.steps_run += 1
+        return movement
+
+    def run(self, steps: int, settle_tolerance: Optional[float] = None) -> int:
+        """Run up to ``steps`` alignment steps.
+
+        Stops early when total movement drops below ``settle_tolerance``.
+        Returns the number of steps actually run.
+        """
+        for index in range(1, steps + 1):
+            movement = self.step()
+            if settle_tolerance is not None and movement < settle_tolerance:
+                return index
+        return steps

@@ -1,0 +1,195 @@
+"""Entrant churn: new actors keep the network changeable (§II-C).
+
+"The entrance of new actors, with fresh perspectives and values, creates
+continuous churn in the actor network... the new applications bring new
+actors to the actor network, which keeps the actor network from becoming
+frozen, which in turn permits change to occur."
+
+:class:`ChurnSimulation` interleaves alignment steps with Poisson-ish
+entrant arrivals. E10 sweeps the arrival rate and shows changeability
+collapsing (freezing) as the rate goes to zero — the paper's "look for a
+time when innovation slows, not just as a signal but also as a
+pre-condition of a durably formed and unchangeable Internet."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ActorNetworkError
+from .actors import DEFAULT_VALUE_DIMS, Actor, ActorKind
+from .alignment import AlignmentConfig, AlignmentDynamics
+from .durability import changeability, durability, is_frozen
+from .network import ActorNetwork
+
+__all__ = ["ChurnRecord", "ChurnSimulation", "seed_internet_network"]
+
+
+def seed_internet_network(
+    n_users: int = 6,
+    n_isps: int = 3,
+    rng: Optional[np.random.Generator] = None,
+) -> ActorNetwork:
+    """A small stylized Internet actor network to start simulations from.
+
+    Users and ISPs commit to a central technology actor ("the protocols")
+    and to each other (customers to their ISP).
+    """
+    rng = rng or np.random.default_rng(0)
+    network = ActorNetwork()
+    protocols = Actor.make("internet-protocols", ActorKind.TECHNOLOGY,
+                           values=rng.uniform(-0.2, 0.2, DEFAULT_VALUE_DIMS),
+                           expresses_intention_of="designers")
+    network.add_actor(protocols)
+    designers = Actor.make("designers", ActorKind.DESIGNER,
+                           values=rng.uniform(-0.3, 0.3, DEFAULT_VALUE_DIMS))
+    network.add_actor(designers)
+    network.commit("designers", "internet-protocols", 0.9)
+    isp_names = []
+    for i in range(n_isps):
+        isp = Actor.make(f"isp{i}", ActorKind.COMMERCIAL_ISP,
+                         values=rng.uniform(-1, 1, DEFAULT_VALUE_DIMS))
+        network.add_actor(isp)
+        network.commit(isp.name, "internet-protocols", 0.7)
+        isp_names.append(isp.name)
+    for i in range(n_users):
+        user = Actor.make(f"user{i}", ActorKind.USER,
+                          values=rng.uniform(-1, 1, DEFAULT_VALUE_DIMS))
+        network.add_actor(user)
+        network.commit(user.name, isp_names[i % len(isp_names)], 0.5)
+        network.commit(user.name, "internet-protocols", 0.4)
+    return network
+
+
+@dataclass
+class ChurnRecord:
+    """State snapshot after one churn round."""
+
+    round_index: int
+    arrivals: int
+    n_actors: int
+    durability: float
+    changeability: float
+    value_variance: float
+    frozen: bool
+
+
+class ChurnSimulation:
+    """Alignment punctuated by entrant arrivals.
+
+    Parameters
+    ----------
+    network:
+        Starting actor network (mutated in place).
+    arrival_rate:
+        Expected entrants per round (Bernoulli/binomial thinning of an
+        integer cap for determinism under seeding).
+    alignment_steps_per_round:
+        How many alignment steps run between arrival opportunities.
+    seed:
+        Seeds arrivals and entrant values.
+    """
+
+    def __init__(
+        self,
+        network: ActorNetwork,
+        arrival_rate: float = 1.0,
+        alignment_steps_per_round: int = 5,
+        config: Optional[AlignmentConfig] = None,
+        seed: int = 0,
+    ):
+        if arrival_rate < 0:
+            raise ActorNetworkError(f"arrival rate must be >= 0, got {arrival_rate}")
+        self.network = network
+        self.arrival_rate = arrival_rate
+        self.alignment = AlignmentDynamics(network, config=config)
+        self.steps_per_round = alignment_steps_per_round
+        self.rng = random.Random(seed)
+        self.np_rng = np.random.default_rng(seed)
+        self.history: List[ChurnRecord] = []
+        self._entrant_counter = 0
+
+    # ------------------------------------------------------------------
+    # Arrivals
+    # ------------------------------------------------------------------
+    def _sample_arrivals(self) -> int:
+        """Integer arrivals with mean ``arrival_rate`` (deterministic seed)."""
+        base = int(self.arrival_rate)
+        fractional = self.arrival_rate - base
+        return base + (1 if self.rng.random() < fractional else 0)
+
+    def _spawn_entrant(self) -> Actor:
+        """A new application + its user community joining the network.
+
+        Entrants arrive "already embedded in an actor network of their
+        own": the entrant has fresh (random) values and commits to the
+        main technology anchor and to one existing actor.
+        """
+        self._entrant_counter += 1
+        name = f"entrant{self._entrant_counter}"
+        kinds = [ActorKind.APPLICATION, ActorKind.USER, ActorKind.CONTENT_PROVIDER]
+        kind = kinds[self._entrant_counter % len(kinds)]
+        entrant = Actor.make(
+            name, kind,
+            values=self.np_rng.uniform(-1.5, 1.5, DEFAULT_VALUE_DIMS),
+            rng=self.np_rng,
+        )
+        self.network.add_actor(entrant)
+        anchors = self.network.actors_of_kind(ActorKind.TECHNOLOGY)
+        if anchors:
+            self.network.commit(name, anchors[0].name, 0.4)
+        existing = [a.name for a in self.network.actors if a.name != name]
+        if existing:
+            partner = self.rng.choice(sorted(existing))
+            if partner != name and not self.network.has_commitment(name, partner):
+                self.network.commit(name, partner, 0.3)
+        return entrant
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    #: Rounds of arrival history considered when testing for freezing;
+    #: a single quiet round is weather, a quiet window is climate.
+    FREEZE_WINDOW = 5
+
+    def step(self) -> ChurnRecord:
+        arrivals = self._sample_arrivals()
+        for _ in range(arrivals):
+            self._spawn_entrant()
+        for _ in range(self.steps_per_round):
+            self.alignment.step()
+        window = [r.arrivals for r in self.history[-(self.FREEZE_WINDOW - 1):]]
+        recent = sum(window) + arrivals
+        window_full = len(self.history) >= self.FREEZE_WINDOW - 1
+        record = ChurnRecord(
+            round_index=len(self.history),
+            arrivals=arrivals,
+            n_actors=len(self.network.actors),
+            durability=durability(self.network),
+            changeability=changeability(self.network),
+            value_variance=self.network.value_variance(),
+            frozen=window_full and is_frozen(self.network, recent_arrivals=recent),
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, rounds: int) -> List[ChurnRecord]:
+        for _ in range(rounds):
+            self.step()
+        return self.history
+
+    def final_changeability(self) -> float:
+        if not self.history:
+            return changeability(self.network)
+        return self.history[-1].changeability
+
+    def froze_at(self) -> Optional[int]:
+        """First round at which the network was frozen, if any."""
+        for record in self.history:
+            if record.frozen:
+                return record.round_index
+        return None

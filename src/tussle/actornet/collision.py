@@ -1,0 +1,128 @@
+"""Collision of actor networks (§II-C): the VoIP story.
+
+"When the creation of voice over IP (VoIP) causes the Internet to collide
+with the 'telephone system,' the key issue is not a collision of
+technologies, but a collision between large, heterogeneous actor
+networks." Entrants "most potent as actors" are those that "come to the
+Internet already embedded in an actor network of their own, perhaps a
+very solidified one."
+
+:func:`collide` merges two actor networks through a set of bridge
+commitments (the new application that spans both worlds) and runs the
+alignment dynamics on the merged whole. The measurements:
+
+* **turbulence** — commitments dissolved during the post-collision
+  settling (the regulatory/business fights);
+* **value drift** — how far each side's actors moved from their
+  pre-collision positions (who had to change more);
+* **churn** of the merged network's changeability — collisions reopen a
+  settled network to change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ActorNetworkError
+from .actors import Actor
+from .alignment import AlignmentConfig, AlignmentDynamics
+from .durability import changeability, durability
+from .network import ActorNetwork
+
+__all__ = ["CollisionResult", "merge_networks", "collide"]
+
+
+@dataclass
+class CollisionResult:
+    """What the collision did to the merged network."""
+
+    dissolved_commitments: int
+    drift_side_a: float
+    drift_side_b: float
+    durability_before: Tuple[float, float]
+    durability_after: float
+    changeability_after: float
+
+    @property
+    def turbulent(self) -> bool:
+        """Did the collision actually break ties?"""
+        return self.dissolved_commitments > 0
+
+    def softer_side(self) -> str:
+        """Which side's actors moved more (yielded) in value space."""
+        return "a" if self.drift_side_a > self.drift_side_b else "b"
+
+
+def merge_networks(a: ActorNetwork, b: ActorNetwork) -> ActorNetwork:
+    """A new network containing both networks' actors and commitments.
+
+    Actor names must not overlap; actors are shared by reference so the
+    merged dynamics move the same objects.
+    """
+    overlap = {x.name for x in a.actors} & {x.name for x in b.actors}
+    if overlap:
+        raise ActorNetworkError(f"actor names overlap: {sorted(overlap)}")
+    merged = ActorNetwork()
+    for source in (a, b):
+        for actor in source.actors:
+            merged.add_actor(actor)
+        for commitment in source.commitments:
+            merged.commit(commitment.a, commitment.b, commitment.strength)
+    return merged
+
+
+def collide(
+    a: ActorNetwork,
+    b: ActorNetwork,
+    bridges: Sequence[Tuple[str, str]],
+    bridge_strength: float = 0.4,
+    settle_rounds: int = 60,
+    config: Optional[AlignmentConfig] = None,
+) -> Tuple[ActorNetwork, CollisionResult]:
+    """Collide two actor networks through bridge commitments.
+
+    ``bridges`` lists (actor-in-a, actor-in-b) pairs — the VoIP
+    application linking Internet users to telephone regulators, carriers
+    to ISPs, and so on. Returns the merged network and the measurements.
+    """
+    durability_a = durability(a)
+    durability_b = durability(b)
+    names_a = [actor.name for actor in a.actors]
+    names_b = [actor.name for actor in b.actors]
+
+    merged = merge_networks(a, b)
+    for left, right in bridges:
+        if not (merged.has_actor(left) and merged.has_actor(right)):
+            raise ActorNetworkError(f"bridge ({left!r}, {right!r}) names unknown actors")
+        merged.commit(left, right, bridge_strength)
+
+    before_positions = {
+        actor.name: actor.values.copy() for actor in merged.actors
+    }
+    dynamics = AlignmentDynamics(merged, config=config)
+    dynamics.run(settle_rounds)
+
+    def drift(names: List[str]) -> float:
+        if not names:
+            return 0.0
+        total = 0.0
+        counted = 0
+        for name in names:
+            if merged.has_actor(name):
+                total += float(np.linalg.norm(
+                    merged.actor(name).values - before_positions[name]))
+                counted += 1
+        return total / counted if counted else 0.0
+
+    result = CollisionResult(
+        dissolved_commitments=len(dynamics.dissolved),
+        drift_side_a=drift(names_a),
+        drift_side_b=drift(names_b),
+        durability_before=(durability_a, durability_b),
+        durability_after=durability(merged),
+        changeability_after=changeability(merged),
+    )
+    return merged, result

@@ -1,0 +1,205 @@
+"""Christensen's disruptive innovation over actor networks (§II-B).
+
+"Disruptive technology does not initially succeed by de-stabilizing an
+existing actor network... Instead, innovators step outside the existing
+value chain, and find new customers and new markets, and build up their
+stability outside the existing network. Only when they have enough
+durability (stable production and markets) do they then have the
+potential to overthrow the existing producers."
+
+:class:`DisruptionScenario` runs the two-phase story: an entrant with an
+initially inferior technology either attacks the incumbent's customers
+head-on (and is repelled by the incumbent network's durability) or grows
+a separate network of new-market customers until its durability exceeds
+the takeover threshold, at which point incumbent customers defect.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ActorNetworkError
+from .actors import DEFAULT_VALUE_DIMS, Actor, ActorKind
+from .alignment import AlignmentDynamics
+from .durability import durability
+from .network import ActorNetwork
+
+__all__ = ["EntryStrategy", "DisruptionOutcome", "DisruptionScenario"]
+
+
+class EntryStrategy(Enum):
+    """How the entrant enters the market."""
+
+    HEAD_ON = "head-on"          # attack the incumbent's existing customers
+    NEW_MARKET = "new-market"    # build a separate network first (Christensen)
+
+
+@dataclass
+class DisruptionOutcome:
+    """Result of a disruption scenario run."""
+
+    strategy: EntryStrategy
+    entrant_survived: bool
+    overthrow: bool
+    rounds_to_overthrow: Optional[int]
+    final_entrant_durability: float
+    final_incumbent_durability: float
+    incumbent_customers_lost: int
+
+
+class DisruptionScenario:
+    """Two-network disruption dynamics.
+
+    Parameters
+    ----------
+    n_incumbent_customers:
+        Customers initially committed to the incumbent's technology.
+    n_new_market_customers:
+        Customers reachable only by the entrant (the "outcasts and
+        misfits" the paper tells designers to notice).
+    improvement_rate:
+        Per-round quality gain of the entrant's technology (disruptors
+        improve faster than incumbent needs grow).
+    """
+
+    def __init__(
+        self,
+        n_incumbent_customers: int = 10,
+        n_new_market_customers: int = 6,
+        improvement_rate: float = 0.1,
+        incumbent_quality: float = 1.0,
+        entrant_quality: float = 0.4,
+        seed: int = 0,
+    ):
+        if n_incumbent_customers < 1:
+            raise ActorNetworkError("incumbent needs at least one customer")
+        self.n_incumbent_customers = n_incumbent_customers
+        self.n_new_market_customers = n_new_market_customers
+        self.improvement_rate = improvement_rate
+        self.incumbent_quality = incumbent_quality
+        self.entrant_quality = entrant_quality
+        self.rng = np.random.default_rng(seed)
+
+    def _build_incumbent(self) -> ActorNetwork:
+        network = ActorNetwork()
+        tech = Actor.make("incumbent-tech", ActorKind.TECHNOLOGY,
+                          values=np.zeros(DEFAULT_VALUE_DIMS),
+                          expresses_intention_of="incumbent")
+        network.add_actor(tech)
+        firm = Actor.make("incumbent", ActorKind.CONTENT_PROVIDER,
+                          values=self.rng.uniform(-0.2, 0.2, DEFAULT_VALUE_DIMS))
+        network.add_actor(firm)
+        network.commit("incumbent", "incumbent-tech", 0.95)
+        for i in range(self.n_incumbent_customers):
+            customer = Actor.make(f"customer{i}", ActorKind.USER,
+                                  values=self.rng.uniform(-0.4, 0.4, DEFAULT_VALUE_DIMS))
+            network.add_actor(customer)
+            network.commit(customer.name, "incumbent-tech", 0.8)
+        return network
+
+    def _build_entrant(self, customers: int) -> ActorNetwork:
+        network = ActorNetwork()
+        tech = Actor.make("entrant-tech", ActorKind.TECHNOLOGY,
+                          values=self.rng.uniform(-0.3, 0.3, DEFAULT_VALUE_DIMS),
+                          expresses_intention_of="entrant")
+        network.add_actor(tech)
+        firm = Actor.make("entrant", ActorKind.CONTENT_PROVIDER,
+                          values=self.rng.uniform(-0.3, 0.3, DEFAULT_VALUE_DIMS))
+        network.add_actor(firm)
+        network.commit("entrant", "entrant-tech", 0.9)
+        for i in range(customers):
+            name = f"new-market{i}"
+            customer = Actor.make(name, ActorKind.USER,
+                                  values=self.rng.uniform(-0.5, 0.5, DEFAULT_VALUE_DIMS))
+            network.add_actor(customer)
+            network.commit(name, "entrant-tech", 0.3)
+        return network
+
+    def run(self, strategy: EntryStrategy, rounds: int = 40,
+            takeover_margin: float = 0.05,
+            durability_threshold: float = 0.7) -> DisruptionOutcome:
+        """Run the scenario under one entry strategy.
+
+        HEAD_ON: the entrant starts with no separate customer base and
+        must lure incumbent customers while its quality is still inferior;
+        the incumbent network's durability repels it and the entrant dies
+        when it attracts no customers within its runway.
+
+        NEW_MARKET: the entrant grows its own network; each round its
+        technology improves; once quality exceeds the incumbent's and the
+        entrant network has "enough durability (stable production and
+        markets)" — ``durability_threshold`` — incumbent customers defect
+        one per round.
+        """
+        incumbent_net = self._build_incumbent()
+        entrant_customers = (
+            self.n_new_market_customers if strategy is EntryStrategy.NEW_MARKET else 0
+        )
+        entrant_net = self._build_entrant(entrant_customers)
+        incumbent_dynamics = AlignmentDynamics(incumbent_net)
+        entrant_dynamics = AlignmentDynamics(entrant_net)
+
+        quality = self.entrant_quality
+        lost = 0
+        overthrow_round: Optional[int] = None
+        runway = rounds // 3 if strategy is EntryStrategy.HEAD_ON else rounds
+        survived = True
+
+        for round_index in range(rounds):
+            incumbent_dynamics.step()
+            entrant_dynamics.step()
+            quality += self.improvement_rate if strategy is EntryStrategy.NEW_MARKET else (
+                self.improvement_rate * 0.25  # no learning market => slow improvement
+            )
+            entrant_dur = durability(entrant_net)
+            incumbent_dur = durability(incumbent_net)
+
+            if strategy is EntryStrategy.HEAD_ON:
+                # Head-on entry: customers compare quality only; inferior
+                # quality attracts nobody and the entrant's runway burns.
+                if quality < self.incumbent_quality and round_index >= runway:
+                    survived = False
+                    break
+                if quality >= self.incumbent_quality:
+                    # Even with parity, prying customers from a durable
+                    # network requires a durability advantage.
+                    if entrant_dur > incumbent_dur + takeover_margin:
+                        lost += 1
+            else:
+                # New-market growth adds one customer every other round.
+                if round_index % 2 == 0:
+                    name = f"grown{round_index}"
+                    customer = Actor.make(
+                        name, ActorKind.USER,
+                        values=self.rng.uniform(-0.4, 0.4, DEFAULT_VALUE_DIMS),
+                    )
+                    entrant_net.add_actor(customer)
+                    entrant_net.commit(name, "entrant-tech", 0.4)
+                ready = (
+                    quality >= self.incumbent_quality
+                    and entrant_dur >= durability_threshold
+                )
+                if ready:
+                    lost += 1
+                    if overthrow_round is None:
+                        overthrow_round = round_index
+
+            if lost >= self.n_incumbent_customers // 2:
+                overthrow_round = overthrow_round or round_index
+                break
+
+        overthrow = lost >= self.n_incumbent_customers // 2
+        return DisruptionOutcome(
+            strategy=strategy,
+            entrant_survived=survived,
+            overthrow=overthrow,
+            rounds_to_overthrow=overthrow_round if overthrow else None,
+            final_entrant_durability=durability(entrant_net),
+            final_incumbent_durability=durability(incumbent_net),
+            incumbent_customers_lost=lost,
+        )

@@ -1,0 +1,164 @@
+"""A catalogue of ready-made tussle spaces from the paper's §V.
+
+Each constructor assembles the stakeholders, interests and mechanisms of
+one of the paper's headline tussle spaces, so library users can run the
+simulator on a faithful arena in three lines:
+
+>>> from tussle.core.catalog import economics_space
+>>> from tussle.core import TussleSimulator
+>>> outcome = TussleSimulator(economics_space()).run(40)
+
+Variables are normalized to [0, 1]; docstrings state what each endpoint
+means. Every stakeholder's targets and weights are drawn from the
+corresponding prose of the paper and noted inline.
+"""
+
+from __future__ import annotations
+
+from .mechanisms import Mechanism
+from .stakeholders import Stakeholder, StakeholderKind
+from .tussle import TussleSpace
+
+__all__ = ["economics_space", "trust_space", "openness_space"]
+
+
+def economics_space(flexible: bool = True) -> TussleSpace:
+    """The §V-A economics arena.
+
+    Variables:
+
+    * ``price-level`` — 0 = marginal-cost pricing, 1 = monopoly pricing;
+    * ``switching-ease`` — 0 = locked in (static addressing), 1 = free to
+      move (DHCP/DDNS, portable identity);
+    * ``usage-restrictions`` — 0 = none, 1 = heavy tiering/AUP policing.
+
+    Consumers want low prices, high mobility and no restrictions;
+    providers the reverse ("they look at the user, and each other, as a
+    customer and a source of revenue"). With ``flexible=False`` the
+    design pins the knobs — the pre-competition world.
+    """
+    full = (0.0, 1.0) if flexible else (0.5, 0.5)
+    space = TussleSpace("economics", initial_state={
+        "price-level": 0.5,
+        "switching-ease": 0.5,
+        "usage-restrictions": 0.5,
+    })
+    space.add_mechanism(Mechanism(name="pricing", variable="price-level",
+                                  allowed_range=full))
+    space.add_mechanism(Mechanism(name="portability",
+                                  variable="switching-ease",
+                                  allowed_range=full))
+    space.add_mechanism(Mechanism(name="acceptable-use",
+                                  variable="usage-restrictions",
+                                  allowed_range=full))
+
+    consumers = Stakeholder("consumers", StakeholderKind.USER,
+                            workaround_cost=0.1)
+    consumers.add_interest("price-level", target=0.0, weight=1.0)
+    consumers.add_interest("switching-ease", target=1.0, weight=0.8)
+    consumers.add_interest("usage-restrictions", target=0.0, weight=0.6)
+    space.add_stakeholder(consumers)
+
+    providers = Stakeholder("providers", StakeholderKind.COMMERCIAL_ISP,
+                            workaround_cost=0.1)
+    providers.add_interest("price-level", target=1.0, weight=1.0)
+    providers.add_interest("switching-ease", target=0.0, weight=0.8)
+    providers.add_interest("usage-restrictions", target=1.0, weight=0.6)
+    space.add_stakeholder(providers)
+    return space
+
+
+def trust_space(flexible: bool = True) -> TussleSpace:
+    """The §V-B trust arena.
+
+    Variables:
+
+    * ``transparency`` — 0 = "that which is not permitted is forbidden",
+      1 = transparent packet carriage;
+    * ``anonymity`` — 0 = mandatory strong identity, 1 = free anonymity;
+    * ``interception`` — 0 = no third-party observation, 1 = pervasive
+      wiretap.
+
+    Users want protection *and* privacy (moderate transparency, high
+    anonymity, no interception); governments want accountability and
+    observability; the "bad guys" want maximal transparency and
+    anonymity — which is exactly why the space is contested.
+    """
+    full = (0.0, 1.0) if flexible else (0.5, 0.5)
+    space = TussleSpace("trust", initial_state={
+        "transparency": 0.8,
+        "anonymity": 0.8,
+        "interception": 0.1,
+    })
+    for name, variable in (("firewalling", "transparency"),
+                           ("identity-regime", "anonymity"),
+                           ("lawful-intercept", "interception")):
+        space.add_mechanism(Mechanism(name=name, variable=variable,
+                                      allowed_range=full))
+
+    users = Stakeholder("users", StakeholderKind.USER, workaround_cost=0.1)
+    users.add_interest("transparency", target=0.6, weight=0.8)
+    users.add_interest("anonymity", target=0.8, weight=0.7)
+    users.add_interest("interception", target=0.0, weight=1.0)
+    space.add_stakeholder(users)
+
+    government = Stakeholder("government", StakeholderKind.GOVERNMENT,
+                             workaround_cost=0.05)
+    government.add_interest("anonymity", target=0.1, weight=0.9)
+    government.add_interest("interception", target=0.8, weight=1.0)
+    space.add_stakeholder(government)
+
+    bad_guys = Stakeholder("bad-guys", StakeholderKind.USER,
+                           workaround_cost=0.02)
+    bad_guys.add_interest("transparency", target=1.0, weight=0.5)
+    bad_guys.add_interest("anonymity", target=1.0, weight=1.0)
+    space.add_stakeholder(bad_guys)
+    return space
+
+
+def openness_space(flexible: bool = True) -> TussleSpace:
+    """The §V-C openness arena.
+
+    Variables:
+
+    * ``interface-openness`` — 0 = closed/proprietary, 1 = open and
+      well-specified;
+    * ``vertical-integration`` — 0 = unbundled, 1 = fully bundled
+      infrastructure + services;
+    * ``innovation-barrier`` — 0 = new applications deploy freely, 1 =
+      the network is tailored to incumbent applications.
+
+    Incumbent providers "may long for a return to those less open, high
+    margin days"; innovators and users need the net open for the
+    unproven idea.
+    """
+    full = (0.0, 1.0) if flexible else (0.5, 0.5)
+    space = TussleSpace("openness", initial_state={
+        "interface-openness": 0.7,
+        "vertical-integration": 0.3,
+        "innovation-barrier": 0.2,
+    })
+    for name, variable in (("interface-specs", "interface-openness"),
+                           ("bundling", "vertical-integration"),
+                           ("deployment-friction", "innovation-barrier")):
+        space.add_mechanism(Mechanism(name=name, variable=variable,
+                                      allowed_range=full))
+
+    incumbents = Stakeholder("incumbents", StakeholderKind.COMMERCIAL_ISP,
+                             workaround_cost=0.1)
+    incumbents.add_interest("interface-openness", target=0.2, weight=0.8)
+    incumbents.add_interest("vertical-integration", target=0.9, weight=1.0)
+    incumbents.add_interest("innovation-barrier", target=0.6, weight=0.4)
+    space.add_stakeholder(incumbents)
+
+    innovators = Stakeholder("innovators", StakeholderKind.CONTENT_PROVIDER,
+                             workaround_cost=0.1)
+    innovators.add_interest("interface-openness", target=1.0, weight=1.0)
+    innovators.add_interest("innovation-barrier", target=0.0, weight=1.0)
+    space.add_stakeholder(innovators)
+
+    users = Stakeholder("users", StakeholderKind.USER, workaround_cost=0.15)
+    users.add_interest("vertical-integration", target=0.0, weight=0.6)
+    users.add_interest("innovation-barrier", target=0.0, weight=0.8)
+    space.add_stakeholder(users)
+    return space

@@ -1,0 +1,148 @@
+"""Coupled tussle spaces: dynamic spillover through shared modules.
+
+§IV-A's isolation principle is about *dynamics*, not just structure:
+"Functions that are within a tussle space should be logically separated
+from functions outside of that space... Doing this allows a tussle to be
+played out with minimal distortion of other aspects of the system's
+function."
+
+:class:`MultiSpaceSimulator` runs several :class:`~tussle.core.tussle.TussleSpace`
+arenas side by side over a shared :class:`~tussle.core.design.Design`.
+Each space is hosted by the design module(s) implementing it. Workaround
+damage is *local to the module*: a workaround in space S degrades the
+integrity of S's module — and therefore of **every space co-located with
+S** — while spaces in their own modules are untouched. Comparing a
+co-located layout against a separated one turns the modularity principle
+into a measured welfare difference (experiment X04).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from ..errors import DesignError, TussleError
+from .design import Design
+from .mechanisms import MoveKind
+from .simulator import TussleSimulator
+from .tussle import TussleSpace
+
+__all__ = ["SpaceRecord", "MultiSpaceResult", "MultiSpaceSimulator"]
+
+
+@dataclass
+class SpaceRecord:
+    """Per-space outcome of a coupled run."""
+
+    space: str
+    module: str
+    own_workarounds: int
+    final_integrity: float
+    final_welfare: float
+    broken: bool
+
+
+@dataclass
+class MultiSpaceResult:
+    """Outcome of a multi-space run."""
+
+    records: List[SpaceRecord] = field(default_factory=list)
+
+    def record_for(self, space: str) -> SpaceRecord:
+        for record in self.records:
+            if record.space == space:
+                return record
+        raise TussleError(f"no record for space {space!r}")
+
+    def collateral_breakage(self) -> List[str]:
+        """Spaces broken without making a single workaround of their own."""
+        return [r.space for r in self.records
+                if r.broken and r.own_workarounds == 0]
+
+
+class MultiSpaceSimulator:
+    """Run several tussle spaces whose integrity is shared per module.
+
+    Parameters
+    ----------
+    design:
+        The modular decomposition; each space is assigned to the module
+        given in ``placement``.
+    spaces:
+        The arenas to run.
+    placement:
+        space name -> module name hosting it. Spaces sharing a module
+        share an integrity pool (that is the coupling).
+    workaround_damage / integrity_floor:
+        As in :class:`~tussle.core.simulator.TussleSimulator`; damage is
+        applied to the hosting module's pool.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        spaces: Sequence[TussleSpace],
+        placement: Mapping[str, str],
+        workaround_damage: float = 0.06,
+        integrity_floor: float = 0.5,
+    ):
+        self.design = design
+        self.spaces = {space.name: space for space in spaces}
+        if len(self.spaces) != len(spaces):
+            raise TussleError("space names must be unique")
+        self.placement: Dict[str, str] = {}
+        for space_name in self.spaces:
+            if space_name not in placement:
+                raise DesignError(f"space {space_name!r} has no module placement")
+            module = placement[space_name]
+            design.module(module)  # validates existence
+            self.placement[space_name] = module
+        self.workaround_damage = workaround_damage
+        self.integrity_floor = integrity_floor
+        self.module_integrity: Dict[str, float] = {
+            module: 1.0 for module in set(self.placement.values())
+        }
+        self._simulators: Dict[str, TussleSimulator] = {
+            name: TussleSimulator(space, workaround_damage=0.0,
+                                  integrity_floor=0.0)
+            for name, space in self.spaces.items()
+        }
+        self._workarounds: Dict[str, int] = {name: 0 for name in self.spaces}
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One round in every space; workaround damage hits the module."""
+        for name in sorted(self.spaces):
+            module = self.placement[name]
+            if self.module_integrity[module] < self.integrity_floor:
+                continue  # this module's spaces are broken; nothing runs
+            record = self._simulators[name].step()
+            workarounds = sum(
+                1 for move in record.moves if move.kind is MoveKind.WORKAROUND
+            )
+            self._workarounds[name] += workarounds
+            if workarounds:
+                self.module_integrity[module] = max(
+                    0.0,
+                    self.module_integrity[module]
+                    - workarounds * self.workaround_damage,
+                )
+
+    def run(self, rounds: int) -> MultiSpaceResult:
+        for _ in range(rounds):
+            self.step()
+        result = MultiSpaceResult()
+        for name in sorted(self.spaces):
+            module = self.placement[name]
+            integrity = self.module_integrity[module]
+            result.records.append(SpaceRecord(
+                space=name,
+                module=module,
+                own_workarounds=self._workarounds[name],
+                final_integrity=integrity,
+                final_welfare=self.spaces[name].total_welfare(),
+                broken=integrity < self.integrity_floor,
+            ))
+        return result

@@ -1,0 +1,175 @@
+"""Design objects: modules, functions, tussle spaces, interfaces.
+
+"Modularize the design along tussle boundaries, so that one tussle does
+not spill over and distort unrelated issues... Functions that are within a
+tussle space should be logically separated from functions outside of that
+space, even if there is no compelling technical reason to do so" (§IV-A).
+
+A :class:`Design` assigns *functions* (units of capability, each labelled
+with the tussle spaces it participates in) to *modules*, and declares
+typed interfaces between modules. The boundary analysis in
+:mod:`tussle.core.principles` and the damage model in
+:mod:`tussle.core.spillover` are computed from this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import DesignError
+
+__all__ = ["Function", "Module", "Interface", "Design"]
+
+
+@dataclass(frozen=True)
+class Function:
+    """A unit of system capability.
+
+    ``tussle_spaces`` names the arenas this function is contested in —
+    e.g. the DNS name-resolution function sits in {"trademark",
+    "machine-naming"} in the entangled design, which is precisely the
+    problem.
+    """
+
+    name: str
+    tussle_spaces: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tussle_spaces, frozenset):
+            object.__setattr__(self, "tussle_spaces", frozenset(self.tussle_spaces))
+
+    @property
+    def contested(self) -> bool:
+        return bool(self.tussle_spaces)
+
+
+@dataclass
+class Module:
+    """A deployable unit holding functions."""
+
+    name: str
+    functions: Dict[str, Function] = field(default_factory=dict)
+
+    def add_function(self, function: Function) -> None:
+        if function.name in self.functions:
+            raise DesignError(
+                f"module {self.name!r} already holds function {function.name!r}"
+            )
+        self.functions[function.name] = function
+
+    def tussle_spaces(self) -> Set[str]:
+        spaces: Set[str] = set()
+        for function in self.functions.values():
+            spaces |= function.tussle_spaces
+        return spaces
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A declared connection between two modules.
+
+    ``open_`` marks the interface as open/well-specified (replaceable
+    parts, run-time choice); ``tussle_aware`` marks it as designed for
+    tussle (value exchange, cost exposure, visibility, fault tools —
+    §IV-C).
+    """
+
+    a: str
+    b: str
+    open_: bool = True
+    tussle_aware: bool = False
+
+    def key(self) -> Tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+class Design:
+    """A complete modular decomposition."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._modules: Dict[str, Module] = {}
+        self._interfaces: Dict[Tuple[str, str], Interface] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_module(self, name: str) -> Module:
+        if name in self._modules:
+            raise DesignError(f"duplicate module {name!r}")
+        module = Module(name=name)
+        self._modules[name] = module
+        return module
+
+    def module(self, name: str) -> Module:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise DesignError(f"unknown module {name!r}") from None
+
+    def place_function(self, module_name: str, function_name: str,
+                       tussle_spaces: Iterable[str] = ()) -> Function:
+        """Create a function inside a module."""
+        for existing in self._modules.values():
+            if function_name in existing.functions:
+                raise DesignError(
+                    f"function {function_name!r} already placed in "
+                    f"module {existing.name!r}"
+                )
+        function = Function(name=function_name,
+                            tussle_spaces=frozenset(tussle_spaces))
+        self.module(module_name).add_function(function)
+        return function
+
+    def connect(self, a: str, b: str, open_: bool = True,
+                tussle_aware: bool = False) -> Interface:
+        self.module(a)
+        self.module(b)
+        if a == b:
+            raise DesignError(f"module {a!r} cannot interface with itself")
+        interface = Interface(a=a, b=b, open_=open_, tussle_aware=tussle_aware)
+        self._interfaces[interface.key()] = interface
+        return interface
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def modules(self) -> List[Module]:
+        return [self._modules[k] for k in sorted(self._modules)]
+
+    @property
+    def interfaces(self) -> List[Interface]:
+        return [self._interfaces[k] for k in sorted(self._interfaces)]
+
+    def functions(self) -> List[Function]:
+        result: List[Function] = []
+        for module in self.modules:
+            result.extend(module.functions[k] for k in sorted(module.functions))
+        return result
+
+    def module_of(self, function_name: str) -> Module:
+        for module in self._modules.values():
+            if function_name in module.functions:
+                return module
+        raise DesignError(f"function {function_name!r} not placed in any module")
+
+    def tussle_spaces(self) -> Set[str]:
+        spaces: Set[str] = set()
+        for module in self._modules.values():
+            spaces |= module.tussle_spaces()
+        return spaces
+
+    def functions_in_space(self, space: str) -> List[Function]:
+        return [f for f in self.functions() if space in f.tussle_spaces]
+
+    def modules_touching_space(self, space: str) -> List[Module]:
+        return [m for m in self.modules if space in m.tussle_spaces()]
+
+    def interface_between(self, a: str, b: str) -> Optional[Interface]:
+        key = (a, b) if a <= b else (b, a)
+        return self._interfaces.get(key)

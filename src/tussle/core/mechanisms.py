@@ -1,0 +1,114 @@
+"""Mechanisms: the technology the tussle is fought with and over.
+
+"Different parties adapt a mix of mechanisms to try to achieve their
+conflicting goals, and others respond by adapting the mechanisms to push
+back" (§I). A :class:`Mechanism` is a named control point over one state
+variable; whether it is a *knob the design exposes* (variation designed
+in) or a *workaround* (a move that distorts the design) is the heart of
+the design-for-tussle principle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..errors import TussleError
+from .stakeholders import StakeholderKind
+
+__all__ = ["MoveKind", "Mechanism", "Move"]
+
+
+class MoveKind(Enum):
+    """How a move relates to the design.
+
+    WITHIN_DESIGN:
+        Exercising a choice the design deliberately exposes ("the tussle
+        takes place within the design").
+    WORKAROUND:
+        Distorting or violating the design (tunnels, overlays, DNS
+        kludges); damages architectural integrity.
+    EXTERNAL:
+        Non-technical moves — laws, public opinion, market exit. They
+        change state without touching the architecture.
+    """
+
+    WITHIN_DESIGN = "within-design"
+    WORKAROUND = "workaround"
+    EXTERNAL = "external"
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """A control point over one state variable.
+
+    Attributes
+    ----------
+    variable:
+        The state variable this mechanism moves.
+    controllers:
+        Which stakeholder kinds can operate it. Protocols "must permit all
+        the parties to express choice" — a variable only some parties can
+        reach is itself a tussle statement.
+    allowed_range:
+        The variation the design permits; attempts outside it require a
+        workaround.
+    effectiveness:
+        Fraction of the intended change a single move achieves (1.0 =
+        full control).
+    open_interface:
+        Whether the mechanism's interface is open (replaceable,
+        competitively supplied) — feeds the choice metrics.
+    """
+
+    name: str
+    variable: str
+    controllers: FrozenControllers = None  # type: ignore[assignment]
+    allowed_range: Tuple[float, float] = (0.0, 1.0)
+    effectiveness: float = 1.0
+    open_interface: bool = True
+
+    def __post_init__(self) -> None:
+        low, high = self.allowed_range
+        if low > high:
+            raise TussleError(f"allowed_range inverted for {self.name!r}")
+        if not 0.0 < self.effectiveness <= 1.0:
+            raise TussleError(
+                f"effectiveness must be in (0, 1], got {self.effectiveness}"
+            )
+        if self.controllers is None:
+            object.__setattr__(self, "controllers", frozenset(StakeholderKind))
+        elif not isinstance(self.controllers, frozenset):
+            object.__setattr__(self, "controllers", frozenset(self.controllers))
+
+    def controllable_by(self, kind: StakeholderKind) -> bool:
+        return kind in self.controllers
+
+    def clamp(self, value: float) -> float:
+        low, high = self.allowed_range
+        return min(high, max(low, value))
+
+    def permits(self, value: float) -> bool:
+        low, high = self.allowed_range
+        return low <= value <= high
+
+
+# Typing helper: a frozenset of StakeholderKind or None at construction.
+FrozenControllers = Optional[frozenset]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One adaptation by one stakeholder."""
+
+    actor: str
+    variable: str
+    new_value: float
+    kind: MoveKind
+    mechanism: Optional[str] = None
+    round_index: int = 0
+
+    @property
+    def within_design(self) -> bool:
+        return self.kind is MoveKind.WITHIN_DESIGN

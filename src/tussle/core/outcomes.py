@@ -1,0 +1,127 @@
+"""Welfare accounting across tussle outcomes.
+
+Utilities for comparing runs: per-stakeholder surplus ledgers, Pareto
+comparisons between outcome states, and the variation-of-outcome measure
+behind "the outcome can be different in different places" (§IV) — a
+design for tussle should *admit* heterogeneous settlements, which
+:func:`outcome_diversity` quantifies across a set of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import math
+
+from ..errors import TussleError
+from .simulator import TussleOutcome
+
+__all__ = [
+    "WelfareLedger",
+    "pareto_dominates",
+    "outcome_diversity",
+    "compare_outcomes",
+]
+
+
+class WelfareLedger:
+    """Accumulates per-party surplus over a scenario."""
+
+    def __init__(self) -> None:
+        self._surplus: Dict[str, float] = {}
+
+    def credit(self, party: str, amount: float) -> None:
+        self._surplus[party] = self._surplus.get(party, 0.0) + amount
+
+    def debit(self, party: str, amount: float) -> None:
+        self.credit(party, -amount)
+
+    def surplus(self, party: str) -> float:
+        return self._surplus.get(party, 0.0)
+
+    def total(self) -> float:
+        return sum(self._surplus.values())
+
+    def parties(self) -> List[str]:
+        return sorted(self._surplus)
+
+    def as_row(self) -> Dict[str, float]:
+        row = {party: self._surplus[party] for party in self.parties()}
+        row["__total__"] = self.total()
+        return row
+
+
+def pareto_dominates(a: Mapping[str, float], b: Mapping[str, float]) -> bool:
+    """Does utility profile ``a`` Pareto-dominate ``b``?
+
+    Requires the same parties in both profiles: everyone at least as well
+    off, someone strictly better.
+    """
+    if set(a) != set(b):
+        raise TussleError("profiles must cover the same parties")
+    at_least = all(a[k] >= b[k] - 1e-12 for k in a)
+    strictly = any(a[k] > b[k] + 1e-12 for k in a)
+    return at_least and strictly
+
+
+def outcome_diversity(states: Sequence[Mapping[str, float]]) -> float:
+    """Variation of outcome across runs/places (mean per-variable stdev).
+
+    "Design for tussle — for variation in outcome — so that the outcome
+    can be different in different places." A rigid design yields 0 (every
+    place ends identically); a design for choice yields positive
+    diversity.
+    """
+    if len(states) < 2:
+        return 0.0
+    variables = sorted({v for state in states for v in state})
+    if not variables:
+        return 0.0
+    total = 0.0
+    for variable in variables:
+        values = [state.get(variable, 0.0) for state in states]
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        total += math.sqrt(variance)
+    return total / len(variables)
+
+
+@dataclass
+class OutcomeComparison:
+    """Side-by-side of two tussle runs (e.g. rigid vs flexible design)."""
+
+    label_a: str
+    label_b: str
+    survived: Tuple[bool, bool]
+    integrity: Tuple[float, float]
+    welfare: Tuple[float, float]
+    workaround_fraction: Tuple[float, float]
+
+    def winner(self) -> str:
+        """Which run the paper's principles favour.
+
+        Survival first, then integrity, then welfare.
+        """
+        score_a = (self.survived[0], self.integrity[0], self.welfare[0])
+        score_b = (self.survived[1], self.integrity[1], self.welfare[1])
+        if score_a == score_b:
+            return "tie"
+        return self.label_a if score_a > score_b else self.label_b
+
+
+def compare_outcomes(label_a: str, outcome_a: TussleOutcome,
+                     label_b: str, outcome_b: TussleOutcome) -> OutcomeComparison:
+    """Build an :class:`OutcomeComparison` from two runs."""
+    return OutcomeComparison(
+        label_a=label_a,
+        label_b=label_b,
+        survived=(outcome_a.survived, outcome_b.survived),
+        integrity=(outcome_a.final_integrity, outcome_b.final_integrity),
+        welfare=(outcome_a.final_welfare, outcome_b.final_welfare),
+        workaround_fraction=(outcome_a.workaround_fraction,
+                             outcome_b.workaround_fraction),
+    )
+
+
+__all__.append("OutcomeComparison")

@@ -1,0 +1,238 @@
+"""The tussle simulator: adaptation, counter-adaptation, and survival.
+
+The core loop implements the paper's definition of tussle: "Different
+parties adapt a mix of mechanisms to try to achieve their conflicting
+goals, and others respond by adapting the mechanisms to push back" (§I).
+
+Each round, every stakeholder (in deterministic order) considers one
+move:
+
+* a **within-design** move — use a mechanism it controls to pull the
+  variable toward its target, limited to the mechanism's allowed range.
+  Costless to the architecture: this is "tussle within the design";
+* a **workaround** — when the design gives it no (or insufficient) knob,
+  a capable stakeholder can still force part of the change outside the
+  design (tunnel, overlay, kludge). Workarounds cost the actor
+  ``workaround_cost`` and inflict ``workaround_damage`` on architectural
+  *integrity*;
+* **no move** when neither improves its utility net of costs.
+
+A design is **broken** when integrity falls below ``integrity_floor`` —
+"rigid designs will be broken" — while a flexible design absorbs the same
+pressure as endless but harmless in-design adjustment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .mechanisms import Move, MoveKind
+from .stakeholders import Stakeholder
+from .tussle import TussleSpace
+
+__all__ = ["RoundRecord", "TussleOutcome", "TussleSimulator"]
+
+#: Minimum utility gain for a move to be worth making.
+GAIN_EPSILON = 1e-6
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one simulator round."""
+
+    index: int
+    moves: List[Move]
+    integrity: float
+    welfare: float
+    state: Dict[str, float]
+
+    @property
+    def quiet(self) -> bool:
+        """No stakeholder moved — a (possibly temporary) settlement."""
+        return not self.moves
+
+
+@dataclass
+class TussleOutcome:
+    """Summary of a full simulation run."""
+
+    rounds_run: int
+    broken: bool
+    broken_at: Optional[int]
+    settled: bool
+    settled_at: Optional[int]
+    final_integrity: float
+    final_welfare: float
+    total_moves: int
+    total_workarounds: int
+    history: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        return not self.broken
+
+    @property
+    def workaround_fraction(self) -> float:
+        if self.total_moves == 0:
+            return 0.0
+        return self.total_workarounds / self.total_moves
+
+
+class TussleSimulator:
+    """Round-based tussle over one :class:`TussleSpace`.
+
+    Parameters
+    ----------
+    space:
+        The arena (mutated in place).
+    workaround_damage:
+        Integrity lost per workaround move.
+    workaround_effectiveness:
+        Fraction of the desired change a workaround achieves.
+    integrity_floor:
+        Below this, the design is broken and the run stops.
+    settle_rounds:
+        Consecutive quiet rounds after which the tussle is declared
+        settled (note the paper expects many tussles never to settle).
+    """
+
+    def __init__(
+        self,
+        space: TussleSpace,
+        workaround_damage: float = 0.06,
+        workaround_effectiveness: float = 0.6,
+        integrity_floor: float = 0.5,
+        settle_rounds: int = 3,
+    ):
+        self.space = space
+        self.workaround_damage = workaround_damage
+        self.workaround_effectiveness = workaround_effectiveness
+        self.integrity_floor = integrity_floor
+        self.settle_rounds = settle_rounds
+        self.integrity = 1.0
+        self.history: List[RoundRecord] = []
+
+    # ------------------------------------------------------------------
+    # Move selection
+    # ------------------------------------------------------------------
+    def _choose_moves(self, stakeholder: Stakeholder, round_index: int) -> List[Move]:
+        """The stakeholder's moves this round — one per improvable variable.
+
+        The paper: parties "adapt a mix of mechanisms" — so a stakeholder
+        adjusts every variable it can profitably move, preferring the
+        design's own knobs and falling back to a workaround only when the
+        design offers no (sufficient) variation.
+        """
+        state = self.space.state
+        moves: List[Move] = []
+
+        for variable in sorted(stakeholder.interests):
+            interest = stakeholder.interests[variable]
+            if interest.weight <= 0 or variable not in state:
+                continue
+            current = state[variable]
+            target = interest.target
+            if abs(current - target) < GAIN_EPSILON:
+                continue
+
+            best: Optional[Tuple[float, Move]] = None
+            baseline = interest.dissatisfaction(current)
+
+            # Within-design option: the best mechanism this party controls.
+            for mechanism in self.space.mechanisms_for(variable, stakeholder.kind):
+                reachable = mechanism.clamp(target)
+                achieved = current + (reachable - current) * mechanism.effectiveness
+                gain = baseline - interest.dissatisfaction(achieved)
+                if gain > GAIN_EPSILON and (best is None or gain > best[0]):
+                    best = (gain, Move(
+                        actor=stakeholder.name,
+                        variable=variable,
+                        new_value=achieved,
+                        kind=MoveKind.WITHIN_DESIGN,
+                        mechanism=mechanism.name,
+                        round_index=round_index,
+                    ))
+
+            # Workaround option: force partial change outside the design.
+            if stakeholder.can_workaround:
+                achieved = current + (target - current) * self.workaround_effectiveness
+                gain = (baseline - interest.dissatisfaction(achieved)
+                        - stakeholder.workaround_cost)
+                if gain > GAIN_EPSILON and (best is None or gain > best[0]):
+                    best = (gain, Move(
+                        actor=stakeholder.name,
+                        variable=variable,
+                        new_value=achieved,
+                        kind=MoveKind.WORKAROUND,
+                        mechanism=None,
+                        round_index=round_index,
+                    ))
+            if best is not None:
+                moves.append(best[1])
+        return moves
+
+    def _apply(self, move: Move, stakeholder: Stakeholder) -> None:
+        self.space.state[move.variable] = move.new_value
+        stakeholder.moves_made += 1
+        if move.kind is MoveKind.WORKAROUND:
+            stakeholder.workarounds_made += 1
+            stakeholder.total_move_costs += stakeholder.workaround_cost
+            self.integrity = max(0.0, self.integrity - self.workaround_damage)
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """One round: every stakeholder gets one adaptation opportunity."""
+        index = len(self.history)
+        moves: List[Move] = []
+        for stakeholder in self.space.stakeholders:
+            for move in self._choose_moves(stakeholder, index):
+                self._apply(move, stakeholder)
+                moves.append(move)
+        record = RoundRecord(
+            index=index,
+            moves=moves,
+            integrity=self.integrity,
+            welfare=self.space.total_welfare(),
+            state=dict(self.space.state),
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, rounds: int) -> TussleOutcome:
+        """Run up to ``rounds`` rounds; stop early on breakage/settlement."""
+        broken_at: Optional[int] = None
+        settled_at: Optional[int] = None
+        quiet_streak = 0
+        for _ in range(rounds):
+            record = self.step()
+            if record.quiet:
+                quiet_streak += 1
+                if quiet_streak >= self.settle_rounds and settled_at is None:
+                    settled_at = record.index
+                    break
+            else:
+                quiet_streak = 0
+            if self.integrity < self.integrity_floor:
+                broken_at = record.index
+                break
+
+        total_moves = sum(len(r.moves) for r in self.history)
+        total_workarounds = sum(
+            1 for r in self.history for m in r.moves
+            if m.kind is MoveKind.WORKAROUND
+        )
+        return TussleOutcome(
+            rounds_run=len(self.history),
+            broken=broken_at is not None,
+            broken_at=broken_at,
+            settled=settled_at is not None,
+            settled_at=settled_at,
+            final_integrity=self.integrity,
+            final_welfare=self.space.total_welfare(),
+            total_moves=total_moves,
+            total_workarounds=total_workarounds,
+            history=list(self.history),
+        )

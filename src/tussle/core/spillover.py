@@ -1,0 +1,133 @@
+"""Spillover: damage a tussle inflicts outside its own space.
+
+"Doing this allows a tussle to be played out with minimal distortion of
+other aspects of the system's function" (§IV-A) — so the quality of a
+modularization is measured by how much a fight in one tussle space breaks
+functions that are *not* in that space.
+
+:func:`spillover_from_event` computes structural spillover on a
+:class:`~tussle.core.design.Design`; :func:`dns_spillover` runs the E08
+scenario end-to-end on the two name-system designs from
+:mod:`tussle.netsim.dns`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import DesignError
+from ..netsim.dns import DisputeOutcome, NameSystem
+from .design import Design
+
+__all__ = ["SpilloverReport", "spillover_from_event", "dns_spillover", "DnsScenarioResult"]
+
+
+@dataclass
+class SpilloverReport:
+    """Structural spillover of one tussle event on a design.
+
+    ``direct`` counts functions inside the contested space (legitimate
+    battleground); ``collateral`` counts functions outside it that live in
+    affected modules (innocent bystanders). ``ratio`` is collateral per
+    direct — 0 for a perfectly modularized design.
+    """
+
+    space: str
+    direct: int
+    collateral: int
+    affected_modules: List[str]
+
+    @property
+    def ratio(self) -> float:
+        if self.direct == 0:
+            return 0.0
+        return self.collateral / self.direct
+
+
+def spillover_from_event(design: Design, space: str) -> SpilloverReport:
+    """Structural spillover of a dispute in ``space``.
+
+    The event disables every module containing a function in the space;
+    all functions in those modules stop working. Functions not in the
+    space that stop anyway are collateral.
+    """
+    affected_modules = design.modules_touching_space(space)
+    direct = 0
+    collateral = 0
+    for module in affected_modules:
+        for function in module.functions.values():
+            if space in function.tussle_spaces:
+                direct += 1
+            else:
+                collateral += 1
+    if direct == 0:
+        raise DesignError(f"no function in design participates in space {space!r}")
+    return SpilloverReport(
+        space=space,
+        direct=direct,
+        collateral=collateral,
+        affected_modules=[m.name for m in affected_modules],
+    )
+
+
+@dataclass
+class DnsScenarioResult:
+    """E08 end-to-end result for one name-system design."""
+
+    design_name: str
+    names_registered: int
+    disputes: int
+    human_name_breakage: int       # human names that stopped resolving
+    service_breakage: int          # dependent services knocked out
+    machine_bindings_broken: int   # identifier/machine-level bindings broken
+
+    @property
+    def collateral_rate(self) -> float:
+        """Broken bystander services per dispute."""
+        if self.disputes == 0:
+            return 0.0
+        return self.service_breakage / self.disputes
+
+
+def dns_spillover(
+    system: NameSystem,
+    n_names: int = 20,
+    n_dependents_per_name: int = 3,
+    dispute_fraction: float = 0.3,
+    seed: int = 0,
+) -> DnsScenarioResult:
+    """Run the trademark-dispute workload on a name system (E08).
+
+    Registers ``n_names`` human names each carrying dependents, disputes a
+    seeded random fraction of them (transfer or freeze), and counts the
+    damage. The entangled design breaks dependents; the separated design
+    confines breakage to the directory.
+    """
+    rng = random.Random(seed)
+    names = [f"brand{i}" for i in range(n_names)]
+    for i, name in enumerate(names):
+        system.register(name, holder=f"holder{i}", machine=f"machine{i}")
+        for j in range(n_dependents_per_name):
+            system.add_dependent(name, f"{name}-service{j}")  # type: ignore[attr-defined]
+
+    n_disputes = int(n_names * dispute_fraction)
+    disputed = rng.sample(names, n_disputes)
+    for name in disputed:
+        outcome = rng.choice([DisputeOutcome.TRANSFERRED, DisputeOutcome.FROZEN])
+        system.dispute(name, challenger=f"trademark-holder-of-{name}", outcome=outcome)
+
+    human_breakage = sum(
+        1 for i, name in enumerate(names)
+        if system.resolve(name) != f"machine{i}"
+    )
+    service_breakage = len(system.collateral_services())  # type: ignore[attr-defined]
+    return DnsScenarioResult(
+        design_name=type(system).__name__,
+        names_registered=n_names,
+        disputes=n_disputes,
+        human_name_breakage=human_breakage,
+        service_breakage=service_breakage,
+        machine_bindings_broken=system.machine_bindings_broken(),
+    )

@@ -1,0 +1,104 @@
+"""Stakeholders: the contending parties of the tussle.
+
+"At a minimum these players include users... commercial ISPs... private
+sector network providers... governments... intellectual property rights
+holders... and providers of content and higher level services" (§I).
+
+A stakeholder has *interests* — weighted targets over named state
+variables — and a utility that falls with distance from those targets.
+The tussle simulator (:mod:`tussle.core.simulator`) has stakeholders adapt
+the mechanisms available to them to pull state toward their targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Mapping
+
+from ..errors import TussleError
+
+__all__ = ["StakeholderKind", "Interest", "Stakeholder"]
+
+
+class StakeholderKind(Enum):
+    """The paper's stakeholder taxonomy (§I)."""
+
+    USER = "user"
+    COMMERCIAL_ISP = "commercial-isp"
+    PRIVATE_NETWORK_PROVIDER = "private-network-provider"
+    GOVERNMENT = "government"
+    RIGHTS_HOLDER = "rights-holder"
+    CONTENT_PROVIDER = "content-provider"
+    DESIGNER = "designer"
+    THIRD_PARTY = "third-party"
+
+
+@dataclass(frozen=True)
+class Interest:
+    """A weighted target for one state variable.
+
+    ``target`` is where this stakeholder wants the variable (in the
+    variable's own units, conventionally [0, 1]); ``weight`` is how much
+    they care.
+    """
+
+    variable: str
+    target: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise TussleError(f"interest weight must be >= 0, got {self.weight}")
+
+    def dissatisfaction(self, value: float) -> float:
+        """Weighted distance from target."""
+        return self.weight * abs(value - self.target)
+
+
+@dataclass
+class Stakeholder:
+    """A party to the tussle.
+
+    Attributes
+    ----------
+    interests:
+        variable name -> :class:`Interest`.
+    workaround_cost:
+        Per-move cost this stakeholder pays to act *outside* the design
+        (tunnel, overlay, kludge). High for naive users, low for
+        sophisticated ones.
+    can_workaround:
+        Whether the stakeholder has workarounds at all; the paper notes
+        "most individual players' inability to make technical
+        modifications" as a stabilizer.
+    """
+
+    name: str
+    kind: StakeholderKind
+    interests: Dict[str, Interest] = field(default_factory=dict)
+    workaround_cost: float = 0.3
+    can_workaround: bool = True
+    total_move_costs: float = 0.0
+    moves_made: int = 0
+    workarounds_made: int = 0
+
+    def add_interest(self, variable: str, target: float, weight: float = 1.0) -> None:
+        self.interests[variable] = Interest(variable=variable, target=target,
+                                            weight=weight)
+
+    def utility(self, state: Mapping[str, float]) -> float:
+        """Negative weighted dissatisfaction over all interests.
+
+        Missing state variables count at maximal distance 1.0.
+        """
+        total = 0.0
+        for variable, interest in self.interests.items():
+            if variable in state:
+                total += interest.dissatisfaction(state[variable])
+            else:
+                total += interest.weight * 1.0
+        return -total
+
+    def cares_about(self, variable: str) -> bool:
+        return variable in self.interests and self.interests[variable].weight > 0

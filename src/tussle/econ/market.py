@@ -1,0 +1,272 @@
+"""The access-market simulation: providers, consumers, rounds.
+
+Each round of :class:`Market`:
+
+1. providers adjust prices per their :class:`~tussle.econ.pricing.PricingStrategy`;
+2. every consumer evaluates each provider's *effective* offer — price for
+   their visible behaviour, the value they would get (can they run their
+   server openly? must they tunnel?) — and switches when the surplus gain
+   beats their switching cost;
+3. revenue, profit, surplus and churn are recorded.
+
+This is the substrate for E01 (switching cost sweep), E02 (value pricing
+vs tunnelling) and E03 (facility competition), each of which configures
+consumers/providers differently and reads the recorded series.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MarketError
+from .agents import Consumer, Provider
+from .pricing import PricingStrategy
+
+__all__ = ["MarketRound", "Market"]
+
+
+@dataclass
+class MarketRound:
+    """Per-round aggregate record."""
+
+    index: int
+    mean_price: float
+    switches: int
+    consumer_surplus: float
+    provider_profit: float
+    tunnelling_consumers: int
+    shares: Dict[str, float] = field(default_factory=dict)
+
+
+class Market:
+    """A round-based access market.
+
+    Parameters
+    ----------
+    providers, consumers:
+        The participating agents. Consumers with ``provider=None`` pick
+        their best initial provider in round 0 at zero switching cost.
+    strategies:
+        Optional per-provider pricing strategies.
+    server_prohibited_without_tier:
+        When True, tiered providers require the business rate to run a
+        server *openly*; non-tiered providers allow servers at the basic
+        rate. (The §V-A-2 acceptable-use policy.)
+    preference_noise:
+        Amplitude of per-(consumer, provider) idiosyncratic taste, drawn
+        uniformly on [-noise, +noise] once at construction. Models product
+        differentiation; without it, identical prices send every consumer
+        to the alphabetically-first provider.
+    seed:
+        Seeds tie-breaking and preference noise.
+    """
+
+    def __init__(
+        self,
+        providers: Sequence[Provider],
+        consumers: Sequence[Consumer],
+        strategies: Optional[Dict[str, PricingStrategy]] = None,
+        server_prohibited_without_tier: bool = True,
+        preference_noise: float = 0.0,
+        seed: int = 0,
+    ):
+        if not providers:
+            raise MarketError("market needs at least one provider")
+        names = [p.name for p in providers]
+        if len(set(names)) != len(names):
+            raise MarketError("provider names must be unique")
+        self.providers: Dict[str, Provider] = {p.name: p for p in providers}
+        self.consumers: List[Consumer] = list(consumers)
+        self.strategies = dict(strategies or {})
+        self.server_prohibited_without_tier = server_prohibited_without_tier
+        self.rng = random.Random(seed)
+        self._taste: Dict[Tuple[str, str], float] = {}
+        if preference_noise > 0:
+            noise_rng = random.Random(seed + 1)
+            for consumer in self.consumers:
+                for name in sorted(self.providers):
+                    self._taste[(consumer.name, name)] = noise_rng.uniform(
+                        -preference_noise, preference_noise
+                    )
+        self.history: List[MarketRound] = []
+        self._initial_assignment()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _initial_assignment(self) -> None:
+        """Round-0 free choice: everyone picks their best offer."""
+        for consumer in self.consumers:
+            if consumer.provider is not None:
+                self.providers[consumer.provider].subscribers.add(consumer.name)
+                continue
+            best, _ = self._best_offer(consumer, free_switch=True)
+            if best is not None:
+                consumer.provider = best
+                self.providers[best].subscribers.add(consumer.name)
+
+    # ------------------------------------------------------------------
+    # Offers
+    # ------------------------------------------------------------------
+    def _evaluate_offer(self, consumer: Consumer, provider: Provider) -> Tuple[float, bool]:
+        """Net per-round surplus at ``provider`` and whether they'd tunnel.
+
+        A business consumer weighs three postures: pay the business tier
+        (run openly), tunnel (basic rate, hassle cost, works unless the
+        provider detects tunnels), or forgo the server.
+        """
+        if not consumer.values_server():
+            return consumer.wtp - provider.price, False
+        options: List[Tuple[float, bool]] = []
+        # Forgo the server entirely.
+        options.append((consumer.wtp - provider.price, False))
+        if provider.tiered and self.server_prohibited_without_tier:
+            # Pay the business rate and run openly.
+            options.append(
+                (consumer.wtp + consumer.server_value - provider.business_price, False)  # type: ignore[operator]
+            )
+            # Tunnel around the restriction at the basic rate.
+            if consumer.can_tunnel and not provider.detects_tunnels:
+                options.append(
+                    (consumer.wtp + consumer.server_value
+                     - provider.price - consumer.tunnel_cost, True)
+                )
+        else:
+            # Servers permitted at the basic rate.
+            options.append((consumer.wtp + consumer.server_value - provider.price, False))
+        best = max(options, key=lambda o: o[0])
+        return best
+
+    def _best_offer(self, consumer: Consumer, free_switch: bool = False
+                    ) -> Tuple[Optional[str], float]:
+        """Best provider for this consumer net of switching cost."""
+        current = consumer.provider
+        best_name: Optional[str] = None
+        best_surplus = float("-inf")
+        for name in sorted(self.providers):
+            provider = self.providers[name]
+            surplus, _ = self._evaluate_offer(consumer, provider)
+            surplus += self._taste.get((consumer.name, name), 0.0)
+            if not free_switch and current is not None and name != current:
+                surplus -= consumer.switching_cost
+            if surplus > best_surplus + 1e-12:
+                best_surplus = surplus
+                best_name = name
+        return best_name, best_surplus
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def step(self) -> MarketRound:
+        """Run one market round and return its record."""
+        index = len(self.history)
+        # 1. Providers adjust prices.
+        prices = {name: p.price for name, p in self.providers.items()}
+        shares = {
+            name: p.market_share(len(self.consumers))
+            for name, p in self.providers.items()
+        }
+        for name, provider in sorted(self.providers.items()):
+            strategy = self.strategies.get(name)
+            if strategy is not None:
+                strategy.adjust(provider, prices, shares[name])
+
+        # 2. Consumers re-evaluate and possibly switch.
+        switches = 0
+        total_surplus = 0.0
+        revenue: Dict[str, float] = {name: 0.0 for name in self.providers}
+        tunnelling = 0
+        for consumer in self.consumers:
+            best_name, _ = self._best_offer(consumer)
+            if best_name is None:
+                continue
+            if consumer.provider != best_name:
+                if consumer.provider is not None:
+                    self.providers[consumer.provider].subscribers.discard(consumer.name)
+                    consumer.surplus -= consumer.switching_cost
+                    total_surplus -= consumer.switching_cost
+                    consumer.switches += 1
+                    switches += 1
+                consumer.provider = best_name
+                self.providers[best_name].subscribers.add(consumer.name)
+            provider = self.providers[consumer.provider]
+            surplus, tunnels = self._evaluate_offer(consumer, provider)
+            consumer.tunnelling = tunnels
+            if tunnels:
+                tunnelling += 1
+            # Leave if even the best offer is negative-surplus.
+            if surplus < 0:
+                provider.subscribers.discard(consumer.name)
+                consumer.provider = None
+                continue
+            consumer.surplus += surplus
+            total_surplus += surplus
+            paid = self._amount_paid(consumer, provider, tunnels)
+            revenue[provider.name] += paid
+
+        # 3. Accounting.
+        for name, provider in self.providers.items():
+            provider.record_round(revenue[name], len(provider.subscribers))
+        record = MarketRound(
+            index=index,
+            mean_price=sum(p.price for p in self.providers.values()) / len(self.providers),
+            switches=switches,
+            consumer_surplus=total_surplus,
+            provider_profit=sum(
+                revenue[name] - p.unit_cost * len(p.subscribers)
+                for name, p in self.providers.items()
+            ),
+            tunnelling_consumers=tunnelling,
+            shares={
+                name: p.market_share(len(self.consumers))
+                for name, p in self.providers.items()
+            },
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, rounds: int) -> List[MarketRound]:
+        for _ in range(rounds):
+            self.step()
+        return self.history
+
+    def _amount_paid(self, consumer: Consumer, provider: Provider, tunnels: bool) -> float:
+        if not consumer.values_server():
+            return provider.price
+        if tunnels:
+            return provider.price
+        if provider.tiered and self.server_prohibited_without_tier:
+            # Openly running a server means paying the tier; if the surplus
+            # calculus picked "forgo", they pay basic. Re-derive the choice.
+            open_surplus = (consumer.wtp + consumer.server_value
+                            - provider.business_price)  # type: ignore[operator]
+            forgo_surplus = consumer.wtp - provider.price
+            if open_surplus >= forgo_surplus:
+                return provider.business_price  # type: ignore[return-value]
+            return provider.price
+        return provider.price
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def total_switches(self) -> int:
+        return sum(r.switches for r in self.history)
+
+    def mean_price(self) -> float:
+        if not self.history:
+            return 0.0
+        return self.history[-1].mean_price
+
+    def total_consumer_surplus(self) -> float:
+        return sum(r.consumer_surplus for r in self.history)
+
+    def total_provider_profit(self) -> float:
+        return sum(r.provider_profit for r in self.history)
+
+    def subscribed_fraction(self) -> float:
+        if not self.consumers:
+            return 0.0
+        subscribed = sum(1 for c in self.consumers if c.provider is not None)
+        return subscribed / len(self.consumers)

@@ -1,0 +1,163 @@
+"""Value flow: payment mechanisms and their viability.
+
+"Whatever the compensation, recognize that it must flow, just as much as
+data must flow... If this 'value flow' requires a protocol, design it.
+(There is an interesting case study in the rise and fall of
+micro-payments, the success of the traditional credit card companies for
+Internet payments, and the emergence of PayPal and similar schemes.)"
+(§IV-C)
+
+This module models payment mechanisms by their cost structure and computes
+which mechanism survives for a given transaction-size distribution — the
+micropayments case study as arithmetic. It also provides
+:class:`ValueFlowLedger`, the value-conservation substrate used by the
+source-routing payment experiments (E04) and mutual-aid accounting
+(the Napster example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MarketError
+
+__all__ = [
+    "PaymentMechanism",
+    "MICROPAYMENT",
+    "CREDIT_CARD",
+    "AGGREGATOR",
+    "MUTUAL_AID",
+    "viable_mechanisms",
+    "cheapest_mechanism",
+    "ValueFlowLedger",
+]
+
+
+@dataclass(frozen=True)
+class PaymentMechanism:
+    """A way of moving value, characterized by its cost structure.
+
+    Attributes
+    ----------
+    fixed_fee:
+        Per-transaction fee in currency units.
+    proportional_fee:
+        Fraction of the transaction amount taken as fee.
+    min_transaction:
+        Smallest amount the mechanism will process.
+    monetary:
+        False for in-kind schemes (the Napster "mutual aid" example).
+    """
+
+    name: str
+    fixed_fee: float
+    proportional_fee: float
+    min_transaction: float = 0.0
+    monetary: bool = True
+
+    def fee(self, amount: float) -> float:
+        if amount < 0:
+            raise MarketError(f"negative transaction amount {amount}")
+        return self.fixed_fee + self.proportional_fee * amount
+
+    def net(self, amount: float) -> float:
+        """What the payee receives."""
+        return amount - self.fee(amount)
+
+    def viable_for(self, amount: float) -> bool:
+        """A mechanism is viable when fees don't eat the transaction."""
+        if amount < self.min_transaction:
+            return False
+        return self.net(amount) > 0
+
+
+#: The paper's case-study mechanisms, with stylized cost structures.
+MICROPAYMENT = PaymentMechanism("micropayment", fixed_fee=0.002,
+                                proportional_fee=0.01, min_transaction=0.0)
+CREDIT_CARD = PaymentMechanism("credit-card", fixed_fee=0.30,
+                               proportional_fee=0.029, min_transaction=0.5)
+AGGREGATOR = PaymentMechanism("aggregator", fixed_fee=0.05,
+                              proportional_fee=0.02, min_transaction=0.01)
+MUTUAL_AID = PaymentMechanism("mutual-aid", fixed_fee=0.0,
+                              proportional_fee=0.0, monetary=False)
+
+
+def viable_mechanisms(
+    amount: float,
+    mechanisms: Optional[Sequence[PaymentMechanism]] = None,
+) -> List[PaymentMechanism]:
+    """Mechanisms viable for a transaction of ``amount``."""
+    candidates = mechanisms or (MICROPAYMENT, CREDIT_CARD, AGGREGATOR, MUTUAL_AID)
+    return [m for m in candidates if m.viable_for(amount)]
+
+
+def cheapest_mechanism(
+    amount: float,
+    mechanisms: Optional[Sequence[PaymentMechanism]] = None,
+    monetary_only: bool = True,
+) -> Optional[PaymentMechanism]:
+    """The viable mechanism with the lowest fee, or None."""
+    viable = viable_mechanisms(amount, mechanisms)
+    if monetary_only:
+        viable = [m for m in viable if m.monetary]
+    if not viable:
+        return None
+    return min(viable, key=lambda m: (m.fee(amount), m.name))
+
+
+class ValueFlowLedger:
+    """Double-entry ledger: value must flow, and must balance.
+
+    Every transfer debits the payer and credits the payee minus fees; fees
+    accrue to the mechanism operator's account. The class invariant —
+    total created value equals zero (it only moves) — is enforced and is a
+    target of the property-based test suite.
+    """
+
+    FEE_ACCOUNT = "__fees__"
+
+    def __init__(self) -> None:
+        self._balances: Dict[str, float] = {}
+        self.transfers: List[Tuple[str, str, float, str]] = []
+
+    def balance(self, party: str) -> float:
+        return self._balances.get(party, 0.0)
+
+    def transfer(
+        self,
+        payer: str,
+        payee: str,
+        amount: float,
+        mechanism: PaymentMechanism = CREDIT_CARD,
+    ) -> float:
+        """Move ``amount`` from payer to payee; returns the payee's net.
+
+        Raises :class:`MarketError` if the mechanism is not viable for the
+        amount — value that cannot flow does not flow, which is exactly the
+        failure mode the QoS post-mortem identifies.
+        """
+        if payer == payee:
+            raise MarketError("payer and payee must differ")
+        if not mechanism.viable_for(amount):
+            raise MarketError(
+                f"{mechanism.name} not viable for amount {amount} "
+                f"(fee {mechanism.fee(amount):.4f})"
+            )
+        fee = mechanism.fee(amount)
+        net = amount - fee
+        self._balances[payer] = self.balance(payer) - amount
+        self._balances[payee] = self.balance(payee) + net
+        self._balances[self.FEE_ACCOUNT] = self.balance(self.FEE_ACCOUNT) + fee
+        self.transfers.append((payer, payee, amount, mechanism.name))
+        return net
+
+    def total(self) -> float:
+        """Sum of all balances; always ~0 (conservation of value)."""
+        return sum(self._balances.values())
+
+    def volume(self) -> float:
+        return sum(t[2] for t in self.transfers)
+
+    def parties(self) -> List[str]:
+        return sorted(k for k in self._balances if k != self.FEE_ACCOUNT)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`tussle` framework.
+
+All exceptions raised by the framework derive from :class:`TussleError`, so
+callers can catch framework failures without masking programming errors such
+as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class TussleError(Exception):
+    """Base class for every error raised by the tussle framework."""
+
+
+class SimulationError(TussleError):
+    """An invariant of the discrete-event simulator was violated."""
+
+
+class TopologyError(TussleError):
+    """A topology operation referenced a missing node/link or was malformed."""
+
+
+class RoutingError(TussleError):
+    """Route computation or forwarding failed."""
+
+
+class AddressingError(TussleError):
+    """Address allocation, renumbering, or lookup failed."""
+
+
+class MarketError(TussleError):
+    """An economic-market operation was invalid (e.g. negative price)."""
+
+
+class GameError(TussleError):
+    """A game-theory object was malformed or a solver failed to converge."""
+
+
+class PolicyError(TussleError):
+    """A policy expression failed to parse or evaluate."""
+
+
+class PolicyParseError(PolicyError):
+    """The policy source text is not valid in the policy language."""
+
+
+class OntologyError(PolicyError):
+    """A policy referenced terms outside the bounded ontology."""
+
+
+class TrustError(TussleError):
+    """A trust / identity operation failed."""
+
+
+class ActorNetworkError(TussleError):
+    """An actor-network operation referenced unknown actors or commitments."""
+
+
+class DesignError(TussleError):
+    """A design object (modules, boundaries, interfaces) was malformed."""
+
+
+class ExperimentError(TussleError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,59 @@
+"""Experiment harnesses: one module per paper claim (see DESIGN.md).
+
+Each ``run_eNN`` returns an
+:class:`~tussle.experiments.common.ExperimentResult` holding printable
+tables and explicit shape checks against the paper's qualitative claims.
+"""
+
+from .common import ExperimentResult, ShapeCheck, Table
+from .e01_lockin import run_e01
+from .e02_value_pricing import run_e02
+from .e03_broadband import run_e03
+from .e04_routing_control import run_e04
+from .e05_firewalls import run_e05
+from .e06_identity import run_e06
+from .e07_qos import run_e07
+from .e08_tussle_isolation import run_e08
+from .e09_rigidity import run_e09
+from .e10_freezing import run_e10
+from .e11_encryption import run_e11
+from .e12_game_taxonomy import run_e12
+from .x01_multicast import run_x01
+from .x02_policy_authority import run_x02
+from .x03_mail_choice import run_x03
+from .x04_coupled_spaces import run_x04
+from .x05_collision import run_x05
+from .x06_qos_binding import run_x06
+from .x07_transparency_failures import run_x07
+
+#: The twelve paper-claim experiments plus three extension experiments
+#: (X01 multicast exercise, X02 policy-authority ablation, X03 mail
+#: choice + guidelines audit, X04 dynamic isolation, X05 network collision, X06 QoS binding, X07 transparency failures).
+ALL_EXPERIMENTS = {
+    "E01": run_e01,
+    "E02": run_e02,
+    "E03": run_e03,
+    "E04": run_e04,
+    "E05": run_e05,
+    "E06": run_e06,
+    "E07": run_e07,
+    "E08": run_e08,
+    "E09": run_e09,
+    "E10": run_e10,
+    "E11": run_e11,
+    "E12": run_e12,
+    "X01": run_x01,
+    "X02": run_x02,
+    "X03": run_x03,
+    "X04": run_x04,
+    "X05": run_x05,
+    "X06": run_x06,
+    "X07": run_x07,
+}
+
+__all__ = [
+    "ExperimentResult", "ShapeCheck", "Table", "ALL_EXPERIMENTS",
+    "run_e01", "run_e02", "run_e03", "run_e04", "run_e05", "run_e06",
+    "run_e07", "run_e08", "run_e09", "run_e10", "run_e11", "run_e12",
+    "run_x01", "run_x02", "run_x03", "run_x04", "run_x05", "run_x06", "run_x07",
+]

@@ -1,0 +1,178 @@
+"""E04 — Who controls the route: provider vs user (§V-A-4).
+
+Paper claims:
+
+* provider control (BGP) won historically; under it the user has exactly
+  one path per destination and no say in it;
+* "source routes do not work effectively today" because transit ISPs get
+  no benefit from carrying them — without payment, user routing fails;
+* "the design for provider-level source routing must incorporate a
+  recognition of the need for payment" — with payment, user choice works
+  and providers earn revenue;
+* overlays give users path choice without provider cooperation, but
+  create "economic distortion" (uncompensated transit).
+
+Workload: a seeded hierarchical AS graph. We compare four regimes on the
+same stub-to-stub traffic: BGP only; source routing without payment;
+source routing with payment; overlay over BGP.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..netsim.topology import Network, random_as_graph
+from ..routing import (
+    OverlayNetwork,
+    PathVectorRouting,
+    SourceRoutingSystem,
+    TransitTerms,
+)
+from .common import ExperimentResult, Table
+
+__all__ = ["run_e04"]
+
+
+def _stub_pairs(network: Network, count: int) -> List[Tuple[int, int]]:
+    stubs = [a.asn for a in network.ases if a.tier == 3]
+    pairs: List[Tuple[int, int]] = []
+    for i, src in enumerate(stubs):
+        dst = stubs[(i + len(stubs) // 2) % len(stubs)]
+        if src != dst:
+            pairs.append((src, dst))
+        if len(pairs) >= count:
+            break
+    return pairs
+
+
+def run_e04(n_pairs: int = 8, seed: int = 5) -> ExperimentResult:
+    import random
+    network = random_as_graph(n_tier1=3, n_tier2=6, n_tier3=12,
+                              rng=random.Random(seed))
+    bgp = PathVectorRouting(network)
+    bgp.converge()
+    pairs = _stub_pairs(network, n_pairs)
+
+    table = Table(
+        "E04: routing control regime vs user path choice and revenue",
+        ["regime", "control", "mean_paths_per_pair", "success_rate",
+         "transit_revenue", "uncompensated_transit"],
+    )
+
+    # --- Regime 1: BGP (provider control): one selected path per pair.
+    bgp_paths = [1 if bgp.reachable(s, d) else 0 for s, d in pairs]
+    table.add_row(
+        regime="bgp", control="provider",
+        mean_paths_per_pair=sum(bgp_paths) / len(pairs),
+        success_rate=sum(bgp_paths) / len(pairs),
+        transit_revenue=0.0,
+        uncompensated_transit=0,
+    )
+
+    # --- Regime 2: source routing, no payment (today's reality).
+    no_pay = SourceRoutingSystem(network, payment_enabled=False)
+    for autonomous_system in network.ases:
+        no_pay.set_terms(autonomous_system.asn,
+                         TransitTerms(accepts_source_routes=False, price=1.0))
+    no_pay_success = 0
+    no_pay_diversity = 0
+    for src, dst in pairs:
+        attempt = no_pay.best_affordable_route(src, dst, budget=100.0)
+        if attempt is not None:
+            no_pay_success += 1
+        no_pay_diversity += no_pay.path_diversity(src, dst, budget=100.0)
+    table.add_row(
+        regime="source-routing/no-payment", control="user",
+        mean_paths_per_pair=no_pay_diversity / len(pairs),
+        success_rate=no_pay_success / len(pairs),
+        transit_revenue=sum(no_pay.revenue.values()),
+        uncompensated_transit=0,
+    )
+
+    # --- Regime 3: source routing with payment.
+    paid = SourceRoutingSystem(network, payment_enabled=True)
+    for autonomous_system in network.ases:
+        paid.set_terms(autonomous_system.asn,
+                       TransitTerms(accepts_source_routes=False, price=1.0))
+    paid_success = 0
+    paid_diversity = 0
+    for src, dst in pairs:
+        attempt = paid.best_affordable_route(src, dst, budget=100.0)
+        if attempt is not None and attempt.succeeded:
+            paid_success += 1
+        paid_diversity += paid.path_diversity(src, dst, budget=100.0)
+    table.add_row(
+        regime="source-routing/payment", control="user",
+        mean_paths_per_pair=paid_diversity / len(pairs),
+        success_rate=paid_success / len(pairs),
+        transit_revenue=sum(paid.revenue.values()),
+        uncompensated_transit=0,
+    )
+
+    # --- Regime 4: overlay over BGP (the workaround).
+    members = sorted({asn for pair in pairs for asn in pair})
+    overlay = OverlayNetwork(bgp, members=members)
+    overlay_choices = 0
+    overlay_success = 0
+    uncompensated = 0
+    for src, dst in pairs:
+        choices = overlay.path_choice_count(src, dst)
+        overlay_choices += choices
+        if overlay.reachable_via_overlay(src, dst):
+            overlay_success += 1
+        uncompensated += sum(overlay.uncompensated_transit(src, dst).values())
+    table.add_row(
+        regime="overlay", control="user",
+        mean_paths_per_pair=overlay_choices / len(pairs),
+        success_rate=overlay_success / len(pairs),
+        transit_revenue=0.0,
+        uncompensated_transit=uncompensated,
+    )
+
+    result = ExperimentResult(
+        experiment_id="E04",
+        title="Provider-controlled vs user-controlled routing",
+        paper_claim=("BGP gives the user one path and no choice; unpaid source "
+                     "routes are refused; payment makes user routing work and "
+                     "compensates providers; overlays give choice but ride "
+                     "uncompensated transit."),
+        tables=[table],
+    )
+
+    rows = {row["regime"]: row for row in table.rows}
+    result.add_check(
+        "unpaid source routing fails where BGP succeeds",
+        rows["source-routing/no-payment"]["success_rate"]
+        < rows["bgp"]["success_rate"],
+        detail=(f"success {rows['source-routing/no-payment']['success_rate']:.2f} "
+                f"vs bgp {rows['bgp']['success_rate']:.2f}"),
+    )
+    result.add_check(
+        "payment unlocks user routing (success and diversity beat BGP)",
+        rows["source-routing/payment"]["success_rate"]
+        >= rows["bgp"]["success_rate"]
+        and rows["source-routing/payment"]["mean_paths_per_pair"]
+        > rows["bgp"]["mean_paths_per_pair"],
+        detail=(f"paid diversity "
+                f"{rows['source-routing/payment']['mean_paths_per_pair']:.1f} "
+                f"paths/pair vs bgp 1"),
+    )
+    result.add_check(
+        "value flows to transit providers only under the payment design",
+        rows["source-routing/payment"]["transit_revenue"] > 0
+        and rows["source-routing/no-payment"]["transit_revenue"] == 0,
+        detail=(f"revenue {rows['source-routing/payment']['transit_revenue']:.1f} "
+                f"with payment"),
+    )
+    result.add_check(
+        "overlays give the user extra paths without provider cooperation",
+        rows["overlay"]["mean_paths_per_pair"]
+        > rows["bgp"]["mean_paths_per_pair"],
+        detail=f"overlay {rows['overlay']['mean_paths_per_pair']:.1f} paths/pair",
+    )
+    result.add_check(
+        "but overlays create uncompensated transit (economic distortion)",
+        rows["overlay"]["uncompensated_transit"] > 0,
+        detail=f"{rows['overlay']['uncompensated_transit']} uncompensated transit hops",
+    )
+    return result

@@ -1,0 +1,152 @@
+"""E05 — Trust, firewalls, and the cost to innovation (§V-B).
+
+Paper claims:
+
+* users "would like protection from system penetration attacks, DoS
+  attacks" — hence firewalls, despite purists' complaints;
+* blanket "that which is not permitted is forbidden" firewalls block the
+  bad guys *and* new applications ("firewalls inhibit innovation");
+* trust-mediated transparency — constraints "based on who is
+  communicating, as well as (or instead of) what protocols are being
+  run" — can block untrusted parties while leaving trusted parties'
+  *novel* applications working.
+
+Workload: a user behind a gateway, facing attackers, known-app senders
+and new-app senders. Four deployments: no firewall, port filter,
+blanket allow-list, trust-aware.
+"""
+
+from __future__ import annotations
+
+
+from ..netsim import (
+    BlanketFirewall,
+    ForwardingEngine,
+    Network,
+    NodeKind,
+    PortFilterFirewall,
+)
+from ..trust import AttackKind, Attacker, ThreatCampaign, TrustAwareFirewall, TrustGraph
+from .common import ExperimentResult, Table
+
+__all__ = ["run_e05"]
+
+
+def _build_network() -> Network:
+    net = Network()
+    net.add_node("victim", kind=NodeKind.HOST)
+    net.add_node("gw", kind=NodeKind.MIDDLEBOX)
+    net.add_node("internet", kind=NodeKind.ROUTER)
+    for name in ("friend", "colleague", "stranger", "badguy0", "badguy1"):
+        net.add_node(name, kind=NodeKind.HOST)
+        net.add_link(name, "internet")
+    net.add_link("internet", "gw")
+    net.add_link("gw", "victim")
+    return net
+
+
+def _engine() -> ForwardingEngine:
+    engine = ForwardingEngine(_build_network())
+    engine.install_shortest_path_tables()
+    return engine
+
+
+def _campaign(engine: ForwardingEngine) -> ThreatCampaign:
+    attackers = [
+        Attacker("badguy0", kind=AttackKind.PENETRATION, seed=0),
+        Attacker("badguy1", kind=AttackKind.SCAN, seed=1),
+    ]
+    legit = [("friend", "http"), ("colleague", "smtp")]
+    new_apps = [("friend", "holo-conference"), ("colleague", "mesh-sync")]
+    return ThreatCampaign(engine, victim="victim", attackers=attackers,
+                          legit_senders=legit, new_app_senders=new_apps)
+
+
+def run_e05(packets_per_source: int = 10) -> ExperimentResult:
+    table = Table(
+        "E05: firewall design vs protection and innovation",
+        ["deployment", "attack_admission", "legit_success", "new_app_success"],
+    )
+
+    # --- No firewall: full transparency.
+    engine = _engine()
+    mix = _campaign(engine).run(packets_per_source)
+    table.add_row(deployment="none",
+                  attack_admission=mix.attack_admission_rate,
+                  legit_success=mix.legit_success_rate,
+                  new_app_success=mix.new_app_success_rate)
+
+    # --- Port-filter firewall: block the classically abused ports.
+    engine = _engine()
+    engine.attach_middlebox("gw", PortFilterFirewall(
+        "gw-portfilter", blocked_applications={"smtp"}, blocked_ports=set()))
+    mix = _campaign(engine).run(packets_per_source)
+    table.add_row(deployment="port-filter",
+                  attack_admission=mix.attack_admission_rate,
+                  legit_success=mix.legit_success_rate,
+                  new_app_success=mix.new_app_success_rate)
+
+    # --- Blanket firewall: allow-list of known applications only.
+    engine = _engine()
+    engine.attach_middlebox("gw", BlanketFirewall(
+        "gw-blanket", allowed_applications={"http", "smtp"}))
+    mix = _campaign(engine).run(packets_per_source)
+    table.add_row(deployment="blanket",
+                  attack_admission=mix.attack_admission_rate,
+                  legit_success=mix.legit_success_rate,
+                  new_app_success=mix.new_app_success_rate)
+
+    # --- Trust-aware firewall: admit by who, not what.
+    engine = _engine()
+    trust = TrustGraph()
+    trust.set_trust("victim", "friend", 0.9)
+    trust.set_trust("victim", "colleague", 0.8)
+    trust.set_trust("victim", "stranger", 0.2)
+    engine.attach_middlebox("gw", TrustAwareFirewall(
+        "gw-trust", protected="victim", trust_graph=trust, trust_threshold=0.5))
+    mix = _campaign(engine).run(packets_per_source)
+    table.add_row(deployment="trust-aware",
+                  attack_admission=mix.attack_admission_rate,
+                  legit_success=mix.legit_success_rate,
+                  new_app_success=mix.new_app_success_rate)
+
+    result = ExperimentResult(
+        experiment_id="E05",
+        title="Firewall designs: protection vs innovation",
+        paper_claim=("No firewall admits the bad guys; blanket firewalls stop "
+                     "attacks but kill new applications; trust-aware firewalls "
+                     "stop attacks while trusted parties' new apps still work."),
+        tables=[table],
+    )
+
+    rows = {row["deployment"]: row for row in table.rows}
+    result.add_check(
+        "with no firewall, attacks get through",
+        rows["none"]["attack_admission"] == 1.0,
+        detail=f"admission {rows['none']['attack_admission']:.2f}",
+    )
+    result.add_check(
+        "the blanket firewall stops attacks on unknown ports AND new apps",
+        rows["blanket"]["new_app_success"] == 0.0
+        and rows["blanket"]["attack_admission"]
+        < rows["none"]["attack_admission"],
+        detail=(f"new-app success {rows['blanket']['new_app_success']:.2f}, "
+                f"attack admission {rows['blanket']['attack_admission']:.2f}"),
+    )
+    result.add_check(
+        "the trust-aware firewall blocks all attacks",
+        rows["trust-aware"]["attack_admission"] == 0.0,
+        detail=f"admission {rows['trust-aware']['attack_admission']:.2f}",
+    )
+    result.add_check(
+        "yet new applications from trusted parties still work",
+        rows["trust-aware"]["new_app_success"] == 1.0,
+        detail=f"new-app success {rows['trust-aware']['new_app_success']:.2f}",
+    )
+    result.add_check(
+        "blanket vs trust-aware is the innovation trade-off the paper names",
+        rows["trust-aware"]["new_app_success"]
+        > rows["blanket"]["new_app_success"],
+        detail="trust mediation preserves deployability of the unforeseen",
+    )
+    return result

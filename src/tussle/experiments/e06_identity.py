@@ -1,0 +1,126 @@
+"""E06 — Identity, anonymity, and refusal (§V-B-1).
+
+Paper claims:
+
+* trust-mediated communication needs identity: "parties must be able to
+  know to whom they are talking";
+* a global identity namespace is the wrong answer; a *framework* over
+  diverse schemes (real name, role, certificate, pseudonym) is needed;
+* "while it will be possible to act anonymously, many people will choose
+  not to communicate with you if you do";
+* "if you are trying to act in an anonymous way, it should be hard to
+  disguise this fact."
+
+Workload: a population of senders across identity schemes contacting
+receivers whose acceptance policy requires a minimum accountability
+level. We sweep disguise-detection strength for the disguised-anonymous
+senders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..trust.identity import IdentityFramework, IdentityScheme, Principal
+from .common import ExperimentResult, Table, monotone_decreasing
+
+__all__ = ["run_e06"]
+
+#: Accountability threshold a cautious receiver applies.
+ACCEPT_FLOOR = 0.5
+
+
+def _population(framework: IdentityFramework) -> List[Principal]:
+    framework.trust_voucher("trusted-ca")
+    principals = [
+        Principal("alice", IdentityScheme.REAL_NAME),
+        Principal("bob", IdentityScheme.CERTIFICATE, vouched_by="trusted-ca"),
+        Principal("carol", IdentityScheme.CERTIFICATE, vouched_by="fly-by-night-ca"),
+        Principal("dave", IdentityScheme.ROLE, roles={"operator"}),
+        Principal("erin", IdentityScheme.PSEUDONYM),
+        Principal("mallory", IdentityScheme.ANONYMOUS),
+        Principal("trent", IdentityScheme.ANONYMOUS,
+                  disguised_as=IdentityScheme.PSEUDONYM),
+    ]
+    for principal in principals:
+        framework.register(principal)
+    return principals
+
+
+def run_e06(trials: int = 200, seed: int = 13) -> ExperimentResult:
+    framework = IdentityFramework(disguise_detection_rate=0.9, seed=seed)
+    principals = _population(framework)
+
+    scheme_table = Table(
+        "E06: acceptance rate by identity scheme (floor=0.5)",
+        ["principal", "scheme", "accept_rate"],
+    )
+    accept_rates: Dict[str, float] = {}
+    for principal in principals:
+        accepted = 0
+        for _ in range(trials):
+            if framework.accountability_level(principal.name) >= ACCEPT_FLOOR:
+                accepted += 1
+        rate = accepted / trials
+        accept_rates[principal.name] = rate
+        label = principal.scheme.value
+        if principal.disguised_as is not None:
+            label += f" (disguised as {principal.disguised_as.value})"
+        scheme_table.add_row(principal=principal.name, scheme=label,
+                             accept_rate=rate)
+
+    # Sweep disguise detection: how often does disguised anonymity slip by?
+    disguise_table = Table(
+        "E06b: disguise slip-through vs detection strength",
+        ["detection_rate", "slip_through_rate"],
+    )
+    slip_rates: List[float] = []
+    for detection in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0):
+        sweep_framework = IdentityFramework(disguise_detection_rate=detection,
+                                            seed=seed)
+        sweep_framework.register(
+            Principal("shade", IdentityScheme.ANONYMOUS,
+                      disguised_as=IdentityScheme.PSEUDONYM)
+        )
+        slipped = sum(
+            1 for _ in range(trials)
+            if sweep_framework.apparent_scheme("shade") is not IdentityScheme.ANONYMOUS
+        )
+        rate = slipped / trials
+        slip_rates.append(rate)
+        disguise_table.add_row(detection_rate=detection, slip_through_rate=rate)
+
+    result = ExperimentResult(
+        experiment_id="E06",
+        title="Identity framework, anonymity and refusal",
+        paper_claim=("Accountable identities are accepted, anonymous parties "
+                     "are refused, and disguising anonymity should be hard."),
+        tables=[scheme_table, disguise_table],
+    )
+
+    result.add_check(
+        "accountable schemes (real name, trusted cert) are always accepted",
+        accept_rates["alice"] == 1.0 and accept_rates["bob"] == 1.0,
+        detail=f"alice {accept_rates['alice']:.2f}, bob {accept_rates['bob']:.2f}",
+    )
+    result.add_check(
+        "openly anonymous parties are refused",
+        accept_rates["mallory"] == 0.0,
+        detail=f"mallory {accept_rates['mallory']:.2f}",
+    )
+    result.add_check(
+        "disguised anonymity rarely slips through at strong detection",
+        accept_rates["trent"] < 0.25,
+        detail=f"trent acceptance {accept_rates['trent']:.2f} at detection 0.9",
+    )
+    result.add_check(
+        "slip-through falls monotonically as detection strengthens",
+        monotone_decreasing(slip_rates),
+        detail=f"slip rates {['%.2f' % r for r in slip_rates]}",
+    )
+    result.add_check(
+        "pseudonyms sit between: persistent but below the cautious floor",
+        accept_rates["erin"] == 0.0,
+        detail="a 0.5 floor refuses bare pseudonyms; receivers could choose lower",
+    )
+    return result

@@ -1,0 +1,137 @@
+"""E08 — Modularize along tussle boundaries: the DNS case (§IV-A).
+
+Paper claims:
+
+* DNS is "entangled in debate because DNS names are used both to name
+  machines and to express trademark";
+* "names that express trademarks should be used for as little else as
+  possible" — the separated design confines disputes to a directory layer
+  and machine naming keeps working;
+* "solutions that are less efficient from a technical perspective may do
+  a better job of isolating the collateral damage of tussle" — the
+  separated design costs an extra resolution step.
+
+Workload: the trademark-dispute campaign of
+:func:`tussle.core.spillover.dns_spillover` on both name systems, plus a
+structural isolation-score comparison of the two designs.
+"""
+
+from __future__ import annotations
+
+
+from ..core.design import Design
+from ..core.principles import isolation_score
+from ..core.spillover import dns_spillover, spillover_from_event
+from ..netsim.dns import EntangledNameSystem, SeparatedNameSystem
+from .common import ExperimentResult, Table
+
+__all__ = ["run_e08", "entangled_dns_design", "separated_dns_design"]
+
+
+def entangled_dns_design() -> Design:
+    """Structural model of today's DNS: one module, entangled functions."""
+    design = Design("entangled-dns")
+    design.add_module("dns")
+    design.place_function("dns", "resolve-names",
+                          tussle_spaces=["trademark", "machine-naming"])
+    design.place_function("dns", "name-mailboxes",
+                          tussle_spaces=["trademark"])
+    design.place_function("dns", "cache-records")
+    return design
+
+
+def separated_dns_design() -> Design:
+    """The paper's counterfactual: directory and machine naming split."""
+    design = Design("separated-dns")
+    design.add_module("directory")
+    design.add_module("machine-naming")
+    design.add_module("mailbox-naming")
+    design.place_function("directory", "resolve-human-names",
+                          tussle_spaces=["trademark"])
+    design.place_function("machine-naming", "resolve-identifiers",
+                          tussle_spaces=["machine-naming"])
+    design.place_function("mailbox-naming", "name-mailboxes",
+                          tussle_spaces=["mailbox"])
+    design.connect("directory", "machine-naming", open_=True, tussle_aware=True)
+    design.connect("mailbox-naming", "machine-naming", open_=True)
+    return design
+
+
+def run_e08(n_names: int = 30, dispute_fraction: float = 0.3,
+            seed: int = 17) -> ExperimentResult:
+    workload = Table(
+        "E08: trademark-dispute damage by name-system design",
+        ["design", "disputes", "human_name_breakage", "service_breakage",
+         "machine_bindings_broken", "collateral_rate", "resolution_steps"],
+    )
+    entangled = dns_spillover(EntangledNameSystem(), n_names=n_names,
+                              dispute_fraction=dispute_fraction, seed=seed)
+    separated = dns_spillover(SeparatedNameSystem(), n_names=n_names,
+                              dispute_fraction=dispute_fraction, seed=seed)
+    workload.add_row(design="entangled", disputes=entangled.disputes,
+                     human_name_breakage=entangled.human_name_breakage,
+                     service_breakage=entangled.service_breakage,
+                     machine_bindings_broken=entangled.machine_bindings_broken,
+                     collateral_rate=entangled.collateral_rate,
+                     resolution_steps=1)
+    workload.add_row(design="separated", disputes=separated.disputes,
+                     human_name_breakage=separated.human_name_breakage,
+                     service_breakage=separated.service_breakage,
+                     machine_bindings_broken=separated.machine_bindings_broken,
+                     collateral_rate=separated.collateral_rate,
+                     resolution_steps=2)
+
+    structure = Table(
+        "E08b: structural isolation scores",
+        ["design", "isolation_score", "trademark_spillover_ratio"],
+    )
+    entangled_design = entangled_dns_design()
+    separated_design = separated_dns_design()
+    structure.add_row(
+        design="entangled",
+        isolation_score=isolation_score(entangled_design),
+        trademark_spillover_ratio=spillover_from_event(
+            entangled_design, "trademark").ratio,
+    )
+    structure.add_row(
+        design="separated",
+        isolation_score=isolation_score(separated_design),
+        trademark_spillover_ratio=spillover_from_event(
+            separated_design, "trademark").ratio,
+    )
+
+    result = ExperimentResult(
+        experiment_id="E08",
+        title="Tussle isolation: entangled vs separated naming",
+        paper_claim=("Entangling trademark with machine naming lets disputes "
+                     "break bystander services; separating them confines the "
+                     "tussle to the directory at the cost of one extra "
+                     "resolution step."),
+        tables=[workload, structure],
+    )
+
+    result.add_check(
+        "disputes break dependent services only in the entangled design",
+        entangled.service_breakage > 0 and separated.service_breakage == 0,
+        detail=(f"entangled broke {entangled.service_breakage} services, "
+                f"separated broke {separated.service_breakage}"),
+    )
+    result.add_check(
+        "machine-level bindings survive disputes in the separated design",
+        separated.machine_bindings_broken == 0
+        and entangled.machine_bindings_broken > 0,
+        detail=(f"entangled {entangled.machine_bindings_broken} vs "
+                f"separated {separated.machine_bindings_broken}"),
+    )
+    result.add_check(
+        "the separated design scores higher structural isolation",
+        isolation_score(separated_design) > isolation_score(entangled_design),
+        detail=(f"isolation {isolation_score(entangled_design):.2f} -> "
+                f"{isolation_score(separated_design):.2f}"),
+    )
+    result.add_check(
+        "isolation costs technical efficiency (extra resolution step)",
+        workload.rows[1]["resolution_steps"] > workload.rows[0]["resolution_steps"],
+        detail="the paper: less efficient solutions may isolate tussle better",
+    )
+    return result

@@ -1,0 +1,91 @@
+"""E10 — Entrant churn vs actor-network freezing (§II-C).
+
+Paper claims:
+
+* "the new applications bring new actors to the actor network, which
+  keeps the actor network from becoming frozen, which in turn permits
+  change to occur";
+* "when new applications and user groups cease to come to the Internet...
+  the tensions and tussles in the network will begin to be resolved, and
+  this will imply a freezing of the actor network";
+* "we should look for a time when innovation slows, not just as a signal
+  but also as a pre-condition of a durably formed and unchangeable
+  Internet."
+
+Workload: the churn simulation over a seeded Internet actor network,
+sweeping the entrant arrival rate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..actornet import ChurnSimulation, seed_internet_network
+from .common import ExperimentResult, Table, monotone_increasing
+
+__all__ = ["run_e10"]
+
+ARRIVAL_RATES = [0.0, 0.25, 0.5, 1.0, 2.0]
+
+
+def run_e10(rounds: int = 40, seed: int = 19) -> ExperimentResult:
+    table = Table(
+        "E10: entrant arrival rate vs durability and freezing",
+        ["arrival_rate", "final_changeability", "final_durability",
+         "value_variance", "froze_at", "n_actors"],
+    )
+    changeabilities: List[float] = []
+    froze: List[Optional[int]] = []
+    for rate in ARRIVAL_RATES:
+        simulation = ChurnSimulation(
+            seed_internet_network(rng=np.random.default_rng(seed)),
+            arrival_rate=rate,
+            seed=seed,
+        )
+        simulation.run(rounds)
+        final = simulation.history[-1]
+        changeabilities.append(final.changeability)
+        froze.append(simulation.froze_at())
+        table.add_row(
+            arrival_rate=rate,
+            final_changeability=final.changeability,
+            final_durability=final.durability,
+            value_variance=final.value_variance,
+            froze_at=simulation.froze_at(),
+            n_actors=final.n_actors,
+        )
+
+    result = ExperimentResult(
+        experiment_id="E10",
+        title="Churn keeps the actor network changeable",
+        paper_claim=("With no entrants the actor network harmonizes and "
+                     "freezes; continuing arrivals keep it changeable."),
+        tables=[table],
+    )
+
+    result.add_check(
+        "the zero-arrival network freezes",
+        froze[0] is not None,
+        detail=f"froze at round {froze[0]}",
+    )
+    result.add_check(
+        "networks with healthy churn do not freeze within the horizon",
+        all(f is None for f in froze[2:]),
+        detail=f"froze_at per rate {froze}",
+    )
+    result.add_check(
+        "changeability rises with the arrival rate",
+        monotone_increasing([changeabilities[0], changeabilities[2],
+                             changeabilities[4]]),
+        detail=f"changeability {['%.3f' % c for c in changeabilities]}",
+    )
+    result.add_check(
+        "the frozen network is the most durable",
+        table.rows[0]["final_durability"] == max(r["final_durability"]
+                                                 for r in table.rows),
+        detail=(f"durability at rate 0: "
+                f"{table.rows[0]['final_durability']:.3f}"),
+    )
+    return result

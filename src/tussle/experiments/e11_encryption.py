@@ -1,0 +1,181 @@
+"""E11 — Peeking, encryption and the blocking escalation (§VI-A).
+
+Paper claims:
+
+* "Peeking is irresistible. If there is information visible in the
+  packet, there is no way to keep an intermediate node from looking at
+  it" — end-to-end encryption is the ultimate defence;
+* "encrypting the stream might just be the first step in an escalating
+  tussle... the response of the provider is to refuse to carry encrypted
+  data";
+* "In the U.S., competition would probably discipline a provider that
+  tried to block encryption. But a conservative government with a
+  state-run monopoly ISP might [not]";
+* there is "no final outcome" — under weak competition the game has no
+  stable point at all.
+
+Workload: (a) a wiretap observation measurement over plaintext vs
+encrypted traffic; (b) the escalation game swept over competition level,
+solved for pure equilibria and probed with best-response dynamics for
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..gametheory import (
+    best_response_dynamics,
+    encryption_escalation_game,
+    minimax_value,
+)
+from ..netsim import ForwardingEngine, Network, NodeKind, Wiretap, make_packet
+from .common import ExperimentResult, Table
+
+__all__ = ["run_e11"]
+
+COMPETITION_LEVELS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def _wiretap_measurement() -> Table:
+    table = Table(
+        "E11a: what a wiretap sees, by user posture",
+        ["posture", "content_visible_rate", "application_visible_rate"],
+    )
+    for posture in ("plaintext", "encrypted", "tunnelled", "covert"):
+        net = Network()
+        net.add_node("user", kind=NodeKind.HOST)
+        net.add_node("tap", kind=NodeKind.MIDDLEBOX)
+        net.add_node("site", kind=NodeKind.SERVER)
+        net.add_node("vpn-gw", kind=NodeKind.ROUTER)
+        net.add_link("user", "tap")
+        net.add_link("tap", "site")
+        net.add_link("tap", "vpn-gw")
+        engine = ForwardingEngine(net)
+        engine.install_shortest_path_tables()
+        tap = Wiretap("tap-box")
+        engine.attach_middlebox("tap", tap)
+        for i in range(20):
+            packet = make_packet("user", "site", application="p2p")
+            if posture == "encrypted":
+                packet.encrypted = True
+            elif posture == "tunnelled":
+                packet = packet.tunnel_to("vpn-gw", application="https")
+            elif posture == "covert":
+                packet = packet.hide_in("http")
+            engine.send(packet)
+        app_visible = sum(
+            1 for o in tap.observations if o["application"] == "p2p"
+        ) / max(1, len(tap.observations))
+        table.add_row(
+            posture=posture,
+            content_visible_rate=tap.content_visibility_rate(),
+            application_visible_rate=app_visible,
+        )
+    return table
+
+
+def run_e11() -> ExperimentResult:
+    wiretap_table = _wiretap_measurement()
+
+    game_table = Table(
+        "E11b: escalation game equilibria vs competition",
+        ["competition", "pure_equilibria", "transparent_carriage_stable",
+         "br_dynamics_converged", "br_cycle"],
+    )
+    stable_levels: List[bool] = []
+    cycles: List[bool] = []
+    for competition in COMPETITION_LEVELS:
+        game = encryption_escalation_game(competition)
+        pure = game.pure_nash_equilibria()
+        # (plaintext, carry) is profile (0, 0).
+        transparent_stable = (0, 0) in pure
+        dynamics = best_response_dynamics(game, iterations=200)
+        cycle = not dynamics.converged
+        stable_levels.append(transparent_stable)
+        cycles.append(cycle)
+        labels = [
+            f"({game.action_labels[0][r]},{game.action_labels[1][c]})"
+            for r, c in pure
+        ]
+        game_table.add_row(
+            competition=competition,
+            pure_equilibria="; ".join(labels) if labels else "none",
+            transparent_carriage_stable=transparent_stable,
+            br_dynamics_converged=dynamics.converged,
+            br_cycle=cycle,
+        )
+
+    # --- The next rung: steganography raises the user's guaranteed payoff.
+    steg_table = Table(
+        "E11c: user maximin payoff, with and without steganography",
+        ["competition", "maximin_without_steg", "maximin_with_steg"],
+    )
+    steg_gains: List[float] = []
+    for competition in (0.0, 0.5, 1.0):
+        without = minimax_value(
+            np.asarray(encryption_escalation_game(competition).payoffs[0]))
+        with_steg = minimax_value(
+            np.asarray(encryption_escalation_game(
+                competition, steganography=True).payoffs[0]))
+        steg_gains.append(with_steg - without)
+        steg_table.add_row(competition=competition,
+                           maximin_without_steg=without,
+                           maximin_with_steg=with_steg)
+
+    result = ExperimentResult(
+        experiment_id="E11",
+        title="Encryption vs blocking: escalation and competition",
+        paper_claim=("Encryption defeats peeking; under weak competition the "
+                     "user/ISP game escalates endlessly (no stable outcome); "
+                     "sufficient competition makes transparent carriage the "
+                     "stable equilibrium."),
+        tables=[wiretap_table, game_table, steg_table],
+    )
+
+    rows = {row["posture"]: row for row in wiretap_table.rows}
+    result.add_check(
+        "plaintext exposes content and application to the wiretap",
+        rows["plaintext"]["content_visible_rate"] == 1.0
+        and rows["plaintext"]["application_visible_rate"] == 1.0,
+    )
+    result.add_check(
+        "encryption removes content visibility; tunnelling also hides the app",
+        rows["encrypted"]["content_visible_rate"] == 0.0
+        and rows["tunnelled"]["application_visible_rate"] == 0.0,
+        detail=(f"encrypted content {rows['encrypted']['content_visible_rate']:.2f}, "
+                f"tunnelled app {rows['tunnelled']['application_visible_rate']:.2f}"),
+    )
+    result.add_check(
+        "weak competition yields NO stable outcome (perpetual escalation)",
+        not stable_levels[0] and cycles[0],
+        detail=f"competition 0.0: equilibria={game_table.rows[0]['pure_equilibria']}",
+    )
+    result.add_check(
+        "strong competition stabilizes transparent carriage",
+        stable_levels[-1],
+        detail=f"competition 1.0: {game_table.rows[-1]['pure_equilibria']}",
+    )
+    result.add_check(
+        "there is a competition crossover (unstable below, stable above)",
+        (False in stable_levels) and (True in stable_levels)
+        and stable_levels.index(True) > 0,
+        detail=(f"stability by competition "
+                f"{list(zip(COMPETITION_LEVELS, stable_levels))}"),
+    )
+    result.add_check(
+        "steganography (the next escalation rung) raises the user's "
+        "guaranteed payoff against every ISP posture",
+        all(g > 0.5 for g in steg_gains),
+        detail=(f"maximin gains by competition "
+                f"{['%.2f' % g for g in steg_gains]}"),
+    )
+    result.add_check(
+        "a covert (steganographic) flow is invisible to the wiretap",
+        rows["covert"]["content_visible_rate"] == 0.0
+        and rows["covert"]["application_visible_rate"] == 0.0,
+        detail=f"covert observed as {rows['covert']}",
+    )
+    return result

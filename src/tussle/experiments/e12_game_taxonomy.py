@@ -1,0 +1,136 @@
+"""E12 — The game-theoretic taxonomy of tussles (§II-B).
+
+Paper claims:
+
+* tussle games "range from purely conflicting games (so called zero-sum
+  games)... to coordination games where actors have a common goal but
+  fail to coordinate their actions due to incentive problems";
+* the classic theory (von Neumann zero-sum, Nash general-sum) solves
+  them;
+* Vickrey-style mechanism design "guaranteed tussle-free actor networks"
+  for truthful-information problems: truth-telling is dominant under the
+  second-price rule (and not under first-price).
+
+Workload: classify and solve the canonical tussle games of
+:mod:`tussle.gametheory.tussle_games`; verify auction truthfulness; run a
+VCG allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..gametheory import (
+    TussleClass,
+    VCGMechanism,
+    anonymity_game,
+    classify_game,
+    congestion_dilemma,
+    encryption_escalation_game,
+    first_price_auction,
+    is_truthful_dominant,
+    peering_game,
+    solve_zero_sum,
+    support_enumeration,
+    vickrey_auction,
+    wiretap_hide_seek,
+)
+from .common import ExperimentResult, Table
+
+__all__ = ["run_e12"]
+
+
+def run_e12() -> ExperimentResult:
+    taxonomy = Table(
+        "E12a: canonical tussle games classified and solved",
+        ["game", "class", "pure_equilibria", "solution_note"],
+    )
+
+    games = {
+        "wiretap-hide-seek": wiretap_hide_seek(3),
+        "congestion-dilemma": congestion_dilemma(),
+        "peering": peering_game(),
+        "anonymity": anonymity_game(),
+        "encryption-escalation(c=0.8)": encryption_escalation_game(0.8),
+    }
+    classifications: Dict[str, TussleClass] = {}
+    for name, game in games.items():
+        cls = classify_game(game)
+        classifications[name] = cls
+        pure = game.pure_nash_equilibria()
+        if cls is TussleClass.ZERO_SUM:
+            solution = solve_zero_sum(game)
+            note = (f"value={solution.value:.3f}, "
+                    f"uniform mix={solution.row_strategy.round(3).tolist()}")
+        else:
+            equilibria = support_enumeration(game, max_support=2)
+            note = f"{len(equilibria)} equilibria via support enumeration"
+        labels = [
+            f"({game.action_labels[0][r]},{game.action_labels[1][c]})"
+            for r, c in pure
+        ]
+        taxonomy.add_row(game=name, **{"class": cls.value},
+                         pure_equilibria="; ".join(labels) or "none",
+                         solution_note=note)
+
+    # --- Mechanism design: Vickrey removes the information tussle.
+    auctions = Table(
+        "E12b: truthfulness of auction mechanisms",
+        ["mechanism", "truthful_dominant"],
+    )
+    values = {"alice": 8.0, "bob": 5.0, "carol": 3.0}
+    vickrey_truthful = is_truthful_dominant(vickrey_auction, values)
+    first_price_truthful = is_truthful_dominant(first_price_auction, values)
+    auctions.add_row(mechanism="vickrey (second price)",
+                     truthful_dominant=vickrey_truthful)
+    auctions.add_row(mechanism="first price",
+                     truthful_dominant=first_price_truthful)
+
+    # --- VCG allocation demo: welfare-maximizing outcome + pivot payments.
+    vcg = VCGMechanism(outcomes=["build-route-A", "build-route-B"])
+    reports = {
+        "isp1": {"build-route-A": 6.0, "build-route-B": 1.0},
+        "isp2": {"build-route-A": 2.0, "build-route-B": 4.0},
+        "user": {"build-route-A": 3.0, "build-route-B": 2.0},
+    }
+    chosen, payments = vcg.run(reports)
+    vcg_table = Table("E12c: VCG route-choice allocation",
+                      ["chosen_outcome", "agent", "payment"])
+    for agent in sorted(payments):
+        vcg_table.add_row(chosen_outcome=chosen, agent=agent,
+                          payment=payments[agent])
+
+    result = ExperimentResult(
+        experiment_id="E12",
+        title="Tussle taxonomy and mechanism design",
+        paper_claim=("Tussles span zero-sum to coordination games; classic "
+                     "solvers handle them; Vickrey/VCG mechanisms make truth "
+                     "telling dominant, removing the information tussle."),
+        tables=[taxonomy, auctions, vcg_table],
+    )
+
+    result.add_check(
+        "the wiretap game is zero-sum (purely conflicting interests)",
+        classifications["wiretap-hide-seek"] is TussleClass.ZERO_SUM,
+    )
+    result.add_check(
+        "the peering game is a coordination game (common goal, two equilibria)",
+        classifications["peering"] is TussleClass.COORDINATION,
+        detail=f"classified {classifications['peering'].value}",
+    )
+    result.add_check(
+        "the congestion dilemma is mixed-motive with a defect equilibrium",
+        classifications["congestion-dilemma"] is TussleClass.MIXED_MOTIVE
+        and games["congestion-dilemma"].pure_nash_equilibria() == [(1, 1)],
+    )
+    result.add_check(
+        "Vickrey makes truthful bidding dominant; first-price does not",
+        vickrey_truthful and not first_price_truthful,
+    )
+    result.add_check(
+        "VCG picks the welfare-maximizing outcome with pivot payments",
+        chosen == "build-route-A" and payments["isp1"] > 0
+        and abs(payments["user"]) < 1e9,
+        detail=f"chosen {chosen}, payments {payments}",
+    )
+    return result

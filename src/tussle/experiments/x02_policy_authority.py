@@ -1,0 +1,133 @@
+"""X02 — Who sets the firewall's policy? (§V-B ablation).
+
+"Who gets to set the policy in the firewall? The end user may certainly
+have opinions, but a network administrator may as well. Who is 'in
+charge'? There is no single answer, and we better not think we are going
+to design it. All we can design is the space for the tussle."
+
+This ablation runs the same pinhole-request workload against the three
+authority designs the framework supports (END_USER, ADMINISTRATOR,
+NEGOTIATED — the OPES/IAB both-must-concur position) and measures whose
+requests get honoured, plus the visibility question: can the affected
+user download and examine the rules?
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..trust.firewall import ControlChannel, PolicyAuthority, TrustAwareFirewall
+from ..trust.trustgraph import TrustGraph
+from .common import ExperimentResult, Table
+
+__all__ = ["run_x02"]
+
+#: The request workload: (requester, flow) pairs.
+REQUESTS = [
+    ("me", ("game-server", "me")),       # the user wants their game through
+    ("me", ("voip-peer", "me")),         # and their calls
+    ("admin", ("backup-host", "me")),    # the admin wants backups through
+    ("admin", ("monitor", "me")),        # and monitoring
+    ("outsider", ("botnet", "me")),      # a third party tries its luck
+]
+
+
+def _run_authority(authority: PolicyAuthority, rules_visible: bool):
+    trust = TrustGraph()
+    firewall = TrustAwareFirewall(
+        "fw", protected="me", trust_graph=trust,
+        authority=authority, rules_visible=rules_visible)
+    channel = ControlChannel(firewall, administrator="admin")
+    user_granted = admin_granted = outsider_granted = 0
+    for requester, (src, dst) in REQUESTS:
+        request = channel.request_pinhole(requester, src, dst, "app")
+        if request.granted:
+            if requester == "me":
+                user_granted += 1
+            elif requester == "admin":
+                admin_granted += 1
+            else:
+                outsider_granted += 1
+    if authority is PolicyAuthority.NEGOTIATED:
+        # Concurrence round: each side endorses the other's flows.
+        for requester, (src, dst) in REQUESTS:
+            if requester == "me":
+                if channel.request_pinhole("admin", src, dst, "app").granted:
+                    user_granted += 1
+            elif requester == "admin":
+                if channel.request_pinhole("me", src, dst, "app").granted:
+                    admin_granted += 1
+    rules_for_user = firewall.download_rules("me")
+    return {
+        "user_granted": user_granted,
+        "admin_granted": admin_granted,
+        "outsider_granted": outsider_granted,
+        "user_can_see_rules": bool(rules_for_user),
+    }
+
+
+def run_x02() -> ExperimentResult:
+    table = Table(
+        "X02: firewall policy authority vs whose requests are honoured",
+        ["authority", "rules_visible", "user_granted", "admin_granted",
+         "outsider_granted", "user_can_see_rules"],
+    )
+    outcomes: Dict[str, Dict[str, object]] = {}
+    cells = [
+        (PolicyAuthority.END_USER, True),
+        (PolicyAuthority.ADMINISTRATOR, True),
+        (PolicyAuthority.ADMINISTRATOR, False),
+        (PolicyAuthority.NEGOTIATED, True),
+    ]
+    for authority, rules_visible in cells:
+        stats = _run_authority(authority, rules_visible)
+        key = f"{authority.value}/{'visible' if rules_visible else 'hidden'}"
+        outcomes[key] = stats
+        table.add_row(authority=authority.value, rules_visible=rules_visible,
+                      **stats)
+
+    result = ExperimentResult(
+        experiment_id="X02",
+        title="Who sets the firewall policy (design the space, not the answer)",
+        paper_claim=("There is no single answer to who is in charge; each "
+                     "authority design empowers a different party, "
+                     "negotiated control requires concurrence, and hiding "
+                     "the rules from the affected user is a design choice "
+                     "with visibility consequences."),
+        tables=[table],
+    )
+
+    user_cell = outcomes["end-user/visible"]
+    admin_cell = outcomes["administrator/visible"]
+    hidden_cell = outcomes["administrator/hidden"]
+    negotiated_cell = outcomes["negotiated/visible"]
+
+    result.add_check(
+        "end-user authority honours the user and nobody else",
+        user_cell["user_granted"] == 2 and user_cell["admin_granted"] == 0
+        and user_cell["outsider_granted"] == 0,
+        detail=str(user_cell),
+    )
+    result.add_check(
+        "administrator authority flips the empowerment",
+        admin_cell["admin_granted"] == 2 and admin_cell["user_granted"] == 0,
+        detail=str(admin_cell),
+    )
+    result.add_check(
+        "negotiated authority grants only flows both parties endorsed",
+        negotiated_cell["user_granted"] == 2
+        and negotiated_cell["admin_granted"] == 2
+        and negotiated_cell["outsider_granted"] == 0,
+        detail=str(negotiated_cell),
+    )
+    result.add_check(
+        "outsiders are never granted under any design",
+        all(o["outsider_granted"] == 0 for o in outcomes.values()),
+    )
+    result.add_check(
+        "the hidden-rules design denies the affected user visibility",
+        not hidden_cell["user_can_see_rules"]
+        and admin_cell["user_can_see_rules"],
+        detail="visibility of decision-making is itself a design choice",
+    )
+    return result

@@ -1,0 +1,151 @@
+"""X03 — The mail system: design for choice at work (§IV-B, §VI-A).
+
+Three measurements from the paper's mail example:
+
+* **market discipline** — "this sort of choice drives innovation and
+  product enhancement, and imposes discipline on the marketplace":
+  users free to switch abandon unreliable SMTP servers;
+* **the ISP's counter-move** — "an ISP might try to control what SMTP
+  server a customer uses by redirecting packets based on the port
+  number": a redirector overrides the user's choice, measurably;
+* **application design guidelines** — the §VI-A guidelines, applied to a
+  choice-preserving mail design and a locked-down walled-garden design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.guidelines import ApplicationDesign, audit, tussle_readiness_grade
+from ..netsim.forwarding import ForwardingEngine
+from ..netsim.mail import (
+    MailServer,
+    MailSystem,
+    MailUser,
+    build_mail_topology,
+    server_market_discipline,
+)
+from ..netsim.middlebox import Redirector
+from .common import ExperimentResult, Table
+
+__all__ = ["run_x03", "open_mail_design", "walled_garden_design"]
+
+
+def open_mail_design() -> ApplicationDesign:
+    """The classic mail architecture the paper praises."""
+    return ApplicationDesign(
+        name="open-mail",
+        user_selectable_roles={"smtp-server", "pop-server", "news-server"},
+        third_parties={"spam-filter"},
+        third_parties_selectable=True,
+        supports_encryption=True,
+        encryption_user_controlled=True,
+        reports_failures=True,
+        interfaces_open=True,
+        preconfigured_defaults=True,
+    )
+
+
+def walled_garden_design() -> ApplicationDesign:
+    """A vertically-integrated messaging silo."""
+    return ApplicationDesign(
+        name="walled-garden-mail",
+        user_selectable_roles=set(),
+        fixed_roles={"message-server", "directory"},
+        third_parties={"content-scanner"},
+        third_parties_selectable=False,
+        supports_encryption=False,
+        reports_failures=False,
+        interfaces_open=False,
+        preconfigured_defaults=True,
+    )
+
+
+def run_x03(seed: int = 23) -> ExperimentResult:
+    # --- Market discipline: reliable servers win the free-choice market.
+    counts = server_market_discipline(
+        reliabilities=[0.99, 0.80, 0.60], seed=seed)
+    discipline = Table(
+        "X03: server reliability vs final user count (free choice)",
+        ["server", "reliability", "final_users"],
+    )
+    for (name, users), reliability in zip(sorted(counts.items()),
+                                          [0.99, 0.80, 0.60]):
+        discipline.add_row(server=name, reliability=reliability,
+                           final_users=users)
+
+    # --- The ISP redirection counter-move.
+    servers = [MailServer("user-smtp", reliability=0.99),
+               MailServer("isp-smtp", reliability=0.95)]
+    net = build_mail_topology([s.name for s in servers])
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    engine.attach_middlebox("isp-access", Redirector(
+        "isp-capture", port=25, new_destination="isp-smtp"))
+    system = MailSystem(engine, servers, seed=seed)
+    user = MailUser(name="user", smtp_server="user-smtp",
+                    pop_server="user-smtp")
+    for _ in range(50):
+        system.send(user)
+    redirection = Table(
+        "X03b: ISP SMTP capture vs the user's configured choice",
+        ["configured_server", "redirection_rate", "delivery_rate"],
+    )
+    redirection.add_row(configured_server="user-smtp",
+                        redirection_rate=system.redirection_rate(),
+                        delivery_rate=user.delivery_rate())
+
+    # --- Guideline audit of the two designs.
+    audit_table = Table(
+        "X03c: application design guideline audit",
+        ["design", "serious_violations", "advisory_violations", "grade"],
+    )
+    grades: Dict[str, str] = {}
+    for design in (open_mail_design(), walled_garden_design()):
+        findings = audit(design)
+        serious = sum(1 for f in findings if f.serious)
+        grade = tussle_readiness_grade(design)
+        grades[design.name] = grade
+        audit_table.add_row(design=design.name,
+                            serious_violations=serious,
+                            advisory_violations=len(findings) - serious,
+                            grade=grade)
+
+    result = ExperimentResult(
+        experiment_id="X03",
+        title="Mail: choice, the ISP counter-move, and design guidelines",
+        paper_claim=("Server choice disciplines the market; ISPs counter "
+                     "with port-based redirection; application design "
+                     "guidelines distinguish choice-preserving designs "
+                     "from walled gardens."),
+        tables=[discipline, redirection, audit_table],
+    )
+
+    ordered = sorted(counts.items())
+    result.add_check(
+        "the most reliable server ends with the most users",
+        ordered[0][1] == max(counts.values()),
+        detail=f"final counts {counts}",
+    )
+    result.add_check(
+        "the least reliable server is abandoned",
+        ordered[-1][1] == 0,
+        detail=f"final counts {counts}",
+    )
+    result.add_check(
+        "the ISP redirector overrides 100% of the user's SMTP choices",
+        system.redirection_rate() == 1.0,
+        detail=f"redirection rate {system.redirection_rate():.2f}",
+    )
+    result.add_check(
+        "mail still flows — the tussle is over WHO serves it, not whether",
+        user.delivery_rate() > 0.8,
+        detail=f"delivery via the ISP's server {user.delivery_rate():.2f}",
+    )
+    result.add_check(
+        "the guideline audit grades open mail A/B and the walled garden D/F",
+        grades["open-mail"] in ("A", "B")
+        and grades["walled-garden-mail"] in ("D", "F"),
+        detail=str(grades),
+    )
+    return result

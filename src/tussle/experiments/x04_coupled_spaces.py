@@ -1,0 +1,127 @@
+"""X04 — Dynamic tussle isolation: co-located vs separated spaces (§IV-A).
+
+E08 measured the isolation principle *structurally* (which functions sit
+where). This experiment measures it *dynamically*: two tussle spaces run
+side by side — a hot economics fight whose rigid design forces
+workarounds, and a peaceful naming space that just needs its knob — and
+the only thing varied is the modular layout.
+
+Co-located (one module): the economics workarounds degrade the shared
+module and the innocent naming space breaks with zero workarounds of its
+own — "one tussle... spill[s] over and distort[s] unrelated issues."
+
+Separated (a module each): the same fight rages, the same damage accrues
+to the economics module, and the naming space is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.coupling import MultiSpaceSimulator
+from ..core.design import Design
+from ..core.mechanisms import Mechanism
+from ..core.stakeholders import Stakeholder, StakeholderKind
+from ..core.tussle import TussleSpace
+from .common import ExperimentResult, Table
+
+__all__ = ["run_x04"]
+
+
+def _hot_economics_space() -> TussleSpace:
+    """A contested space whose design dictates the outcome (rigid)."""
+    space = TussleSpace("economics", initial_state={"pricing": 0.5})
+    space.add_mechanism(Mechanism(name="pricing-knob", variable="pricing",
+                                  allowed_range=(0.5, 0.5)))
+    users = Stakeholder("users", StakeholderKind.USER, workaround_cost=0.05)
+    users.add_interest("pricing", target=0.0)
+    providers = Stakeholder("providers", StakeholderKind.COMMERCIAL_ISP,
+                            workaround_cost=0.05)
+    providers.add_interest("pricing", target=1.0)
+    space.add_stakeholder(users)
+    space.add_stakeholder(providers)
+    return space
+
+
+def _peaceful_naming_space() -> TussleSpace:
+    """An uncontested space with a working knob."""
+    space = TussleSpace("naming", initial_state={"resolution-policy": 0.2})
+    space.add_mechanism(Mechanism(name="naming-knob",
+                                  variable="resolution-policy"))
+    operators = Stakeholder("operators", StakeholderKind.PRIVATE_NETWORK_PROVIDER)
+    operators.add_interest("resolution-policy", target=0.8)
+    space.add_stakeholder(operators)
+    return space
+
+
+def _layout(separated: bool) -> Tuple[Design, Dict[str, str]]:
+    design = Design("separated" if separated else "co-located")
+    if separated:
+        design.add_module("econ-module")
+        design.add_module("naming-module")
+        placement = {"economics": "econ-module", "naming": "naming-module"}
+    else:
+        design.add_module("monolith")
+        placement = {"economics": "monolith", "naming": "monolith"}
+    return design, placement
+
+
+def run_x04(rounds: int = 30) -> ExperimentResult:
+    table = Table(
+        "X04: modular layout vs collateral damage from a hot tussle",
+        ["layout", "space", "own_workarounds", "final_integrity", "broken"],
+    )
+    outcomes: Dict[Tuple[str, str], object] = {}
+    for separated in (False, True):
+        design, placement = _layout(separated)
+        simulator = MultiSpaceSimulator(
+            design,
+            spaces=[_hot_economics_space(), _peaceful_naming_space()],
+            placement=placement,
+            workaround_damage=0.1,
+        )
+        result = simulator.run(rounds)
+        for record in result.records:
+            outcomes[(design.name, record.space)] = record
+            table.add_row(layout=design.name, space=record.space,
+                          own_workarounds=record.own_workarounds,
+                          final_integrity=record.final_integrity,
+                          broken=record.broken)
+
+    result = ExperimentResult(
+        experiment_id="X04",
+        title="Dynamic tussle isolation (co-located vs separated)",
+        paper_claim=("Modularizing along tussle boundaries lets a hot tussle "
+                     "play out 'with minimal distortion of other aspects of "
+                     "the system's function'; co-location makes bystander "
+                     "functions collateral damage."),
+        tables=[table],
+    )
+
+    colocated_naming = outcomes[("co-located", "naming")]
+    separated_naming = outcomes[("separated", "naming")]
+    colocated_econ = outcomes[("co-located", "economics")]
+    separated_econ = outcomes[("separated", "economics")]
+
+    result.add_check(
+        "the naming space never works around anything in either layout",
+        colocated_naming.own_workarounds == 0
+        and separated_naming.own_workarounds == 0,
+    )
+    result.add_check(
+        "co-located: the innocent naming space is broken collaterally",
+        colocated_naming.broken,
+        detail=(f"naming integrity {colocated_naming.final_integrity:.2f} "
+                f"with 0 own workarounds"),
+    )
+    result.add_check(
+        "separated: the naming space survives at full integrity",
+        not separated_naming.broken
+        and separated_naming.final_integrity == 1.0,
+    )
+    result.add_check(
+        "the economics fight itself is equally destructive in both layouts",
+        colocated_econ.broken and separated_econ.broken,
+        detail="isolation changes who gets hurt, not whether the fight happens",
+    )
+    return result

@@ -1,0 +1,164 @@
+"""X05 — Colliding actor networks: the VoIP story (§II-C).
+
+"When the creation of voice over IP (VoIP) causes the Internet to collide
+with the 'telephone system,' the key issue is not a collision of
+technologies, but a collision between large, heterogeneous actor
+networks."
+
+We build a loose, young Internet actor network and a solidified telephone
+network (tight commitments, harmonized values, far from the Internet's in
+value space), bridge them with VoIP commitments, and let alignment run.
+
+Shapes checked: the collision is turbulent (ties dissolve or actors are
+dragged); the *less solidified* side yields more ground in value space;
+and the merged network is more changeable than the telephone network was
+— new actors reopen a settled world to change.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..actornet.actors import DEFAULT_VALUE_DIMS, Actor, ActorKind
+from ..actornet.collision import collide
+from ..actornet.durability import changeability, durability
+from ..actornet.network import ActorNetwork
+from .common import ExperimentResult, Table
+
+__all__ = ["run_x05", "build_internet_side", "build_telephone_side"]
+
+
+def build_internet_side(seed: int = 0) -> ActorNetwork:
+    """A young, loosely-aligned Internet actor network near the origin."""
+    rng = np.random.default_rng(seed)
+    network = ActorNetwork()
+    protocols = Actor.make("ip-protocols", ActorKind.TECHNOLOGY,
+                           values=np.zeros(DEFAULT_VALUE_DIMS),
+                           expresses_intention_of="ietf")
+    network.add_actor(protocols)
+    network.add_actor(Actor.make("ietf", ActorKind.DESIGNER,
+                                 values=rng.uniform(-0.3, 0.3,
+                                                    DEFAULT_VALUE_DIMS)))
+    network.commit("ietf", "ip-protocols", 0.8)
+    for i in range(4):
+        name = f"netizen{i}"
+        network.add_actor(Actor.make(name, ActorKind.USER,
+                                     values=rng.uniform(-0.8, 0.8,
+                                                        DEFAULT_VALUE_DIMS)))
+        network.commit(name, "ip-protocols", 0.4)
+    network.add_actor(Actor.make("voip-app", ActorKind.APPLICATION,
+                                 values=rng.uniform(-0.4, 0.4,
+                                                    DEFAULT_VALUE_DIMS),
+                                 expresses_intention_of="ietf"))
+    network.commit("voip-app", "ip-protocols", 0.6)
+    return network
+
+
+def build_telephone_side(seed: int = 1) -> ActorNetwork:
+    """A solidified telephone network: tight, harmonized, far away."""
+    rng = np.random.default_rng(seed)
+    center = np.full(DEFAULT_VALUE_DIMS, 1.8)
+    network = ActorNetwork()
+    pstn = Actor.make("pstn-standards", ActorKind.TECHNOLOGY,
+                      values=center.copy(), inertia=0.95,
+                      expresses_intention_of="carrier")
+    network.add_actor(pstn)
+    for name, kind in (("carrier", ActorKind.COMMERCIAL_ISP),
+                       ("regulator", ActorKind.GOVERNMENT)):
+        network.add_actor(Actor.make(
+            name, kind, values=center + rng.uniform(-0.05, 0.05,
+                                                    DEFAULT_VALUE_DIMS),
+            inertia=0.5))
+        network.commit(name, "pstn-standards", 0.95)
+    for i in range(3):
+        name = f"subscriber{i}"
+        network.add_actor(Actor.make(
+            name, kind=ActorKind.USER,
+            values=center + rng.uniform(-0.05, 0.05, DEFAULT_VALUE_DIMS)))
+        network.commit(name, "carrier", 0.9)
+        network.commit(name, "pstn-standards", 0.9)
+    return network
+
+
+def run_x05(settle_rounds: int = 60) -> ExperimentResult:
+    internet = build_internet_side()
+    telephone = build_telephone_side()
+    durability_internet = durability(internet)
+    durability_telephone = durability(telephone)
+    changeability_telephone_before = changeability(telephone)
+
+    bridges = [("voip-app", "carrier"), ("voip-app", "regulator"),
+               ("netizen0", "subscriber0")]
+    # The immediate aftermath: a few alignment rounds after the bridges land.
+    _, early = collide(build_internet_side(), build_telephone_side(),
+                       bridges=bridges, bridge_strength=0.4, settle_rounds=5)
+    merged, collision = collide(
+        internet, telephone,
+        bridges=bridges,
+        bridge_strength=0.4,
+        settle_rounds=settle_rounds,
+    )
+
+    table = Table(
+        "X05: the VoIP collision, measured",
+        ["quantity", "value"],
+    )
+    table.add_row(quantity="internet durability (before)",
+                  value=durability_internet)
+    table.add_row(quantity="telephone durability (before)",
+                  value=durability_telephone)
+    table.add_row(quantity="merged durability (after)",
+                  value=collision.durability_after)
+    table.add_row(quantity="telephone changeability (before)",
+                  value=changeability_telephone_before)
+    table.add_row(quantity="merged changeability (immediate aftermath)",
+                  value=early.changeability_after)
+    table.add_row(quantity="merged changeability (after settling)",
+                  value=collision.changeability_after)
+    table.add_row(quantity="commitments dissolved",
+                  value=collision.dissolved_commitments)
+    table.add_row(quantity="internet-side value drift",
+                  value=collision.drift_side_a)
+    table.add_row(quantity="telephone-side value drift",
+                  value=collision.drift_side_b)
+
+    result = ExperimentResult(
+        experiment_id="X05",
+        title="Collision of heterogeneous actor networks (VoIP)",
+        paper_claim=("New applications arrive embedded in actor networks of "
+                     "their own; the collision is between actor networks, "
+                     "not technologies — it is turbulent, the solidified "
+                     "side yields less, and the merged network is reopened "
+                     "to change."),
+        tables=[table],
+    )
+
+    result.add_check(
+        "the telephone side starts far more solidified",
+        durability_telephone > durability_internet + 0.1,
+        detail=(f"durability {durability_telephone:.2f} vs "
+                f"{durability_internet:.2f}"),
+    )
+    result.add_check(
+        "the collision is turbulent (ties dissolve or actors are dragged)",
+        collision.turbulent or (collision.drift_side_a
+                                + collision.drift_side_b) > 0.5,
+        detail=(f"dissolved {collision.dissolved_commitments}, total drift "
+                f"{collision.drift_side_a + collision.drift_side_b:.2f}"),
+    )
+    result.add_check(
+        "the less solidified (Internet) side yields more ground",
+        collision.drift_side_a > collision.drift_side_b,
+        detail=(f"drift internet {collision.drift_side_a:.2f} vs telephone "
+                f"{collision.drift_side_b:.2f}"),
+    )
+    result.add_check(
+        "the collision immediately reopens the settled telephone world to "
+        "change (before the merged network re-solidifies)",
+        early.changeability_after > changeability_telephone_before,
+        detail=(f"changeability {changeability_telephone_before:.3f} -> "
+                f"{early.changeability_after:.3f} in the aftermath, "
+                f"{collision.changeability_after:.3f} after settling"),
+    )
+    return result

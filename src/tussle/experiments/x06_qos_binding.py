@@ -1,0 +1,147 @@
+"""X06 — QoS bound to ports vs explicit ToS bits (§IV-A).
+
+Paper claim: binding QoS to well-known ports entangles "what application
+is running" with "what service is desired", so the surrounding tussles
+distort the architecture — users avoid encryption to keep ports visible,
+or encapsulate applications inside other applications "simply to receive
+better service". Explicit ToS bits isolate the two questions; ToS
+freeloading then becomes a billing matter (value flow), not a structural
+distortion.
+
+Workload eras:
+
+* **honest era** — VoIP plain with ToS set; web plain without. Both
+  classifiers are perfect.
+* **tussle era** — the surrounding tussles have happened: privacy-minded
+  VoIP users tunnel through a VPN (the §V-B firewall counter-move), and
+  freeloading bulk-transfer users encapsulate inside VoIP framing to grab
+  priority. Port-bound QoS misses the tunnelled VoIP *and* rewards the
+  freeloaders; ToS-bound QoS keeps perfect recall and bills the
+  ToS-setting freeloaders instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..netsim.packets import Packet, make_packet
+from ..netsim.qos import (
+    PRIORITY_TOS,
+    PortQosClassifier,
+    QosScheduler,
+    TosQosClassifier,
+)
+from .common import ExperimentResult, Table
+
+__all__ = ["run_x06"]
+
+
+def _honest_workload(n: int) -> List[Packet]:
+    packets: List[Packet] = []
+    for i in range(n):
+        packets.append(make_packet("caller", "callee", application="voip",
+                                   tos=PRIORITY_TOS))
+        packets.append(make_packet("reader", "site", application="http",
+                                   tos=0))
+    return packets
+
+
+def _tussle_workload(n: int) -> List[Packet]:
+    """The same traffic after the surrounding tussles have played out."""
+    packets: List[Packet] = []
+    for i in range(n):
+        # Privacy-seeking VoIP rides a VPN; ToS bits survive in the outer
+        # header, the port does not.
+        voip = make_packet("caller", "callee", application="voip",
+                           tos=PRIORITY_TOS)
+        packets.append(voip.tunnel_to("vpn-gw", application="vpn"))
+        # Bulk transfer masquerades inside VoIP framing for better service
+        # under the port-bound design ("encapsulation of applications
+        # inside other applications simply to receive better service").
+        bulk = make_packet("leech", "peer", application="p2p", tos=0)
+        packets.append(bulk.tunnel_to("relay", application="voip",
+                                      encrypt=False))
+        # Honest web traffic continues.
+        packets.append(make_packet("reader", "site", application="http",
+                                   tos=0))
+    return packets
+
+
+def _score(classifier_factory, workload: List[Packet]) -> QosScheduler:
+    scheduler = QosScheduler("qos", classifier_factory)
+    for packet in workload:
+        scheduler.process(packet)
+    return scheduler
+
+
+def run_x06(n: int = 40) -> ExperimentResult:
+    table = Table(
+        "X06: QoS binding vs classification quality, by era",
+        ["era", "binding", "recall", "false_priority_rate", "accuracy",
+         "tos_billing_revenue"],
+    )
+    results: Dict[Tuple[str, str], QosScheduler] = {}
+    billing: Dict[Tuple[str, str], float] = {}
+
+    for era, workload_fn in (("honest", _honest_workload),
+                             ("tussle", _tussle_workload)):
+        for binding in ("port", "tos"):
+            if binding == "port":
+                classifier = PortQosClassifier()
+            else:
+                classifier = TosQosClassifier(bill_per_packet=0.01)
+            scheduler = _score(classifier, workload_fn(n))
+            results[(era, binding)] = scheduler
+            billing[(era, binding)] = getattr(classifier, "revenue", 0.0)
+            table.add_row(
+                era=era, binding=binding,
+                recall=scheduler.recall(),
+                false_priority_rate=scheduler.false_priority_rate(),
+                accuracy=scheduler.accuracy(),
+                tos_billing_revenue=billing[(era, binding)],
+            )
+
+    result = ExperimentResult(
+        experiment_id="X06",
+        title="QoS bound to ports vs explicit ToS bits",
+        paper_claim=("Binding QoS to ports lets the surrounding tussles "
+                     "(encryption, encapsulation) destroy the service "
+                     "decision; explicit ToS bits keep it intact, and ToS "
+                     "freeloading becomes billable rather than structural."),
+        tables=[table],
+    )
+
+    honest_port = results[("honest", "port")]
+    honest_tos = results[("honest", "tos")]
+    tussle_port = results[("tussle", "port")]
+    tussle_tos = results[("tussle", "tos")]
+
+    result.add_check(
+        "both bindings are perfect while everyone is honest",
+        honest_port.accuracy() == 1.0 and honest_tos.accuracy() == 1.0,
+    )
+    result.add_check(
+        "under tussle, port binding misses tunnelled VoIP entirely",
+        tussle_port.recall() == 0.0,
+        detail=f"port recall {tussle_port.recall():.2f}",
+    )
+    result.add_check(
+        "under tussle, port binding rewards the encapsulation freeloaders",
+        tussle_port.false_priority_rate() > 0.0,
+        detail=(f"false priority rate "
+                f"{tussle_port.false_priority_rate():.2f}"),
+    )
+    result.add_check(
+        "ToS binding keeps perfect recall and zero freeloading through "
+        "the same tussle",
+        tussle_tos.recall() == 1.0
+        and tussle_tos.false_priority_rate() == 0.0,
+        detail=f"tos accuracy {tussle_tos.accuracy():.2f}",
+    )
+    result.add_check(
+        "prioritized ToS traffic is billed (value flows instead of "
+        "the structure distorting)",
+        billing[("tussle", "tos")] > 0.0,
+        detail=f"revenue {billing[('tussle', 'tos')]:.2f}",
+    )
+    return result

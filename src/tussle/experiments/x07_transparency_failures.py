@@ -1,0 +1,129 @@
+"""X07 — "Failures of transparency will occur — design what happens then"
+(§VI-A).
+
+Paper claims:
+
+* today's user gets "little in the way of helpful information about why"
+  an address is unreachable; fault reporting should reach "the right
+  person in the right language";
+* "one way to help preserve the end-to-end character of the Internet is
+  to require that devices reveal if they impose limitations on it.
+  However, there is no obvious way to enforce this requirement, so it
+  becomes a courtesy" — disclosure is a compliance *fraction*, not a
+  fact;
+* "some devices that impair transparency may intentionally give no error
+  information... that must be taken into account in design of diagnostic
+  tools."
+
+Workload: a path with many interfering middleboxes whose disclosure
+compliance we sweep from 0% to 100%. For each blocked flow we produce
+end-user and operator fault reports and measure how often the user gets
+an *actionable* report (one naming a cause they can route or shop
+around), plus the deployment's measured disclosure rate from the
+transparency ledger.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netsim.faults import Audience, FaultReporter
+from ..netsim.forwarding import ForwardingEngine
+from ..netsim.middlebox import PortFilterFirewall
+from ..netsim.packets import make_packet
+from ..netsim.topology import Network, NodeKind
+from .common import ExperimentResult, Table, monotone_increasing
+
+__all__ = ["run_x07"]
+
+COMPLIANCE_LEVELS = [0.0, 0.25, 0.5, 0.75, 1.0]
+N_PATHS = 20
+
+
+def _engine_with_interferers(disclosing: int, total: int) -> ForwardingEngine:
+    """``total`` parallel two-hop paths, each with one blocking middlebox;
+    the first ``disclosing`` of them announce their interference."""
+    net = Network()
+    net.add_node("user", kind=NodeKind.HOST)
+    engine = ForwardingEngine(net)
+    for index in range(total):
+        mid = f"mid{index}"
+        dst = f"dst{index}"
+        net.add_node(mid, kind=NodeKind.MIDDLEBOX)
+        net.add_node(dst, kind=NodeKind.HOST)
+        net.add_link("user", mid)
+        net.add_link(mid, dst)
+        engine.attach_middlebox(mid, PortFilterFirewall(
+            f"fw{index}",
+            blocked_applications={"generic"},
+            discloses=index < disclosing,
+        ))
+    engine.install_shortest_path_tables()
+    return engine
+
+
+def run_x07() -> ExperimentResult:
+    table = Table(
+        "X07: disclosure compliance vs actionable fault reports",
+        ["compliance", "user_actionable_rate", "operator_actionable_rate",
+         "measured_disclosure_rate"],
+    )
+    reporter = FaultReporter()
+    user_rates: List[float] = []
+    for compliance in COMPLIANCE_LEVELS:
+        disclosing = round(compliance * N_PATHS)
+        engine = _engine_with_interferers(disclosing, N_PATHS)
+        user_actionable = 0
+        operator_actionable = 0
+        for index in range(N_PATHS):
+            receipt = engine.send(make_packet("user", f"dst{index}"))
+            assert not receipt.delivered
+            if reporter.report(receipt, Audience.END_USER).actionable:
+                user_actionable += 1
+            if reporter.report(receipt, Audience.OPERATOR).actionable:
+                operator_actionable += 1
+        user_rate = user_actionable / N_PATHS
+        user_rates.append(user_rate)
+        table.add_row(
+            compliance=compliance,
+            user_actionable_rate=user_rate,
+            operator_actionable_rate=operator_actionable / N_PATHS,
+            measured_disclosure_rate=engine.ledger.disclosure_rate(),
+        )
+
+    result = ExperimentResult(
+        experiment_id="X07",
+        title="Failures of transparency: disclosure as a courtesy",
+        paper_claim=("The end user's ability to act on a failure tracks how "
+                     "many interfering devices deign to disclose; silent "
+                     "devices leave only 'trace stops, cause unknown'; the "
+                     "operator view localizes faults regardless."),
+        tables=[table],
+    )
+
+    result.add_check(
+        "with zero disclosure the user gets no actionable reports at all",
+        user_rates[0] == 0.0,
+        detail=f"actionable rate {user_rates[0]:.2f} at compliance 0",
+    )
+    result.add_check(
+        "full disclosure makes every user report actionable",
+        user_rates[-1] == 1.0,
+    )
+    result.add_check(
+        "user-actionability rises monotonically with compliance "
+        "(disclosure is exactly as good as the courtesy extends)",
+        monotone_increasing(user_rates),
+        detail=f"rates {['%.2f' % r for r in user_rates]}",
+    )
+    result.add_check(
+        "the measured disclosure rate matches the deployed compliance",
+        all(abs(row["measured_disclosure_rate"] - row["compliance"]) < 1e-9
+            for row in table.rows),
+    )
+    result.add_check(
+        "operator reports localize the fault regardless of disclosure "
+        "(the trace still shows where packets vanish)",
+        all(row["operator_actionable_rate"] == 1.0 for row in table.rows),
+    )
+    return result

@@ -1,0 +1,196 @@
+"""Bounded rationality (§II-B, after Binmore).
+
+"Actors in a network are not, in fact, well informed and perfect
+optimizers as classic theory requires. In fact actors are often
+ill-informed (over their own state as well as that of others), myopic and
+act to satisfy some poorly defined objective."
+
+This module provides bounded-rational agents for repeated normal-form
+play: myopic best responders with noisy payoff observation, epsilon-greedy
+satisficers, and imitators — plus a population simulator that reports
+where boundedly-rational tussle actually settles (often not at the Nash
+point).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GameError
+from .games import NormalFormGame
+
+__all__ = [
+    "BoundedAgent",
+    "MyopicBestResponder",
+    "Satisficer",
+    "Imitator",
+    "BoundedPlaySession",
+]
+
+
+class BoundedAgent:
+    """Interface: choose an action given noisy observations of payoffs."""
+
+    name = "bounded"
+
+    def choose(self, rng: random.Random) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def observe(self, action: int, payoff: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MyopicBestResponder(BoundedAgent):
+    """Tracks average observed payoff per action; plays the current max.
+
+    Ill-informed: observations carry seeded Gaussian noise added by the
+    session; myopic: no lookahead, no opponent model.
+    """
+
+    name = "myopic"
+
+    def __init__(self, n_actions: int, exploration: float = 0.05):
+        if n_actions < 1:
+            raise GameError("need at least one action")
+        self.n_actions = n_actions
+        self.exploration = exploration
+        self.totals = [0.0] * n_actions
+        self.counts = [0] * n_actions
+
+    def choose(self, rng: random.Random) -> int:
+        if rng.random() < self.exploration:
+            return rng.randrange(self.n_actions)
+        untried = [a for a in range(self.n_actions) if self.counts[a] == 0]
+        if untried:
+            return untried[0]
+        averages = [self.totals[a] / self.counts[a] for a in range(self.n_actions)]
+        return max(range(self.n_actions), key=lambda a: (averages[a], -a))
+
+    def observe(self, action: int, payoff: float) -> None:
+        self.totals[action] += payoff
+        self.counts[action] += 1
+
+
+class Satisficer(BoundedAgent):
+    """Keeps its current action while payoff meets an aspiration level.
+
+    "Act to satisfy some poorly defined objective": the agent does not
+    optimize — it searches only when dissatisfied, and its aspiration
+    adapts slowly toward realized payoffs.
+    """
+
+    name = "satisficer"
+
+    def __init__(self, n_actions: int, aspiration: float = 0.0,
+                 adaptation: float = 0.1):
+        if n_actions < 1:
+            raise GameError("need at least one action")
+        self.n_actions = n_actions
+        self.aspiration = aspiration
+        self.adaptation = adaptation
+        self.current = 0
+        self._last_payoff: Optional[float] = None
+
+    def choose(self, rng: random.Random) -> int:
+        if self._last_payoff is not None and self._last_payoff < self.aspiration:
+            self.current = rng.randrange(self.n_actions)
+        return self.current
+
+    def observe(self, action: int, payoff: float) -> None:
+        self._last_payoff = payoff
+        self.aspiration += self.adaptation * (payoff - self.aspiration)
+
+
+class Imitator(BoundedAgent):
+    """Copies the best action it has seen anyone play recently.
+
+    The session feeds it peer observations via :meth:`observe_peer`.
+    """
+
+    name = "imitator"
+
+    def __init__(self, n_actions: int):
+        if n_actions < 1:
+            raise GameError("need at least one action")
+        self.n_actions = n_actions
+        self.best_seen_action = 0
+        self.best_seen_payoff = float("-inf")
+
+    def choose(self, rng: random.Random) -> int:
+        return self.best_seen_action
+
+    def observe(self, action: int, payoff: float) -> None:
+        self.observe_peer(action, payoff)
+
+    def observe_peer(self, action: int, payoff: float) -> None:
+        if payoff > self.best_seen_payoff:
+            self.best_seen_payoff = payoff
+            self.best_seen_action = action
+
+
+class BoundedPlaySession:
+    """Repeated 2-player play between bounded agents with noisy feedback.
+
+    Parameters
+    ----------
+    game:
+        The stage game.
+    row_agent, col_agent:
+        Bounded agents choosing row/column actions.
+    noise:
+        Standard deviation of Gaussian observation noise (ill-information).
+    seed:
+        Seeds both choice randomness and observation noise.
+    """
+
+    def __init__(
+        self,
+        game: NormalFormGame,
+        row_agent: BoundedAgent,
+        col_agent: BoundedAgent,
+        noise: float = 0.5,
+        seed: int = 0,
+    ):
+        if game.n_players != 2:
+            raise GameError("bounded play implemented for 2-player games")
+        self.game = game
+        self.row_agent = row_agent
+        self.col_agent = col_agent
+        self.noise = noise
+        self.rng = random.Random(seed)
+        self.np_rng = np.random.default_rng(seed)
+        self.action_history: List[Tuple[int, int]] = []
+
+    def step(self) -> Tuple[int, int]:
+        row = self.row_agent.choose(self.rng)
+        col = self.col_agent.choose(self.rng)
+        payoff_row = self.game.payoff(0, (row, col))
+        payoff_col = self.game.payoff(1, (row, col))
+        if self.noise > 0:
+            payoff_row += float(self.np_rng.normal(0, self.noise))
+            payoff_col += float(self.np_rng.normal(0, self.noise))
+        self.row_agent.observe(row, payoff_row)
+        self.col_agent.observe(col, payoff_col)
+        self.action_history.append((row, col))
+        return row, col
+
+    def run(self, rounds: int) -> List[Tuple[int, int]]:
+        for _ in range(rounds):
+            self.step()
+        return self.action_history
+
+    def empirical_distribution(self, tail: Optional[int] = None
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Empirical action frequencies over (the tail of) the history."""
+        history = self.action_history[-tail:] if tail else self.action_history
+        m, n = self.game.n_actions
+        row_freq = np.zeros(m)
+        col_freq = np.zeros(n)
+        for row, col in history:
+            row_freq[row] += 1
+            col_freq[col] += 1
+        total = max(1, len(history))
+        return row_freq / total, col_freq / total

@@ -1,0 +1,221 @@
+"""Learning dynamics: how tussles evolve over repeated interaction.
+
+"There is no 'final outcome' of these interactions, no stable point"
+(§I) — except when there is: learning dynamics show which tussle games
+settle and which churn. Provides fictitious play, (discrete-time)
+replicator dynamics and best-response dynamics for 2-player games.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GameError
+from .games import NormalFormGame
+from .nash import best_response
+
+__all__ = [
+    "LearningResult",
+    "fictitious_play",
+    "replicator_dynamics",
+    "best_response_dynamics",
+]
+
+
+@dataclass
+class LearningResult:
+    """Outcome of a learning run.
+
+    ``converged`` means the empirical strategies stopped moving within
+    tolerance before the iteration budget ran out; ``trajectory`` records
+    the (row, col) strategy pair each sampling interval.
+    """
+
+    strategies: Tuple[np.ndarray, np.ndarray]
+    converged: bool
+    iterations: int
+    trajectory: List[Tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    def cycle_detected(self) -> bool:
+        """Heuristic: did the trajectory revisit an earlier point?"""
+        if len(self.trajectory) < 4 or self.converged:
+            return False
+        last = self.trajectory[-1]
+        for earlier in self.trajectory[:-2]:
+            if (np.allclose(earlier[0], last[0], atol=1e-3)
+                    and np.allclose(earlier[1], last[1], atol=1e-3)):
+                return True
+        return False
+
+
+def _check_two_player(game: NormalFormGame) -> Tuple[np.ndarray, np.ndarray]:
+    if game.n_players != 2:
+        raise GameError("learning dynamics implemented for 2-player games")
+    return np.asarray(game.payoffs[0], float), np.asarray(game.payoffs[1], float)
+
+
+def fictitious_play(
+    game: NormalFormGame,
+    iterations: int = 2000,
+    tolerance: float = 1e-3,
+    sample_every: int = 50,
+) -> LearningResult:
+    """Classic fictitious play: best-respond to the opponent's empirical mix.
+
+    Converges for zero-sum and many coordination games; cycles in e.g.
+    matching pennies variants (Shapley), which the result reports.
+    """
+    a, b = _check_two_player(game)
+    m, n = a.shape
+    counts_row = np.zeros(m)
+    counts_col = np.zeros(n)
+    counts_row[0] = 1
+    counts_col[0] = 1
+    trajectory: List[Tuple[np.ndarray, np.ndarray]] = []
+    previous: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    converged = False
+    iterations_used = iterations
+
+    for t in range(1, iterations + 1):
+        x = counts_row / counts_row.sum()
+        y = counts_col / counts_col.sum()
+        row_action = best_response(game, 0, y)
+        col_action = best_response(game, 1, x)
+        counts_row[row_action] += 1
+        counts_col[col_action] += 1
+        if t % sample_every == 0:
+            trajectory.append((x.copy(), y.copy()))
+            if previous is not None:
+                if (np.max(np.abs(previous[0] - x)) < tolerance
+                        and np.max(np.abs(previous[1] - y)) < tolerance):
+                    converged = True
+                    iterations_used = t
+                    break
+            previous = (x.copy(), y.copy())
+
+    x = counts_row / counts_row.sum()
+    y = counts_col / counts_col.sum()
+    return LearningResult(
+        strategies=(x, y),
+        converged=converged,
+        iterations=iterations_used,
+        trajectory=trajectory,
+    )
+
+
+def replicator_dynamics(
+    game: NormalFormGame,
+    iterations: int = 2000,
+    step: float = 0.1,
+    tolerance: float = 1e-7,
+    initial: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    sample_every: int = 50,
+) -> LearningResult:
+    """Discrete-time two-population replicator dynamics.
+
+    Models evolutionary tussle: strategies that do better than the
+    population average grow. Used for the bounded-rationality view the
+    paper cites (Binmore's evolutionary game theory).
+    """
+    a, b = _check_two_player(game)
+    m, n = a.shape
+    if initial is not None:
+        x = np.asarray(initial[0], float).copy()
+        y = np.asarray(initial[1], float).copy()
+    else:
+        # Slightly perturbed uniform start to break symmetric stalemates.
+        x = np.full(m, 1.0 / m) + np.linspace(0, 1e-3, m)
+        y = np.full(n, 1.0 / n) + np.linspace(1e-3, 0, n)
+        x /= x.sum()
+        y /= y.sum()
+
+    trajectory: List[Tuple[np.ndarray, np.ndarray]] = []
+    converged = False
+    iterations_used = iterations
+
+    for t in range(1, iterations + 1):
+        fitness_row = a @ y
+        fitness_col = x @ b
+        avg_row = float(x @ fitness_row)
+        avg_col = float(fitness_col @ y)
+        new_x = x * (1.0 + step * (fitness_row - avg_row))
+        new_y = y * (1.0 + step * (fitness_col - avg_col))
+        new_x = np.maximum(new_x, 0.0)
+        new_y = np.maximum(new_y, 0.0)
+        if new_x.sum() <= 0 or new_y.sum() <= 0:
+            break
+        new_x /= new_x.sum()
+        new_y /= new_y.sum()
+        movement = max(np.max(np.abs(new_x - x)), np.max(np.abs(new_y - y)))
+        x, y = new_x, new_y
+        if t % sample_every == 0:
+            trajectory.append((x.copy(), y.copy()))
+        if movement < tolerance:
+            converged = True
+            iterations_used = t
+            break
+
+    return LearningResult(
+        strategies=(x, y),
+        converged=converged,
+        iterations=iterations_used,
+        trajectory=trajectory,
+    )
+
+
+def best_response_dynamics(
+    game: NormalFormGame,
+    iterations: int = 500,
+    initial: Tuple[int, int] = (0, 0),
+) -> LearningResult:
+    """Alternating pure best-response dynamics.
+
+    Converges to a pure Nash equilibrium when one is reachable; otherwise
+    cycles (detected and reported). This is the paper's move/counter-move
+    adaptation pattern in its purest form.
+    """
+    _check_two_player(game)
+    m, n = game.n_actions
+    row, col = initial
+    if not (0 <= row < m and 0 <= col < n):
+        raise GameError(f"initial profile {initial} out of range")
+    trajectory: List[Tuple[np.ndarray, np.ndarray]] = []
+    seen = {(row, col): 0}
+    converged = False
+    iterations_used = iterations
+
+    for t in range(1, iterations + 1):
+        y = np.zeros(n)
+        y[col] = 1.0
+        new_row = best_response(game, 0, y)
+        x = np.zeros(m)
+        x[new_row] = 1.0
+        new_col = best_response(game, 1, x)
+        x_vec = np.zeros(m)
+        x_vec[new_row] = 1.0
+        y_vec = np.zeros(n)
+        y_vec[new_col] = 1.0
+        trajectory.append((x_vec, y_vec))
+        if (new_row, new_col) == (row, col):
+            converged = True
+            iterations_used = t
+            break
+        row, col = new_row, new_col
+        if (row, col) in seen:
+            iterations_used = t
+            break  # cycle
+        seen[(row, col)] = t
+
+    x = np.zeros(m)
+    x[row] = 1.0
+    y = np.zeros(n)
+    y[col] = 1.0
+    return LearningResult(
+        strategies=(x, y),
+        converged=converged,
+        iterations=iterations_used,
+        trajectory=trajectory,
+    )

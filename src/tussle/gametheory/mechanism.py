@@ -1,0 +1,178 @@
+"""Mechanism design: Vickrey auctions and VCG (§II-B).
+
+"William Vickrey, in a seminal work, outlined the beginnings of a theory
+to generatively design and prescribe actor networks that exhibit a
+desirable apriori set of properties... rules of a game that guaranteed
+tussle-free actor networks for a given class of problem revolving around
+revealing truthful information."
+
+Implements the second-price (Vickrey) auction, a general VCG mechanism
+for allocation problems, and truthfulness verification — the machinery
+E12 uses to demonstrate that mechanism design removes the information
+tussle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import GameError
+
+__all__ = [
+    "AuctionResult",
+    "vickrey_auction",
+    "first_price_auction",
+    "VCGMechanism",
+    "is_truthful_dominant",
+]
+
+
+@dataclass
+class AuctionResult:
+    """Winner, price paid, and per-bidder utilities of a sealed-bid auction."""
+
+    winner: Optional[str]
+    price: float
+    bids: Dict[str, float]
+    utilities: Dict[str, float] = field(default_factory=dict)
+
+
+def _run_auction(bids: Mapping[str, float], values: Mapping[str, float],
+                 second_price: bool) -> AuctionResult:
+    if not bids:
+        raise GameError("auction needs at least one bid")
+    for name, bid in bids.items():
+        if bid < 0:
+            raise GameError(f"negative bid {bid} from {name!r}")
+    ordered = sorted(bids.items(), key=lambda kv: (-kv[1], kv[0]))
+    winner, winning_bid = ordered[0]
+    if second_price:
+        price = ordered[1][1] if len(ordered) > 1 else 0.0
+    else:
+        price = winning_bid
+    utilities = {
+        name: (values.get(name, 0.0) - price if name == winner else 0.0)
+        for name in bids
+    }
+    return AuctionResult(winner=winner, price=price, bids=dict(bids),
+                         utilities=utilities)
+
+
+def vickrey_auction(bids: Mapping[str, float],
+                    values: Optional[Mapping[str, float]] = None) -> AuctionResult:
+    """Sealed-bid second-price auction: highest bid wins, pays second price.
+
+    With ``values`` supplied (true valuations), utilities are computed so
+    truthfulness can be checked.
+    """
+    return _run_auction(bids, values or dict(bids), second_price=True)
+
+
+def first_price_auction(bids: Mapping[str, float],
+                        values: Optional[Mapping[str, float]] = None) -> AuctionResult:
+    """Sealed-bid first-price auction — the non-truthful baseline."""
+    return _run_auction(bids, values or dict(bids), second_price=False)
+
+
+def is_truthful_dominant(
+    auction: Callable[[Mapping[str, float], Mapping[str, float]], AuctionResult],
+    values: Mapping[str, float],
+    bid_grid: Optional[Sequence[float]] = None,
+    focal_bidder: Optional[str] = None,
+) -> bool:
+    """Is truthful bidding a (weakly) dominant strategy for a bidder?
+
+    Checks, over a grid of own-bids and rival-bid profiles, that bidding
+    one's true value never does worse than any deviation. Exhaustive over
+    the grid, so it correctly returns True for Vickrey and False for
+    first-price in generic configurations.
+    """
+    names = sorted(values)
+    if not names:
+        raise GameError("need at least one bidder")
+    focal = focal_bidder or names[0]
+    if focal not in values:
+        raise GameError(f"unknown bidder {focal!r}")
+    grid = list(bid_grid) if bid_grid is not None else [
+        0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0
+    ]
+    rivals = [n for n in names if n != focal]
+    true_value = values[focal]
+
+    for rival_profile in itertools.product(grid, repeat=len(rivals)):
+        rival_bids = dict(zip(rivals, rival_profile))
+        truthful_bids = dict(rival_bids)
+        truthful_bids[focal] = true_value
+        truthful_utility = auction(truthful_bids, values).utilities[focal]
+        for deviation in grid:
+            deviant_bids = dict(rival_bids)
+            deviant_bids[focal] = deviation
+            deviant_utility = auction(deviant_bids, values).utilities[focal]
+            if deviant_utility > truthful_utility + 1e-9:
+                return False
+    return True
+
+
+class VCGMechanism:
+    """The Vickrey–Clarke–Groves mechanism for finite allocation problems.
+
+    Parameters
+    ----------
+    outcomes:
+        The finite set of possible outcomes (e.g. which route is built,
+        who gets capacity).
+
+    Agents report a valuation per outcome; the mechanism picks the
+    welfare-maximizing outcome and charges each agent the externality
+    they impose on the others (the Clarke pivot rule). Truthful reporting
+    is a dominant strategy — the "tussle-free" information subgame.
+    """
+
+    def __init__(self, outcomes: Sequence[str]):
+        if not outcomes:
+            raise GameError("VCG needs at least one outcome")
+        self.outcomes = list(outcomes)
+
+    def run(self, reports: Mapping[str, Mapping[str, float]]
+            ) -> Tuple[str, Dict[str, float]]:
+        """Choose the outcome and compute payments.
+
+        ``reports[agent][outcome]`` is the agent's reported value. Returns
+        ``(chosen_outcome, payments)`` where payments are what each agent
+        owes (Clarke pivot).
+        """
+        if not reports:
+            raise GameError("VCG needs at least one agent")
+        agents = sorted(reports)
+        for agent in agents:
+            missing = set(self.outcomes) - set(reports[agent])
+            if missing:
+                raise GameError(f"agent {agent!r} missing values for {sorted(missing)}")
+
+        def welfare(outcome: str, included: Sequence[str]) -> float:
+            return sum(reports[a][outcome] for a in included)
+
+        chosen = max(self.outcomes, key=lambda o: (welfare(o, agents), o))
+        payments: Dict[str, float] = {}
+        for agent in agents:
+            others = [a for a in agents if a != agent]
+            if others:
+                best_without = max(welfare(o, others) for o in self.outcomes)
+                others_at_chosen = welfare(chosen, others)
+            else:
+                best_without = 0.0
+                others_at_chosen = 0.0
+            payments[agent] = best_without - others_at_chosen
+        return chosen, payments
+
+    def utility(
+        self,
+        agent: str,
+        true_values: Mapping[str, float],
+        reports: Mapping[str, Mapping[str, float]],
+    ) -> float:
+        """An agent's realized utility given everyone's reports."""
+        chosen, payments = self.run(reports)
+        return true_values[chosen] - payments[agent]

@@ -1,0 +1,228 @@
+"""Canonical tussle games built from the paper's scenarios.
+
+Each constructor returns a :class:`~tussle.gametheory.games.NormalFormGame`
+whose payoffs encode one of the paper's running examples, so the solvers
+and learning dynamics can be applied to *the paper's own tussles*:
+
+* :func:`congestion_dilemma` — comply-vs-cheat on congestion control
+  (§II-B), a prisoner's dilemma;
+* :func:`encryption_escalation_game` — the §VI-A escalation between a
+  user who may encrypt and an ISP who may peek/exploit or block
+  encrypted traffic, parameterized by how competitive the access market
+  is;
+* :func:`peering_game` — two rival ISPs deciding whether to interconnect
+  (§I: "ISPs must interconnect, but ISPs are sometimes fierce
+  competitors"), a coordination game;
+* :func:`anonymity_game` — §V-B-1: a sender chooses identified vs
+  anonymous, a receiver chooses accept vs refuse-anonymous;
+* :func:`wiretap_hide_seek` — the steganography endgame of §VI-A as a
+  zero-sum hide-and-seek game.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..errors import GameError
+from .games import NormalFormGame
+
+__all__ = [
+    "congestion_dilemma",
+    "encryption_escalation_game",
+    "peering_game",
+    "anonymity_game",
+    "wiretap_hide_seek",
+]
+
+
+def congestion_dilemma(
+    capacity_value: float = 3.0,
+    cheat_gain: float = 2.0,
+    collapse_cost: float = 1.5,
+) -> NormalFormGame:
+    """Comply-vs-cheat on congestion control as a prisoner's dilemma.
+
+    Both comply: fair shares worth ``capacity_value`` each. One cheats: the
+    cheater grabs extra (``capacity_value + cheat_gain``), the complier is
+    squeezed to ``capacity_value - cheat_gain``. Both cheat: congestion
+    collapse leaves each ``capacity_value - collapse_cost``.
+
+    With the defaults this satisfies T > R > P > S, so universal cheating
+    is the unique equilibrium — the technical design "will do nothing to
+    bound or guide the resulting shift" once social pressure fails.
+    """
+    r = capacity_value
+    t = capacity_value + cheat_gain
+    s = capacity_value - cheat_gain
+    p = capacity_value - collapse_cost
+    if not (t > r > p > s):
+        raise GameError("parameters must give a dilemma (T > R > P > S)")
+    a = np.array([[r, s], [t, p]])
+    return NormalFormGame(
+        [a, a.T],
+        action_labels=[["comply", "cheat"], ["comply", "cheat"]],
+        name="congestion-dilemma",
+    )
+
+
+def encryption_escalation_game(
+    competition: float,
+    communication_value: float = 10.0,
+    encryption_cost: float = 1.0,
+    carry_profit: float = 5.0,
+    exploit_profit: float = 4.0,
+    exploit_user_loss: float = 6.0,
+    block_control_value: float = 3.0,
+    churn_if_exploited: float = 8.0,
+    churn_if_blocked: float = 10.0,
+    steganography: bool = False,
+    steganography_cost: float = 2.0,
+) -> NormalFormGame:
+    """The §VI-A encryption/blocking escalation, vs market competition.
+
+    Players: the user (rows: plaintext, encrypt) and the ISP (columns:
+    carry, exploit, block-encrypted). ``competition`` in [0, 1] scales how
+    much revenue the ISP loses when mistreated customers can leave — the
+    paper's "In the U.S., competition would probably discipline a provider
+    that tried to block encryption. But a conservative government with a
+    state-run monopoly ISP might [not]."
+
+    Shape of the equilibria (with defaults):
+
+    * high competition — (plaintext, carry) is a pure equilibrium: the
+      tussle is disciplined away;
+    * low competition — *no* pure equilibrium: user and ISP chase each
+      other around encrypt/exploit/block forever, the paper's "escalating
+      tussle" with "no final outcome".
+
+    With ``steganography=True`` the user gains a third action (§VI-A
+    footnote 17): hide the traffic inside innocuous cover. It costs more
+    than encryption (``steganography_cost``) but is undetectable — the
+    ISP's exploit learns nothing and its block-encrypted policy does not
+    touch it — so it raises the user's *guaranteed* (maximin) payoff, the
+    escalation's next rung.
+    """
+    if not 0.0 <= competition <= 1.0:
+        raise GameError(f"competition must be in [0, 1], got {competition}")
+    c = competition
+    v = communication_value
+    user = np.array([
+        # ISP: carry,            exploit,                     block-encrypted
+        [v,                      v - exploit_user_loss,       v],            # plaintext
+        [v - encryption_cost,    v - encryption_cost,         0.0],          # encrypt
+    ])
+    isp = np.array([
+        [carry_profit,
+         carry_profit + exploit_profit - churn_if_exploited * c,
+         carry_profit],
+        [carry_profit,
+         carry_profit - 0.5,  # inspection cost, nothing learned
+         carry_profit + block_control_value - churn_if_blocked * c],
+    ])
+    user_labels = ["plaintext", "encrypt"]
+    if steganography:
+        # Steganography passes every ISP posture; only its cost varies.
+        steg_value = v - steganography_cost
+        user = np.vstack([user, [steg_value, steg_value, steg_value]])
+        isp = np.vstack([
+            isp,
+            [carry_profit, carry_profit - 0.5, carry_profit],
+        ])
+        user_labels.append("steganography")
+    return NormalFormGame(
+        [user, isp],
+        action_labels=[
+            user_labels,
+            ["carry", "exploit", "block-encrypted"],
+        ],
+        name=f"encryption-escalation(c={competition:.2f})",
+    )
+
+
+def peering_game(
+    interconnection_value: float = 6.0,
+    setup_cost: float = 2.0,
+    asymmetric_benefit: float = 1.0,
+) -> NormalFormGame:
+    """Two competing ISPs deciding whether to peer.
+
+    Both peer: each nets ``interconnection_value - setup_cost`` (their
+    customers can reach everyone). One tries to peer alone: pays setup,
+    gets nothing. Neither peers: zero. A coordination game with two pure
+    equilibria (peer, peer) and (refuse, refuse) — "it is not at all clear
+    what interests are being served... when ISPs negotiate terms of
+    connection" (§I).
+    """
+    gain = interconnection_value - setup_cost
+    if gain <= 0:
+        raise GameError("peering must be jointly profitable for the game to be interesting")
+    a = np.array([
+        [gain + asymmetric_benefit, -setup_cost],
+        [0.0, 0.0],
+    ])
+    b = np.array([
+        [gain - asymmetric_benefit, 0.0],
+        [-setup_cost, 0.0],
+    ])
+    return NormalFormGame(
+        [a, b],
+        action_labels=[["peer", "refuse"], ["peer", "refuse"]],
+        name="peering",
+    )
+
+
+def anonymity_game(
+    interaction_value: float = 5.0,
+    anonymity_value: float = 2.0,
+    abuse_risk: float = 6.0,
+    accountability_value: float = 1.0,
+) -> NormalFormGame:
+    """Sender (identified/anonymous) vs receiver (accept-all/refuse-anonymous).
+
+    "A possible outcome of this tension is that while it will be possible
+    to act anonymously, many people will choose not to communicate with
+    you if you do" (§V-B-1). The receiver accepting anonymous traffic
+    gains the interaction but bears ``abuse_risk``; refusing it forgoes
+    the interaction with anonymous senders only.
+    """
+    sender = np.array([
+        # receiver: accept-all,                          refuse-anonymous
+        [interaction_value,                              interaction_value],   # identified
+        [interaction_value + anonymity_value,            0.0],                 # anonymous
+    ])
+    receiver = np.array([
+        [interaction_value + accountability_value,       interaction_value + accountability_value],
+        [interaction_value - abuse_risk,                 0.0],
+    ])
+    return NormalFormGame(
+        [sender, receiver],
+        action_labels=[
+            ["identified", "anonymous"],
+            ["accept-all", "refuse-anonymous"],
+        ],
+        name="anonymity",
+    )
+
+
+def wiretap_hide_seek(channels: int = 3, detection_payoff: float = 1.0) -> NormalFormGame:
+    """Steganography as zero-sum hide-and-seek (§VI-A footnote).
+
+    The hider picks one of ``channels`` covert channels; the inspector
+    picks one channel to inspect. Inspection of the used channel wins
+    ``detection_payoff`` for the inspector (zero-sum). The optimal mixed
+    strategy for both is uniform with value -1/channels for the hider.
+    """
+    if channels < 2:
+        raise GameError("need at least two channels")
+    hider = np.full((channels, channels), 0.0)
+    for channel in range(channels):
+        hider[channel, channel] = -detection_payoff
+    return NormalFormGame(
+        [hider, -hider],
+        action_labels=[
+            [f"hide-ch{i}" for i in range(channels)],
+            [f"inspect-ch{i}" for i in range(channels)],
+        ],
+        name="wiretap-hide-seek",
+    )

@@ -1,0 +1,209 @@
+"""A name system with the trademark entanglement the paper dissects.
+
+Section IV-A uses the DNS as the canonical *failure* of tussle isolation:
+"The current design is entangled in debate because DNS names are used both
+to name machines and to express trademark... names that express trademarks
+should be used for as little else as possible."
+
+This module models both designs so experiment E08 can compare them:
+
+* :class:`EntangledNameSystem` — one namespace where human-meaningful
+  (trademark-bearing) names directly resolve to machines. Trademark
+  disputes reassign or freeze names, breaking resolution for bystanders.
+* :class:`SeparatedNameSystem` — the paper's counterfactual: a
+  machine-naming layer of semantics-free identifiers, plus a directory
+  layer mapping human names to identifiers. Disputes play out in the
+  directory; machine naming (and anything bound to identifiers) is
+  untouched.
+
+Both expose the same resolve/attach API so the spillover measurement in
+:mod:`tussle.core.spillover` treats them uniformly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import TussleError
+
+__all__ = [
+    "DisputeOutcome",
+    "TrademarkDispute",
+    "NameSystem",
+    "EntangledNameSystem",
+    "SeparatedNameSystem",
+]
+
+
+class DisputeOutcome(Enum):
+    """Resolution of a trademark dispute over a name."""
+
+    TRANSFERRED = "transferred"  # name handed to the trademark holder
+    FROZEN = "frozen"            # name suspended pending litigation
+    DENIED = "denied"            # challenge rejected; holder keeps name
+
+
+@dataclass
+class TrademarkDispute:
+    """A recorded dispute and its outcome."""
+
+    name: str
+    challenger: str
+    original_holder: str
+    outcome: DisputeOutcome
+
+
+class NameSystem:
+    """Abstract name system interface.
+
+    ``register(name, holder, machine)`` binds a human-facing name;
+    ``resolve(name)`` returns the machine (or ``None`` when broken);
+    ``dispute(name, challenger, outcome)`` plays a trademark dispute.
+    """
+
+    def __init__(self) -> None:
+        self.disputes: List[TrademarkDispute] = []
+
+    def register(self, name: str, holder: str, machine: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def resolve(self, name: str) -> Optional[str]:  # pragma: no cover
+        raise NotImplementedError
+
+    def dispute(self, name: str, challenger: str, outcome: DisputeOutcome) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def machine_bindings_broken(self) -> int:  # pragma: no cover
+        """How many machine-level bindings disputes have broken so far."""
+        raise NotImplementedError
+
+
+class EntangledNameSystem(NameSystem):
+    """One namespace for trademark AND machine naming (today's DNS).
+
+    Services bind to human names directly (``mail.acme`` etc. are modelled
+    as dependents registered via :meth:`add_dependent`). A dispute that
+    transfers or freezes a name breaks every dependent binding — tussle
+    spillover in action.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._names: Dict[str, Tuple[str, str]] = {}  # name -> (holder, machine)
+        self._dependents: Dict[str, Set[str]] = {}    # name -> dependent services
+        self._broken: Set[str] = set()
+
+    def register(self, name: str, holder: str, machine: str) -> None:
+        if name in self._names:
+            raise TussleError(f"name {name!r} already registered")
+        self._names[name] = (holder, machine)
+        self._dependents.setdefault(name, set())
+
+    def add_dependent(self, name: str, service: str) -> None:
+        """Register a service that resolves through ``name``."""
+        if name not in self._names:
+            raise TussleError(f"cannot depend on unregistered name {name!r}")
+        self._dependents[name].add(service)
+
+    def resolve(self, name: str) -> Optional[str]:
+        if name in self._broken:
+            return None
+        entry = self._names.get(name)
+        return entry[1] if entry else None
+
+    def dispute(self, name: str, challenger: str, outcome: DisputeOutcome) -> None:
+        if name not in self._names:
+            raise TussleError(f"dispute over unregistered name {name!r}")
+        holder, machine = self._names[name]
+        self.disputes.append(TrademarkDispute(name, challenger, holder, outcome))
+        if outcome is DisputeOutcome.TRANSFERRED:
+            # New holder points the name at their own machine; every old
+            # dependent now resolves to the wrong place (counted broken).
+            self._names[name] = (challenger, f"machine-of-{challenger}")
+            self._broken.add(name)
+        elif outcome is DisputeOutcome.FROZEN:
+            self._broken.add(name)
+        # DENIED leaves everything intact.
+
+    def machine_bindings_broken(self) -> int:
+        return sum(len(self._dependents[n]) + 1 for n in self._broken)
+
+    def collateral_services(self) -> Set[str]:
+        """Services knocked out purely as bystanders to a trademark fight."""
+        hit: Set[str] = set()
+        for name in self._broken:
+            hit |= self._dependents[name]
+        return hit
+
+
+class SeparatedNameSystem(NameSystem):
+    """The paper's counterfactual: machine naming decoupled from trademark.
+
+    Machines get stable, semantics-free identifiers; a *directory* maps
+    human (trademark-bearing) names to identifiers. Dependent services bind
+    to identifiers, so trademark disputes — which only touch the directory —
+    cannot break them.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ids = itertools.count(1)
+        self._machines: Dict[str, str] = {}        # identifier -> machine
+        self._directory: Dict[str, Tuple[str, str]] = {}  # human name -> (holder, identifier)
+        self._dependents: Dict[str, Set[str]] = {}  # identifier -> services
+        self._frozen_names: Set[str] = set()
+
+    def register(self, name: str, holder: str, machine: str) -> None:
+        if name in self._directory:
+            raise TussleError(f"name {name!r} already registered")
+        identifier = f"id-{next(self._ids)}"
+        self._machines[identifier] = machine
+        self._directory[name] = (holder, identifier)
+        self._dependents.setdefault(identifier, set())
+
+    def identifier_of(self, name: str) -> str:
+        try:
+            return self._directory[name][1]
+        except KeyError:
+            raise TussleError(f"unknown name {name!r}") from None
+
+    def add_dependent(self, name: str, service: str) -> None:
+        """Dependents bind to the *identifier*, not the human name."""
+        identifier = self.identifier_of(name)
+        self._dependents[identifier].add(service)
+
+    def resolve(self, name: str) -> Optional[str]:
+        """Resolve a human name via the directory (subject to disputes)."""
+        if name in self._frozen_names:
+            return None
+        entry = self._directory.get(name)
+        if entry is None:
+            return None
+        return self._machines.get(entry[1])
+
+    def resolve_identifier(self, identifier: str) -> Optional[str]:
+        """Resolve an identifier directly — immune to directory disputes."""
+        return self._machines.get(identifier)
+
+    def dispute(self, name: str, challenger: str, outcome: DisputeOutcome) -> None:
+        if name not in self._directory:
+            raise TussleError(f"dispute over unregistered name {name!r}")
+        holder, identifier = self._directory[name]
+        self.disputes.append(TrademarkDispute(name, challenger, holder, outcome))
+        if outcome is DisputeOutcome.TRANSFERRED:
+            new_id = f"id-{next(self._ids)}"
+            self._machines[new_id] = f"machine-of-{challenger}"
+            self._directory[name] = (challenger, new_id)
+            self._dependents.setdefault(new_id, set())
+        elif outcome is DisputeOutcome.FROZEN:
+            self._frozen_names.add(name)
+
+    def machine_bindings_broken(self) -> int:
+        """Disputes never break identifier-level bindings here."""
+        return 0
+
+    def collateral_services(self) -> Set[str]:
+        return set()

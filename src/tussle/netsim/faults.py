@@ -1,0 +1,161 @@
+"""Fault injection and user-facing diagnosis tools.
+
+"Failures of transparency will occur — design what happens then. Today,
+when an IP address is unreachable, there is little in the way of helpful
+information about why... Tools for fault isolation and error reporting
+would help — the hard challenge is not so much to find the fault but to
+report the problem to the right person in the right language" (§VI-A).
+
+This module provides:
+
+* :class:`FaultInjector` — scripted link failures / middlebox insertions
+  against a :class:`~tussle.netsim.forwarding.ForwardingEngine`;
+* :func:`traceroute` — the sophisticated user's probe: walks the path one
+  hop at a time and reports where forwarding stops;
+* :class:`FaultReporter` — translates a delivery receipt into a report
+  aimed at one of the paper's audiences (the user who can choose a
+  different provider, or the operator who can fix the fault).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from .forwarding import DeliveryReceipt, DeliveryStatus, ForwardingEngine
+from .packets import make_packet
+
+__all__ = [
+    "Audience",
+    "FaultReport",
+    "FaultReporter",
+    "FaultInjector",
+    "traceroute",
+]
+
+
+class Audience(Enum):
+    """Who a fault report is written for (the paper's 'right person')."""
+
+    END_USER = "end-user"
+    OPERATOR = "operator"
+
+
+@dataclass
+class FaultReport:
+    """A fault report in the right language for its audience.
+
+    ``actionable`` captures the paper's point that fault reporting is "as
+    much a tool of tussle management as... technical repair": a report is
+    actionable for an end user if it tells them enough to choose a
+    different path or provider, and for an operator if it localizes the
+    fault to something they can fix.
+    """
+
+    audience: Audience
+    summary: str
+    location: Optional[str]
+    actionable: bool
+    receipt: DeliveryReceipt
+
+
+class FaultReporter:
+    """Turns delivery receipts into audience-appropriate reports."""
+
+    def report(self, receipt: DeliveryReceipt, audience: Audience) -> FaultReport:
+        status = receipt.status
+        if receipt.delivered:
+            return FaultReport(audience, "delivered", receipt.delivered_to, False, receipt)
+        location = receipt.interfering_node or (receipt.path[-1] if receipt.path else None)
+        if audience is Audience.END_USER:
+            return self._user_report(receipt, location)
+        return self._operator_report(receipt, location)
+
+    def _user_report(self, receipt: DeliveryReceipt, location: Optional[str]) -> FaultReport:
+        status = receipt.status
+        if status is DeliveryStatus.DROPPED_BY_MIDDLEBOX:
+            if receipt.interfering_node and "blocked by" in receipt.diagnostic:
+                summary = (f"Your traffic is being blocked near {location!r}. "
+                           f"You may choose a different provider or path.")
+                return FaultReport(Audience.END_USER, summary, location, True, receipt)
+            summary = "Your traffic is disappearing inside the network; cause undisclosed."
+            return FaultReport(Audience.END_USER, summary, location, False, receipt)
+        if status in (DeliveryStatus.NO_ROUTE, DeliveryStatus.LINK_DOWN):
+            summary = f"The destination is unreachable (problem near {location!r})."
+            return FaultReport(Audience.END_USER, summary, location, True, receipt)
+        if status is DeliveryStatus.SOURCE_ROUTE_REFUSED:
+            summary = (f"Provider at {location!r} refuses your chosen route; "
+                       f"pick another provider or accept their routing.")
+            return FaultReport(Audience.END_USER, summary, location, True, receipt)
+        summary = f"Delivery failed ({status.value})."
+        return FaultReport(Audience.END_USER, summary, location, False, receipt)
+
+    def _operator_report(self, receipt: DeliveryReceipt, location: Optional[str]) -> FaultReport:
+        status = receipt.status
+        actionable = location is not None and status in (
+            DeliveryStatus.LINK_DOWN,
+            DeliveryStatus.NO_ROUTE,
+            DeliveryStatus.TTL_EXCEEDED,
+            DeliveryStatus.DROPPED_BY_MIDDLEBOX,
+        )
+        summary = (f"{status.value} at {location!r}: {receipt.diagnostic} "
+                   f"(path so far: {' > '.join(receipt.path)})")
+        return FaultReport(Audience.OPERATOR, summary, location, actionable, receipt)
+
+
+def traceroute(engine: ForwardingEngine, src: str, dst: str,
+               application: str = "generic") -> List[Tuple[str, bool]]:
+    """Hop-by-hop probe: which nodes along the path answer?
+
+    Returns a list of ``(node, reached)`` pairs. A silent middlebox shows
+    up as the first unreached hop — the most a "sophisticated user" can
+    learn (§VI-A).
+    """
+    probe = make_packet(src, dst, application=application)
+    receipt = engine.send(probe)
+    result: List[Tuple[str, bool]] = [(hop, True) for hop in receipt.path]
+    if not receipt.delivered and receipt.path:
+        # The hop after the last reached node never answered.
+        result.append(("?", False))
+    return result
+
+
+class FaultInjector:
+    """Scripted failures against a forwarding engine's network.
+
+    Useful both in tests (failure injection) and in the E05/E09 stress
+    experiments. All randomness is seeded.
+    """
+
+    def __init__(self, engine: ForwardingEngine, seed: int = 0):
+        self.engine = engine
+        self.rng = random.Random(seed)
+        self.failed_links: List[Tuple[str, str]] = []
+
+    def fail_random_link(self) -> Optional[Tuple[str, str]]:
+        """Fail one random operational link; returns its endpoints."""
+        candidates = [l for l in self.engine.network.links if l.up]
+        if not candidates:
+            return None
+        link = self.rng.choice(sorted(candidates, key=lambda l: l.key()))
+        self.engine.network.fail_link(link.a, link.b)
+        self.failed_links.append((link.a, link.b))
+        return (link.a, link.b)
+
+    def fail_fraction(self, fraction: float) -> List[Tuple[str, str]]:
+        """Fail a fraction of all links (rounded down)."""
+        links = sorted((l for l in self.engine.network.links if l.up),
+                       key=lambda l: l.key())
+        count = int(len(links) * fraction)
+        chosen = self.rng.sample(links, count) if count else []
+        for link in chosen:
+            self.engine.network.fail_link(link.a, link.b)
+            self.failed_links.append((link.a, link.b))
+        return [(l.a, l.b) for l in chosen]
+
+    def restore_all(self) -> None:
+        for a, b in self.failed_links:
+            self.engine.network.restore_link(a, b)
+        self.failed_links.clear()

@@ -1,0 +1,220 @@
+"""The mail system: the paper's worked example of design for choice.
+
+"The design of the mail system allows the user to select his SMTP server
+and his POP server. A user can pick among servers, perhaps to avoid an
+unreliable one or pick one with desirable features, such as spam filters.
+... This sort of choice drives innovation and product enhancement, and
+imposes discipline on the marketplace. ... An ISP might try to control
+what SMTP server a customer uses by redirecting packets based on the port
+number" (§IV-B).
+
+This module models exactly that arena:
+
+* :class:`MailServer` — an SMTP/POP provider with reliability and an
+  optional spam filter;
+* :class:`MailUser` — configures which servers to use (the design's
+  choice point) and records outcomes;
+* :class:`MailSystem` — delivers mail through a
+  :class:`~tussle.netsim.forwarding.ForwardingEngine`, so ISP-side
+  redirectors (the provider's counter-move) actually intercept traffic;
+* :func:`server_market_discipline` — the "imposes discipline on the
+  marketplace" claim as a measurement: unreliable servers lose users who
+  are free to choose.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import SimulationError
+from .forwarding import ForwardingEngine
+from .packets import make_packet
+from .topology import Network, NodeKind
+
+__all__ = [
+    "MailServer",
+    "MailUser",
+    "MailOutcome",
+    "MailSystem",
+    "server_market_discipline",
+]
+
+
+@dataclass
+class MailServer:
+    """An SMTP (sending) or POP (reading) server.
+
+    Attributes
+    ----------
+    reliability:
+        Probability a handled message is processed correctly.
+    spam_filter:
+        Fraction of spam the server removes (0 = none).
+    """
+
+    name: str
+    reliability: float = 0.99
+    spam_filter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reliability <= 1.0:
+            raise SimulationError(f"reliability must be a probability")
+        if not 0.0 <= self.spam_filter <= 1.0:
+            raise SimulationError(f"spam_filter must be a fraction")
+
+
+@dataclass
+class MailUser:
+    """A user with configured server choices — the §IV-B choice point."""
+
+    name: str
+    smtp_server: str
+    pop_server: str
+    sent: int = 0
+    delivered: int = 0
+    spam_received: int = 0
+    redirected_count: int = 0
+
+    def delivery_rate(self) -> float:
+        return self.delivered / self.sent if self.sent else 0.0
+
+
+@dataclass
+class MailOutcome:
+    """What happened to one message."""
+
+    delivered: bool
+    smtp_used: str          # the server that actually handled the send
+    redirected: bool        # did an ISP redirector override the choice?
+    spam_filtered: bool
+
+
+class MailSystem:
+    """Mail delivery over a topology, with server choice and ISP meddling.
+
+    Parameters
+    ----------
+    engine:
+        Forwarding engine over a topology containing the users' hosts and
+        the mail server nodes. Attach a
+        :class:`~tussle.netsim.middlebox.Redirector` on the user's access
+        path to model the ISP's SMTP capture.
+    servers:
+        Mail servers by name (names must be topology nodes).
+    seed:
+        Seeds server-reliability coin flips.
+    """
+
+    def __init__(self, engine: ForwardingEngine,
+                 servers: Sequence[MailServer], seed: int = 0):
+        self.engine = engine
+        self.servers: Dict[str, MailServer] = {}
+        for server in servers:
+            if not engine.network.has_node(server.name):
+                raise SimulationError(
+                    f"mail server {server.name!r} is not a topology node")
+            self.servers[server.name] = server
+        self.rng = random.Random(seed)
+        self.outcomes: List[MailOutcome] = []
+
+    def send(self, user: MailUser, is_spam: bool = False) -> MailOutcome:
+        """Send one message via the user's chosen SMTP server.
+
+        The message is a packet to the chosen server on port 25; if an
+        on-path redirector rewrites it, the *redirect target* handles the
+        send instead — the user's choice was overridden.
+        """
+        packet = make_packet(user.name, user.smtp_server, application="smtp")
+        receipt = self.engine.send(packet)
+        user.sent += 1
+        if not receipt.delivered:
+            outcome = MailOutcome(delivered=False, smtp_used="",
+                                  redirected=False, spam_filtered=False)
+            self.outcomes.append(outcome)
+            return outcome
+        smtp_used = receipt.delivered_to or user.smtp_server
+        redirected = smtp_used != user.smtp_server
+        if redirected:
+            user.redirected_count += 1
+        server = self.servers.get(smtp_used)
+        if server is None:
+            outcome = MailOutcome(delivered=False, smtp_used=smtp_used,
+                                  redirected=redirected, spam_filtered=False)
+            self.outcomes.append(outcome)
+            return outcome
+        handled = self.rng.random() < server.reliability
+        spam_filtered = is_spam and self.rng.random() < server.spam_filter
+        delivered = handled and not spam_filtered
+        if delivered:
+            user.delivered += 1
+            if is_spam:
+                user.spam_received += 1
+        outcome = MailOutcome(delivered=delivered, smtp_used=smtp_used,
+                              redirected=redirected,
+                              spam_filtered=spam_filtered)
+        self.outcomes.append(outcome)
+        return outcome
+
+    def redirection_rate(self) -> float:
+        """Fraction of sends where the ISP overrode the user's choice."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.redirected) / len(self.outcomes)
+
+
+def build_mail_topology(server_names: Sequence[str]) -> Network:
+    """A user behind an ISP access node, with mail servers beyond it."""
+    net = Network()
+    net.add_node("user", kind=NodeKind.HOST)
+    net.add_node("isp-access", kind=NodeKind.MIDDLEBOX)
+    net.add_node("backbone", kind=NodeKind.ROUTER)
+    net.add_link("user", "isp-access")
+    net.add_link("isp-access", "backbone")
+    for name in server_names:
+        net.add_node(name, kind=NodeKind.SERVER)
+        net.add_link(name, "backbone")
+    return net
+
+
+__all__.append("build_mail_topology")
+
+
+def server_market_discipline(
+    reliabilities: Sequence[float],
+    n_users: int = 60,
+    messages_per_user: int = 20,
+    switch_threshold: float = 0.9,
+    seed: int = 0,
+) -> Dict[str, int]:
+    """Measure "choice imposes discipline on the marketplace".
+
+    Users start uniformly spread over servers of differing reliability,
+    send a batch of mail, and switch to the best-observed server when
+    their own falls below ``switch_threshold`` observed delivery. Returns
+    final user counts per server — reliable servers should win.
+    """
+    servers = [MailServer(name=f"smtp{i}", reliability=r)
+               for i, r in enumerate(reliabilities)]
+    net = build_mail_topology([s.name for s in servers])
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    system = MailSystem(engine, servers, seed=seed)
+
+    users = [
+        MailUser(name="user", smtp_server=servers[i % len(servers)].name,
+                 pop_server=servers[i % len(servers)].name)
+        for i in range(n_users)
+    ]
+    for user in users:
+        for _ in range(messages_per_user):
+            system.send(user)
+        if user.delivery_rate() < switch_threshold:
+            best = max(servers, key=lambda s: s.reliability)
+            user.smtp_server = best.name
+
+    counts: Dict[str, int] = {s.name: 0 for s in servers}
+    for user in users:
+        counts[user.smtp_server] += 1
+    return counts

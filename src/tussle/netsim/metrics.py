@@ -1,0 +1,137 @@
+"""Lightweight metric collection shared by every substrate.
+
+Provides counters, time series, and summary statistics with no external
+dependencies beyond the standard library. Experiments use these to build
+the rows their benchmarks print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "TimeSeries", "Summary", "summarize", "MetricRegistry"]
+
+
+class Counter:
+    """A named monotonically-increasing counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a TimeSeries for signed data")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(f"time went backwards in series {self.name!r}")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def delta(self) -> float:
+        """Last value minus first value (0 when fewer than 2 samples)."""
+        if len(self.values) < 2:
+            return 0.0
+        return self.values[-1] - self.values[0]
+
+
+@dataclass
+class Summary:
+    """Summary statistics of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute :class:`Summary` statistics of a non-empty sample."""
+    data = [float(v) for v in values]
+    if not data:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / n
+    ordered = sorted(data)
+    mid = n // 2
+    median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=median,
+    )
+
+
+class MetricRegistry:
+    """A namespace of counters and series for one simulation run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat mapping of every counter value and series-last value."""
+        result: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            result[name] = float(counter.value)
+        for name, series in self._series.items():
+            last = series.last()
+            if last is not None:
+                result[name] = last
+        return result

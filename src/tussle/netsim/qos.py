@@ -1,0 +1,156 @@
+"""QoS classification: the §IV-A isolation example made executable.
+
+"The use of explicit ToS bits to select QoS, rather than binding this
+decision to another property such as a well-known port number,
+disentangles what application is running from what service is desired...
+This modularity allows tussles about QoS to be played out without
+distortions, such as demands that encryption be avoided simply to leave
+well-known port information visible or the encapsulation of applications
+inside other applications simply to receive better service."
+
+Two classifiers over the same traffic:
+
+* :class:`PortQosClassifier` — the entangled design: priority by
+  well-known port of the *observable* application;
+* :class:`TosQosClassifier` — the paper's design: priority by explicit
+  ToS bits, optionally billing each prioritized packet (the value-flow
+  answer to ToS freeloading).
+
+:class:`QosScheduler` is a pass-through middlebox recording, per packet,
+whether it was prioritized and whether (by ground truth) it deserved to
+be — so experiments can score recall/false-positives under evasive
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from .middlebox import Action, Middlebox, Verdict
+from .packets import Packet
+
+__all__ = [
+    "QosClassifier",
+    "PortQosClassifier",
+    "TosQosClassifier",
+    "QosScheduler",
+    "PRIORITY_TOS",
+]
+
+#: Conventional ToS value requesting priority service.
+PRIORITY_TOS = 8
+
+
+class QosClassifier:
+    """Interface: should this packet receive priority service?"""
+
+    name = "classifier"
+
+    def prioritize(self, packet: Packet) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class PortQosClassifier(QosClassifier):
+    """Priority bound to the observable application (well-known ports).
+
+    The entangled design: what service you get depends on what
+    application the network *thinks* you run.
+    """
+
+    priority_applications: Set[str] = field(
+        default_factory=lambda: {"voip"})
+    name: str = "port-bound"
+
+    def prioritize(self, packet: Packet) -> bool:
+        observed = packet.observable_application()
+        return observed is not None and observed in self.priority_applications
+
+
+@dataclass
+class TosQosClassifier(QosClassifier):
+    """Priority bound to explicit ToS bits (the paper's design).
+
+    ``bill_per_packet`` > 0 charges each prioritized packet — the
+    value-flow mechanism that turns ToS freeloading from a distortion
+    into a settled transaction.
+    """
+
+    threshold: int = PRIORITY_TOS
+    bill_per_packet: float = 0.0
+    name: str = "tos-bound"
+    revenue: float = 0.0
+
+    def prioritize(self, packet: Packet) -> bool:
+        prioritized = packet.observable_tos() >= self.threshold
+        if prioritized and self.bill_per_packet > 0:
+            self.revenue += self.bill_per_packet
+        return prioritized
+
+
+@dataclass
+class _Decision:
+    packet_id: int
+    prioritized: bool
+    deserving: bool
+
+
+class QosScheduler(Middlebox):
+    """Pass-through middlebox scoring a classifier against ground truth.
+
+    ``latency_sensitive_applications`` defines ground truth: packets whose
+    *true* application (not the observable one) is in the set deserve
+    priority.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        classifier: QosClassifier,
+        latency_sensitive_applications: Optional[Set[str]] = None,
+    ):
+        super().__init__(name, discloses=True)
+        self.classifier = classifier
+        self.latency_sensitive = set(
+            latency_sensitive_applications or {"voip"})
+        self._decisions: List[_Decision] = []
+
+    def process(self, packet: Packet) -> Verdict:
+        prioritized = self.classifier.prioritize(packet)
+        self._decisions.append(_Decision(
+            packet_id=packet.packet_id,
+            prioritized=prioritized,
+            deserving=packet.application in self.latency_sensitive,
+        ))
+        return self._record(packet, Verdict(Action.FORWARD, packet=packet))
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    @property
+    def decisions(self) -> int:
+        return len(self._decisions)
+
+    def recall(self) -> float:
+        """Fraction of deserving packets that actually got priority."""
+        deserving = [d for d in self._decisions if d.deserving]
+        if not deserving:
+            return 1.0
+        return sum(1 for d in deserving if d.prioritized) / len(deserving)
+
+    def false_priority_rate(self) -> float:
+        """Fraction of undeserving packets that freeloaded priority."""
+        undeserving = [d for d in self._decisions if not d.deserving]
+        if not undeserving:
+            return 0.0
+        return (sum(1 for d in undeserving if d.prioritized)
+                / len(undeserving))
+
+    def accuracy(self) -> float:
+        """Fraction of all packets classified correctly."""
+        if not self._decisions:
+            return 1.0
+        correct = sum(1 for d in self._decisions
+                      if d.prioritized == d.deserving)
+        return correct / len(self._decisions)

@@ -1,0 +1,39 @@
+"""Policy-language substrate (§II-B): expression, bounds, negotiation."""
+
+from .language import (
+    AndExpr,
+    Attribute,
+    Comparison,
+    Effect,
+    Expr,
+    Literal,
+    Membership,
+    NotExpr,
+    OrExpr,
+    Policy,
+    Rule,
+)
+from .parser import parse_expression, parse_policy, parse_rule
+from .evaluator import Decision, evaluate_expression, evaluate_policy
+from .ontology import (
+    ExpressivenessReport,
+    Ontology,
+    check_policy,
+    expressiveness_report,
+    standard_access_ontology,
+)
+from .negotiation import Negotiation, NegotiationOutcome
+from .enforcement import PolicyEnforcementPoint, packet_to_request
+from .render import render_expression, render_policy, render_rule
+
+__all__ = [
+    "AndExpr", "Attribute", "Comparison", "Effect", "Expr", "Literal",
+    "Membership", "NotExpr", "OrExpr", "Policy", "Rule",
+    "parse_expression", "parse_policy", "parse_rule",
+    "Decision", "evaluate_expression", "evaluate_policy",
+    "ExpressivenessReport", "Ontology", "check_policy",
+    "expressiveness_report", "standard_access_ontology",
+    "Negotiation", "NegotiationOutcome",
+    "PolicyEnforcementPoint", "packet_to_request",
+    "render_expression", "render_policy", "render_rule",
+]

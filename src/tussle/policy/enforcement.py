@@ -1,0 +1,116 @@
+"""Policy enforcement points: the COPS-style in-path decision (§II-B).
+
+The paper groups COPS with P3P/KeyNote as run-time tussle accommodation:
+a policy written in the language actually *controls* network behaviour.
+:class:`PolicyEnforcementPoint` is the bridge — a middlebox that converts
+each packet into a policy request (using the same attribute vocabulary as
+:func:`tussle.policy.ontology.standard_access_ontology`) and forwards or
+drops per the decision.
+
+It also records the *missing attributes* of every decision: when the
+traffic varies on dimensions the policy language cannot see, those show
+up here as the ontology's blind spots at enforcement time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+from ..netsim.middlebox import Action, Middlebox, Verdict
+from ..netsim.packets import Packet
+from .evaluator import evaluate_policy
+from .language import Policy
+from .ontology import Ontology, check_policy
+
+__all__ = ["packet_to_request", "PolicyEnforcementPoint"]
+
+Value = Union[bool, float, str]
+
+
+def packet_to_request(
+    packet: Packet,
+    extra: Optional[Mapping[str, Value]] = None,
+) -> Dict[str, Value]:
+    """Translate a packet into a policy request.
+
+    Only observable facts go in: the wire header, the observable
+    application classification, and the encryption posture. ``extra``
+    merges caller-supplied context (identity accountability, purpose...).
+    """
+    wire = packet.wire_header
+    request: Dict[str, Value] = {
+        "src": wire.src,
+        "dst": wire.dst,
+        "port": float(wire.dst_port),
+        "encrypted": bool(packet.encrypted),
+    }
+    observed = packet.observable_application()
+    if observed is not None:
+        request["application"] = observed
+    if extra:
+        request.update(extra)
+    return request
+
+
+class PolicyEnforcementPoint(Middlebox):
+    """A middlebox that enforces a policy-language policy on traffic.
+
+    Parameters
+    ----------
+    policy:
+        The policy to enforce (PERMIT forwards, DENY drops).
+    ontology:
+        When given, the policy is validated against it at construction —
+        a policy outside the ontology is rejected up front, which is the
+        "bounded tussle" property made operational.
+    context:
+        Extra request attributes merged into every packet's request
+        (e.g. per-deployment purpose labels).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        policy: Policy,
+        ontology: Optional[Ontology] = None,
+        context: Optional[Mapping[str, Value]] = None,
+        discloses: bool = True,
+    ):
+        super().__init__(name, discloses=discloses)
+        if ontology is not None:
+            check_policy(policy, ontology)
+        self.policy = policy
+        self.ontology = ontology
+        self.context = dict(context or {})
+        #: attributes policies wanted but requests never carried
+        self.missing_attribute_counts: Dict[str, int] = {}
+        self.decisions = 0
+        self.permits = 0
+
+    def process(self, packet: Packet) -> Verdict:
+        request = packet_to_request(packet, extra=self.context)
+        decision = evaluate_policy(self.policy, request)
+        self.decisions += 1
+        for attribute in decision.missing_attributes:
+            self.missing_attribute_counts[attribute] = (
+                self.missing_attribute_counts.get(attribute, 0) + 1
+            )
+        if decision.permitted:
+            self.permits += 1
+            return self._record(packet, Verdict(Action.FORWARD, packet=packet))
+        rule = decision.matched_rule.source if decision.matched_rule else "default"
+        return self._record(
+            packet, Verdict(Action.DROP, reason=f"policy denied ({rule})")
+        )
+
+    def permit_rate(self) -> float:
+        return self.permits / self.decisions if self.decisions else 0.0
+
+    def blind_spot_report(self) -> Dict[str, int]:
+        """Attributes the policy referenced but traffic never carried.
+
+        Persistent entries here mean the deployment's policy is written
+        against context the enforcement point cannot observe — the
+        ontology/reality mismatch of §II-B, at run time.
+        """
+        return dict(self.missing_attribute_counts)

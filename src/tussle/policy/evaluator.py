@@ -1,0 +1,161 @@
+"""Evaluation of policies against requests.
+
+A *request* is a flat mapping from dotted attribute names to values
+(bool/float/str), e.g. ``{"identity.accountability": 0.8,
+"application": "http", "encrypted": True}``. Evaluation is strict about
+types (comparing a string with ``<`` against a number raises
+:class:`~tussle.errors.PolicyError`) but tolerant of *missing* attributes:
+a condition referencing an absent attribute simply does not match, and the
+miss is recorded — missing attributes are how unanticipated tussles show
+up (see :mod:`tussle.policy.ontology`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Set, Union
+
+from ..errors import PolicyError
+from .language import (
+    AndExpr,
+    Attribute,
+    Comparison,
+    Effect,
+    Expr,
+    Literal,
+    Membership,
+    NotExpr,
+    OrExpr,
+    Policy,
+    Rule,
+)
+
+__all__ = ["Decision", "evaluate_expression", "evaluate_policy"]
+
+Value = Union[bool, float, str]
+
+
+class _Missing(Exception):
+    """Internal: an attribute referenced by the expression is absent."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+
+@dataclass
+class Decision:
+    """Outcome of evaluating a policy against a request."""
+
+    effect: Effect
+    matched_rule: Optional[Rule]
+    missing_attributes: Set[str] = field(default_factory=set)
+
+    @property
+    def permitted(self) -> bool:
+        return self.effect is Effect.PERMIT
+
+    @property
+    def defaulted(self) -> bool:
+        return self.matched_rule is None
+
+
+def _resolve(expr: Expr, request: Mapping[str, Value]) -> Value:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Attribute):
+        if expr.name not in request:
+            raise _Missing(expr.name)
+        return request[expr.name]
+    raise PolicyError(f"cannot resolve {expr!r} as a term")
+
+
+def _as_bool(value: Value, context: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise PolicyError(f"{context} must be boolean, got {value!r}")
+
+
+def _compare(op: str, left: Value, right: Value) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        raise PolicyError(f"booleans only support ==/!=, got {op!r}")
+    numeric = isinstance(left, (int, float)) and isinstance(right, (int, float))
+    stringy = isinstance(left, str) and isinstance(right, str)
+    if not (numeric or stringy):
+        if op == "==":
+            return False
+        if op == "!=":
+            return True
+        raise PolicyError(
+            f"cannot order {type(left).__name__} against {type(right).__name__}"
+        )
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise PolicyError(f"unknown operator {op!r}")
+
+
+def _evaluate(expr: Expr, request: Mapping[str, Value]) -> bool:
+    if isinstance(expr, Literal):
+        return _as_bool(expr.value, "bare literal condition")
+    if isinstance(expr, Attribute):
+        return _as_bool(_resolve(expr, request), f"attribute {expr.name!r}")
+    if isinstance(expr, Comparison):
+        left = _resolve(expr.left, request)
+        right = _resolve(expr.right, request)
+        return _compare(expr.op, left, right)
+    if isinstance(expr, Membership):
+        item = _resolve(expr.item, request)
+        return item in expr.collection
+    if isinstance(expr, NotExpr):
+        return not _evaluate(expr.operand, request)
+    if isinstance(expr, AndExpr):
+        return all(_evaluate(operand, request) for operand in expr.operands)
+    if isinstance(expr, OrExpr):
+        return any(_evaluate(operand, request) for operand in expr.operands)
+    raise PolicyError(f"unknown expression node {type(expr).__name__}")
+
+
+def evaluate_expression(expr: Expr, request: Mapping[str, Value]) -> bool:
+    """Evaluate a bare condition; missing attributes make it False."""
+    try:
+        return _evaluate(expr, request)
+    except _Missing:
+        return False
+
+
+def evaluate_policy(policy: Policy, request: Mapping[str, Value]) -> Decision:
+    """First-match evaluation of a policy against a request.
+
+    Rules whose conditions reference missing attributes do not match; the
+    missed attribute names are accumulated on the decision so ontology
+    analysis can report what the language could not see.
+    """
+    missing: Set[str] = set()
+    for rule in policy.rules:
+        if rule.condition is None:
+            return Decision(effect=rule.effect, matched_rule=rule,
+                            missing_attributes=missing)
+        try:
+            matched = _evaluate(rule.condition, request)
+        except _Missing as exc:
+            missing.add(exc.name)
+            continue
+        if matched:
+            return Decision(effect=rule.effect, matched_rule=rule,
+                            missing_attributes=missing)
+    return Decision(effect=policy.default, matched_rule=None,
+                    missing_attributes=missing)

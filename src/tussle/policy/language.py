@@ -1,0 +1,177 @@
+"""AST for the tussle policy language.
+
+The paper (§II-B) discusses policy languages (P3P, KeyNote, COPS) as an
+approach that "explicitly recognizes run-time tussle, and attempts to
+accommodate it... Implicitly, by imposing an ontology on what can be
+expressed, they bound the tussle that can be expressed within defined
+limits."
+
+Our language is a small, typed condition language over request
+attributes::
+
+    permit if identity.accountability >= 0.5 and application in {"http", "smtp"}
+    deny if purpose == "marketing" or not encrypted
+
+A :class:`Policy` is an ordered list of rules; the first rule whose
+condition matches decides, with a default effect when none matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..errors import PolicyError
+
+__all__ = [
+    "Effect",
+    "Expr",
+    "Literal",
+    "Attribute",
+    "Comparison",
+    "Membership",
+    "NotExpr",
+    "AndExpr",
+    "OrExpr",
+    "Rule",
+    "Policy",
+]
+
+#: Values the language manipulates.
+Value = Union[bool, float, str]
+
+
+class Effect(Enum):
+    """The decision a rule renders."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+class Expr:
+    """Base class for condition expressions."""
+
+    def attributes(self) -> Set[str]:
+        """Every attribute name the expression references."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant boolean, number or string."""
+
+    value: Value
+
+    def attributes(self) -> Set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class Attribute(Expr):
+    """A dotted attribute reference, e.g. ``identity.accountability``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or any(not part for part in self.name.split(".")):
+            raise PolicyError(f"malformed attribute name {self.name!r}")
+
+    def attributes(self) -> Set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """A binary comparison: ==, !=, <, <=, >, >=."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    _OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise PolicyError(f"unknown comparison operator {self.op!r}")
+
+    def attributes(self) -> Set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+
+@dataclass(frozen=True)
+class Membership(Expr):
+    """``attr in {v1, v2, ...}``."""
+
+    item: Expr
+    collection: FrozenSet[Value]
+
+    def attributes(self) -> Set[str]:
+        return self.item.attributes()
+
+
+@dataclass(frozen=True)
+class NotExpr(Expr):
+    operand: Expr
+
+    def attributes(self) -> Set[str]:
+        return self.operand.attributes()
+
+
+@dataclass(frozen=True)
+class AndExpr(Expr):
+    operands: Tuple[Expr, ...]
+
+    def attributes(self) -> Set[str]:
+        result: Set[str] = set()
+        for operand in self.operands:
+            result |= operand.attributes()
+        return result
+
+
+@dataclass(frozen=True)
+class OrExpr(Expr):
+    operands: Tuple[Expr, ...]
+
+    def attributes(self) -> Set[str]:
+        result: Set[str] = set()
+        for operand in self.operands:
+            result |= operand.attributes()
+        return result
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One policy rule: an effect guarded by an optional condition."""
+
+    effect: Effect
+    condition: Optional[Expr] = None
+    source: str = ""
+
+    def attributes(self) -> Set[str]:
+        return self.condition.attributes() if self.condition else set()
+
+
+@dataclass
+class Policy:
+    """An ordered rule list with a default effect.
+
+    First-match semantics: rules are consulted in order; a rule with no
+    condition always matches.
+    """
+
+    rules: List[Rule] = field(default_factory=list)
+    default: Effect = Effect.DENY
+    name: str = ""
+
+    def attributes(self) -> Set[str]:
+        result: Set[str] = set()
+        for rule in self.rules:
+            result |= rule.attributes()
+        return result
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def __len__(self) -> int:
+        return len(self.rules)

@@ -1,0 +1,118 @@
+"""Two-party policy negotiation.
+
+"In many cases, players' interests are not adverse, but simply different.
+A user wants to send data; a provider wants to be compensated for carrying
+it... In this case, the choice of mechanism must itself be mutual"
+(§IV-D).
+
+:class:`Negotiation` takes each party's :class:`~tussle.policy.language.Policy`
+and a set of *negotiable* request attributes with their candidate values
+(e.g. ``encrypted`` in {True, False}, ``payment`` in {0, 1, 2}), then
+searches the joint space for assignments both policies permit.
+Deterministic exhaustive search — the spaces in question are small, and
+exactness matters more than speed for the experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import PolicyError
+from .evaluator import evaluate_policy
+from .language import Policy
+
+__all__ = ["NegotiationOutcome", "Negotiation"]
+
+Value = Union[bool, float, str]
+
+
+@dataclass
+class NegotiationOutcome:
+    """Result of a negotiation.
+
+    ``agreement`` is the chosen full request assignment when successful;
+    ``acceptable`` lists every assignment both parties would permit.
+    """
+
+    succeeded: bool
+    agreement: Optional[Dict[str, Value]]
+    acceptable: List[Dict[str, Value]] = field(default_factory=list)
+    rounds_searched: int = 0
+
+    @property
+    def choice_count(self) -> int:
+        """How many mutually-acceptable configurations exist.
+
+        The design-for-choice index of this interaction: more acceptable
+        points = more room for the tussle to settle without breaking.
+        """
+        return len(self.acceptable)
+
+
+class Negotiation:
+    """Search for mutually-acceptable interaction terms.
+
+    Parameters
+    ----------
+    policy_a, policy_b:
+        Each party's policy; an interaction needs PERMIT from both.
+    fixed:
+        Request attributes that are not negotiable (who is talking, what
+        application, ...).
+    negotiable:
+        Attribute -> candidate values; the mechanism-choice space.
+    preference:
+        Optional scoring function (higher preferred) used to pick the
+        agreement among acceptable assignments; defaults to the first in
+        deterministic iteration order.
+    """
+
+    def __init__(
+        self,
+        policy_a: Policy,
+        policy_b: Policy,
+        fixed: Optional[Mapping[str, Value]] = None,
+        negotiable: Optional[Mapping[str, Sequence[Value]]] = None,
+    ):
+        self.policy_a = policy_a
+        self.policy_b = policy_b
+        self.fixed: Dict[str, Value] = dict(fixed or {})
+        self.negotiable: Dict[str, List[Value]] = {
+            key: list(values) for key, values in (negotiable or {}).items()
+        }
+        for key, values in self.negotiable.items():
+            if not values:
+                raise PolicyError(f"negotiable attribute {key!r} has no candidates")
+
+    def run(self, preference=None) -> NegotiationOutcome:
+        """Exhaustively search the negotiable space."""
+        keys = sorted(self.negotiable)
+        candidate_lists = [self.negotiable[key] for key in keys]
+        acceptable: List[Dict[str, Value]] = []
+        rounds = 0
+        if not keys:
+            combos: Sequence[Tuple[Value, ...]] = [()]
+        else:
+            combos = list(itertools.product(*candidate_lists))
+        for combo in combos:
+            rounds += 1
+            request: Dict[str, Value] = dict(self.fixed)
+            request.update(zip(keys, combo))
+            if (evaluate_policy(self.policy_a, request).permitted
+                    and evaluate_policy(self.policy_b, request).permitted):
+                acceptable.append(request)
+        if not acceptable:
+            return NegotiationOutcome(succeeded=False, agreement=None,
+                                      acceptable=[], rounds_searched=rounds)
+        if preference is not None:
+            agreement = max(acceptable, key=preference)
+        else:
+            agreement = acceptable[0]
+        return NegotiationOutcome(
+            succeeded=True,
+            agreement=agreement,
+            acceptable=acceptable,
+            rounds_searched=rounds,
+        )

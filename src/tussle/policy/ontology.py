@@ -1,0 +1,145 @@
+"""Bounded ontologies and unanticipated-tussle detection.
+
+"Implicitly, by imposing an ontology on what can be expressed, [policy
+languages] bound the tussle that can be expressed within defined limits.
+This effect can be beneficial, by structuring tussle along natural
+boundaries... It can also be defeating, if it prevents the system from
+capturing and acting on tussles that were not anticipated or seen as
+important by the language designers" (§II-B).
+
+:class:`Ontology` declares which attributes (with types) a policy may
+mention; :func:`check_policy` rejects out-of-ontology policies; and
+:func:`expressiveness_report` quantifies, for a stream of real-world
+requests, how much of what actually varies the ontology can even talk
+about — the "defeating" case made measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Set, Union
+
+from ..errors import OntologyError
+from .language import Policy
+
+__all__ = ["Ontology", "check_policy", "ExpressivenessReport", "expressiveness_report"]
+
+Value = Union[bool, float, str]
+
+_TYPE_NAMES = {"bool": bool, "number": (int, float), "string": str}
+
+
+@dataclass
+class Ontology:
+    """The attribute vocabulary a policy language admits.
+
+    ``attributes`` maps dotted names to type names ("bool", "number",
+    "string").
+    """
+
+    name: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for attribute, type_name in self.attributes.items():
+            if type_name not in _TYPE_NAMES:
+                raise OntologyError(
+                    f"unknown type {type_name!r} for attribute {attribute!r}"
+                )
+
+    def declare(self, attribute: str, type_name: str) -> None:
+        if type_name not in _TYPE_NAMES:
+            raise OntologyError(f"unknown type {type_name!r}")
+        self.attributes[attribute] = type_name
+
+    def admits(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def value_conforms(self, attribute: str, value: Value) -> bool:
+        type_name = self.attributes.get(attribute)
+        if type_name is None:
+            return False
+        expected = _TYPE_NAMES[type_name]
+        if type_name == "number" and isinstance(value, bool):
+            return False
+        return isinstance(value, expected)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+
+#: A reasonable default ontology for access-control tussles.
+def standard_access_ontology() -> Ontology:
+    """The vocabulary an early-2000s policy designer would anticipate."""
+    return Ontology(
+        name="standard-access",
+        attributes={
+            "identity.accountability": "number",
+            "identity.scheme": "string",
+            "application": "string",
+            "encrypted": "bool",
+            "src": "string",
+            "dst": "string",
+            "port": "number",
+            "purpose": "string",
+        },
+    )
+
+
+__all__.append("standard_access_ontology")
+
+
+def check_policy(policy: Policy, ontology: Ontology) -> None:
+    """Raise :class:`OntologyError` if the policy steps outside the ontology."""
+    out_of_bounds = sorted(
+        attribute for attribute in policy.attributes()
+        if not ontology.admits(attribute)
+    )
+    if out_of_bounds:
+        raise OntologyError(
+            f"policy {policy.name or '<unnamed>'!r} references attributes outside "
+            f"ontology {ontology.name!r}: {out_of_bounds}"
+        )
+
+
+@dataclass
+class ExpressivenessReport:
+    """How well an ontology covers what requests actually vary on.
+
+    ``coverage`` is the fraction of distinct request attributes the
+    ontology admits; ``blind_spots`` lists attributes the requests carry
+    but no policy in this language could ever act on — unanticipated
+    tussle dimensions.
+    """
+
+    ontology: str
+    total_attributes: int
+    covered_attributes: int
+    blind_spots: List[str]
+
+    @property
+    def coverage(self) -> float:
+        if self.total_attributes == 0:
+            return 1.0
+        return self.covered_attributes / self.total_attributes
+
+    @property
+    def fully_expressive(self) -> bool:
+        return not self.blind_spots
+
+
+def expressiveness_report(
+    ontology: Ontology,
+    requests: Sequence[Mapping[str, Value]],
+) -> ExpressivenessReport:
+    """Measure ontology coverage over observed requests."""
+    seen: Set[str] = set()
+    for request in requests:
+        seen |= set(request)
+    blind = sorted(attribute for attribute in seen if not ontology.admits(attribute))
+    return ExpressivenessReport(
+        ontology=ontology.name,
+        total_attributes=len(seen),
+        covered_attributes=len(seen) - len(blind),
+        blind_spots=blind,
+    )

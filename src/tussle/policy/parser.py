@@ -1,0 +1,243 @@
+"""Parser for the tussle policy language.
+
+Grammar (one rule per non-empty, non-comment line)::
+
+    rule        := effect [ "if" expr ]
+    effect      := "permit" | "deny"
+    expr        := and_expr ( "or" and_expr )*
+    and_expr    := not_expr ( "and" not_expr )*
+    not_expr    := "not" not_expr | atom
+    atom        := "(" expr ")" | membership | comparison | term
+    membership  := term "in" "{" literal ( "," literal )* "}"
+    comparison  := term op term
+    op          := "==" | "!=" | "<=" | ">=" | "<" | ">"
+    term        := attribute | literal
+    literal     := number | string | "true" | "false"
+                   (numbers accept an optional exponent, e.g. 1.5e-3)
+    attribute   := NAME ( "." NAME )*
+
+Lines starting with ``#`` are comments. A ``default permit`` /
+``default deny`` line sets the policy default.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import PolicyParseError
+from .language import (
+    AndExpr,
+    Attribute,
+    Comparison,
+    Effect,
+    Expr,
+    Literal,
+    Membership,
+    NotExpr,
+    OrExpr,
+    Policy,
+    Rule,
+)
+
+__all__ = ["parse_policy", "parse_rule", "parse_expression"]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<string>"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)
+  | (?P<op>==|!=|<=|>=|<|>)
+  | (?P<punct>[(){},])
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"permit", "deny", "if", "and", "or", "not", "in", "true", "false",
+             "default"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise PolicyParseError(
+                f"unexpected character {text[position]!r} at column {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "space":
+            continue
+        if kind == "name" and value in _KEYWORDS:
+            tokens.append(("keyword", value))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], source: str):
+        self.tokens = tokens
+        self.position = 0
+        self.source = source
+
+    # -------------------------------------------------------------- utils
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise PolicyParseError(f"unexpected end of rule in {self.source!r}")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Tuple[str, str]:
+        token = self.advance()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise PolicyParseError(
+                f"expected {value or kind!r}, got {token[1]!r} in {self.source!r}"
+            )
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token is not None and token == ("keyword", word)
+
+    # ---------------------------------------------------------- grammar
+    def parse_expr(self) -> Expr:
+        operands = [self.parse_and()]
+        while self.at_keyword("or"):
+            self.advance()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return OrExpr(tuple(operands))
+
+    def parse_and(self) -> Expr:
+        operands = [self.parse_not()]
+        while self.at_keyword("and"):
+            self.advance()
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return AndExpr(tuple(operands))
+
+    def parse_not(self) -> Expr:
+        if self.at_keyword("not"):
+            self.advance()
+            return NotExpr(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.peek()
+        if token is None:
+            raise PolicyParseError(f"unexpected end of rule in {self.source!r}")
+        if token == ("punct", "("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("punct", ")")
+            return inner
+        left = self.parse_term()
+        nxt = self.peek()
+        if nxt is not None and nxt[0] == "op":
+            op = self.advance()[1]
+            right = self.parse_term()
+            return Comparison(op=op, left=left, right=right)
+        if nxt is not None and nxt == ("keyword", "in"):
+            self.advance()
+            return self.parse_membership(left)
+        return left
+
+    def parse_membership(self, item: Expr) -> Membership:
+        self.expect("punct", "{")
+        values = [self.parse_literal_value()]
+        while self.peek() == ("punct", ","):
+            self.advance()
+            values.append(self.parse_literal_value())
+        self.expect("punct", "}")
+        return Membership(item=item, collection=frozenset(values))
+
+    def parse_term(self) -> Expr:
+        token = self.advance()
+        kind, value = token
+        if kind == "string":
+            return Literal(value[1:-1])
+        if kind == "number":
+            return Literal(float(value))
+        if kind == "keyword" and value in ("true", "false"):
+            return Literal(value == "true")
+        if kind == "name":
+            return Attribute(value)
+        raise PolicyParseError(f"unexpected token {value!r} in {self.source!r}")
+
+    def parse_literal_value(self):
+        token = self.advance()
+        kind, value = token
+        if kind == "string":
+            return value[1:-1]
+        if kind == "number":
+            return float(value)
+        if kind == "keyword" and value in ("true", "false"):
+            return value == "true"
+        raise PolicyParseError(
+            f"set members must be literals, got {value!r} in {self.source!r}"
+        )
+
+    def done(self) -> bool:
+        return self.position >= len(self.tokens)
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a bare condition expression."""
+    parser = _Parser(_tokenize(text), text)
+    expr = parser.parse_expr()
+    if not parser.done():
+        leftover = parser.peek()
+        raise PolicyParseError(f"trailing tokens starting at {leftover[1]!r} in {text!r}")
+    return expr
+
+
+def parse_rule(line: str) -> Rule:
+    """Parse a single ``permit``/``deny`` rule line."""
+    tokens = _tokenize(line)
+    parser = _Parser(tokens, line)
+    effect_token = parser.advance()
+    if effect_token[0] != "keyword" or effect_token[1] not in ("permit", "deny"):
+        raise PolicyParseError(
+            f"rule must start with 'permit' or 'deny': {line!r}"
+        )
+    effect = Effect.PERMIT if effect_token[1] == "permit" else Effect.DENY
+    condition: Optional[Expr] = None
+    if not parser.done():
+        parser.expect("keyword", "if")
+        condition = parser.parse_expr()
+        if not parser.done():
+            leftover = parser.peek()
+            raise PolicyParseError(
+                f"trailing tokens starting at {leftover[1]!r} in {line!r}"
+            )
+    return Rule(effect=effect, condition=condition, source=line.strip())
+
+
+def parse_policy(text: str, name: str = "") -> Policy:
+    """Parse a multi-line policy document."""
+    policy = Policy(name=name)
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("default"):
+            parts = line.split()
+            if len(parts) != 2 or parts[1] not in ("permit", "deny"):
+                raise PolicyParseError(f"malformed default line {line!r}")
+            policy.default = Effect.PERMIT if parts[1] == "permit" else Effect.DENY
+            continue
+        policy.add_rule(parse_rule(line))
+    return policy

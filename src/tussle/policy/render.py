@@ -1,0 +1,108 @@
+"""Rendering policies back to source text.
+
+The inverse of :mod:`tussle.policy.parser`: any AST built or manipulated
+programmatically (e.g. a negotiated agreement turned into a rule) can be
+rendered to text that parses back to an equal AST — the round-trip
+property the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import PolicyError
+from .language import (
+    AndExpr,
+    Attribute,
+    Comparison,
+    Effect,
+    Expr,
+    Literal,
+    Membership,
+    NotExpr,
+    OrExpr,
+    Policy,
+    Rule,
+)
+
+__all__ = ["render_expression", "render_rule", "render_policy"]
+
+Value = Union[bool, float, str]
+
+
+def _render_value(value: Value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise PolicyError("non-finite numbers are not expressible")
+        return repr(value)
+    if isinstance(value, str):
+        if '"' in value:
+            raise PolicyError("string literals cannot contain double quotes")
+        return f'"{value}"'
+    raise PolicyError(f"unrenderable literal {value!r}")
+
+
+def _precedence(expr: Expr) -> int:
+    """Higher binds tighter: or(1) < and(2) < not(3) < atoms(4)."""
+    if isinstance(expr, OrExpr):
+        return 1
+    if isinstance(expr, AndExpr):
+        return 2
+    if isinstance(expr, NotExpr):
+        return 3
+    return 4
+
+
+def _render(expr: Expr, parent_precedence: int) -> str:
+    own = _precedence(expr)
+    if isinstance(expr, Literal):
+        text = _render_value(expr.value)
+    elif isinstance(expr, Attribute):
+        text = expr.name
+    elif isinstance(expr, Comparison):
+        text = (f"{_render(expr.left, 4)} {expr.op} "
+                f"{_render(expr.right, 4)}")
+    elif isinstance(expr, Membership):
+        members = ", ".join(
+            _render_value(value)
+            for value in sorted(expr.collection, key=lambda v: (str(type(v)), str(v)))
+        )
+        text = f"{_render(expr.item, 4)} in {{{members}}}"
+    elif isinstance(expr, NotExpr):
+        text = f"not {_render(expr.operand, own)}"
+    elif isinstance(expr, AndExpr):
+        text = " and ".join(_render(op, own) for op in expr.operands)
+    elif isinstance(expr, OrExpr):
+        text = " or ".join(_render(op, own) for op in expr.operands)
+    else:
+        raise PolicyError(f"unrenderable node {type(expr).__name__}")
+    if own < parent_precedence:
+        return f"({text})"
+    if own == parent_precedence and own in (1, 2):
+        # An and-inside-and (or or-inside-or) must keep its grouping:
+        # unparenthesized it would re-parse as one flat connective.
+        return f"({text})"
+    return text
+
+
+def render_expression(expr: Expr) -> str:
+    """Render a condition expression to parseable source."""
+    return _render(expr, 0)
+
+
+def render_rule(rule: Rule) -> str:
+    """Render one rule to a source line."""
+    effect = "permit" if rule.effect is Effect.PERMIT else "deny"
+    if rule.condition is None:
+        return effect
+    return f"{effect} if {render_expression(rule.condition)}"
+
+
+def render_policy(policy: Policy) -> str:
+    """Render a full policy document (rules then the default line)."""
+    lines = [render_rule(rule) for rule in policy.rules]
+    default = "permit" if policy.default is Effect.PERMIT else "deny"
+    lines.append(f"default {default}")
+    return "\n".join(lines)

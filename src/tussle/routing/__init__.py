@@ -1,0 +1,44 @@
+"""Routing substrate: link-state, path-vector, source routing, overlays.
+
+The routing package reifies the control-point tussle of §V-A-4: the same
+AS-level topology can be routed under provider control (path-vector with
+Gao–Rexford policy), user control (payment-aware source routing), or the
+user's workaround (overlays) — and the visibility module measures what
+each design exposes.
+"""
+
+from .base import ControlPoint, Route, RoutingProtocol
+from .linkstate import LinkStateDatabase, LinkStateRouting
+from .policies import (
+    GaoRexfordPolicy,
+    NeighborClass,
+    OpenPolicy,
+    RoutingPolicy,
+    classify_neighbor,
+)
+from .pathvector import PathVectorRouting
+from .sourcerouting import (
+    RouteAttempt,
+    SourceRoutingSystem,
+    TransitTerms,
+    valley_free_paths,
+)
+from .overlay import OverlayNetwork, OverlayPath
+from .visibility import (
+    TUSSLE_INTERFACE_PROPERTIES,
+    ChoiceVisibilityReport,
+    linkstate_visibility,
+    pathvector_visibility,
+)
+
+__all__ = [
+    "ControlPoint", "Route", "RoutingProtocol",
+    "LinkStateDatabase", "LinkStateRouting",
+    "GaoRexfordPolicy", "NeighborClass", "OpenPolicy", "RoutingPolicy",
+    "classify_neighbor",
+    "PathVectorRouting",
+    "RouteAttempt", "SourceRoutingSystem", "TransitTerms", "valley_free_paths",
+    "OverlayNetwork", "OverlayPath",
+    "TUSSLE_INTERFACE_PROPERTIES", "ChoiceVisibilityReport",
+    "linkstate_visibility", "pathvector_visibility",
+]

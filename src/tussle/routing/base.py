@@ -1,0 +1,98 @@
+"""Shared routing abstractions.
+
+A routing protocol, for our purposes, is anything that produces
+:class:`Route` objects and (for node-level protocols) forwarding tables.
+The base module also defines :class:`ControlPoint` — *who* gets to make
+the path decision — because the paper's §V-A-4 frames the BGP-vs-user-
+routing history precisely as a fight over that control point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..errors import RoutingError
+
+__all__ = ["ControlPoint", "Route", "RoutingProtocol"]
+
+
+class ControlPoint(Enum):
+    """Who selects the path a packet takes.
+
+    The paper: "An over-generalization of the tussle is that service
+    providers exercise control over routing; end-users control selection
+    of other end-points" (§IV-B footnote), and §V-A-4 recounts the two
+    competing proposals — user control vs provider control — of which
+    provider control (BGP) won.
+    """
+
+    PROVIDER = "provider"
+    USER = "user"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class Route:
+    """A route at AS granularity.
+
+    Attributes
+    ----------
+    destination:
+        The destination AS number.
+    path:
+        AS path, first element is the AS using the route, last is the
+        destination.
+    selected_by:
+        The control point that chose this route.
+    """
+
+    destination: int
+    path: Tuple[int, ...]
+    selected_by: ControlPoint = ControlPoint.PROVIDER
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise RoutingError("route path cannot be empty")
+        if self.path[-1] != self.destination:
+            raise RoutingError(
+                f"path {self.path} does not end at destination {self.destination}"
+            )
+        if len(set(self.path)) != len(self.path):
+            raise RoutingError(f"path {self.path} contains a loop")
+
+    @property
+    def length(self) -> int:
+        """Number of AS hops (path length minus one)."""
+        return len(self.path) - 1
+
+    @property
+    def next_hop(self) -> int:
+        """Next AS after the local one (destination itself for local routes)."""
+        return self.path[1] if len(self.path) > 1 else self.path[0]
+
+    def through(self, asn: int) -> bool:
+        """Does the route transit the given AS (excluding endpoints)?"""
+        return asn in self.path[1:-1]
+
+
+class RoutingProtocol:
+    """Interface implemented by the concrete protocols.
+
+    ``converge()`` runs the protocol to a fixed point; ``routes(asn)``
+    returns the selected route per destination for that AS.
+    """
+
+    control_point: ControlPoint = ControlPoint.PROVIDER
+
+    def converge(self) -> int:  # pragma: no cover - abstract
+        """Run to fixed point; returns the number of iterations used."""
+        raise NotImplementedError
+
+    def routes(self, asn: int) -> Dict[int, Route]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def route(self, src: int, dst: int) -> Optional[Route]:
+        """Convenience: the selected route from src to dst, if any."""
+        return self.routes(src).get(dst)

@@ -1,0 +1,165 @@
+"""Link-state routing (OSPF-like) at node granularity.
+
+The paper contrasts link-state and path-vector protocols on *visibility*
+grounds: "A link-state routing protocol requires that everyone export his
+link costs, while a path vector protocol makes it harder to see what the
+internal choices are" (§IV-C). This implementation therefore exposes the
+full link-state database to every participant — the property
+:mod:`tussle.routing.visibility` measures.
+
+The protocol computes shortest paths by Dijkstra over announced link costs
+and produces forwarding tables for the node-level
+:class:`~tussle.netsim.forwarding.ForwardingEngine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import RoutingError
+from ..netsim.topology import Network
+
+__all__ = ["LinkStateDatabase", "LinkStateRouting"]
+
+
+@dataclass(frozen=True)
+class _Lsa:
+    """A link-state advertisement: one link and its cost."""
+
+    a: str
+    b: str
+    cost: float
+
+
+class LinkStateDatabase:
+    """The flooded database every router sees in full.
+
+    Full visibility is the point: :meth:`visible_to` returns the same set
+    for every participant.
+    """
+
+    def __init__(self) -> None:
+        self._lsas: Dict[Tuple[str, str], _Lsa] = {}
+
+    def announce(self, a: str, b: str, cost: float) -> None:
+        if cost < 0:
+            raise RoutingError(f"negative link cost {cost} for {a}-{b}")
+        key = (a, b) if a <= b else (b, a)
+        self._lsas[key] = _Lsa(key[0], key[1], cost)
+
+    def withdraw(self, a: str, b: str) -> None:
+        key = (a, b) if a <= b else (b, a)
+        self._lsas.pop(key, None)
+
+    def links(self) -> List[Tuple[str, str, float]]:
+        return [(l.a, l.b, l.cost) for l in self._lsas.values()]
+
+    def visible_to(self, node: str) -> List[Tuple[str, str, float]]:
+        """What this node can see — everything, by design."""
+        return self.links()
+
+    def __len__(self) -> int:
+        return len(self._lsas)
+
+
+class LinkStateRouting:
+    """OSPF-like shortest-path routing over a :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        Topology whose operational links are flooded into the database.
+
+    Usage
+    -----
+    >>> from tussle.netsim.topology import line_topology
+    >>> proto = LinkStateRouting(line_topology(3))
+    >>> proto.converge()
+    1
+    >>> proto.forwarding_table("n0")["n2"]
+    'n1'
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.database = LinkStateDatabase()
+        self._tables: Dict[str, Dict[str, str]] = {}
+        self._converged = False
+
+    def converge(self) -> int:
+        """Flood the current topology and recompute all tables.
+
+        Link-state convergence is a single flood + local SPF, so this
+        always "converges" in one iteration.
+        """
+        self.database = LinkStateDatabase()
+        for link in self.network.links:
+            if link.up:
+                self.database.announce(link.a, link.b, link.cost)
+        self._tables = {}
+        for node in self.network.node_names():
+            self._tables[node] = self._spf(node)
+        self._converged = True
+        return 1
+
+    def _spf(self, source: str) -> Dict[str, str]:
+        """Dijkstra from ``source``; returns dst -> next hop."""
+        adjacency: Dict[str, List[Tuple[str, float]]] = {}
+        for a, b, cost in self.database.links():
+            adjacency.setdefault(a, []).append((b, cost))
+            adjacency.setdefault(b, []).append((a, cost))
+        dist: Dict[str, float] = {source: 0.0}
+        first_hop: Dict[str, Optional[str]] = {source: None}
+        heap: List[Tuple[float, str, Optional[str]]] = [(0.0, source, None)]
+        visited: Set[str] = set()
+        while heap:
+            d, node, hop = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            first_hop[node] = hop
+            for neighbor, cost in sorted(adjacency.get(node, [])):
+                nd = d + cost
+                if neighbor not in dist or nd < dist[neighbor]:
+                    dist[neighbor] = nd
+                    next_first = neighbor if hop is None else hop
+                    heapq.heappush(heap, (nd, neighbor, next_first))
+        table: Dict[str, str] = {}
+        for dst, hop in first_hop.items():
+            if dst != source and hop is not None:
+                table[dst] = hop
+        return table
+
+    def forwarding_table(self, node: str) -> Dict[str, str]:
+        if not self._converged:
+            raise RoutingError("call converge() before reading tables")
+        try:
+            return dict(self._tables[node])
+        except KeyError:
+            raise RoutingError(f"unknown node {node!r}") from None
+
+    def all_tables(self) -> Dict[str, Dict[str, str]]:
+        if not self._converged:
+            raise RoutingError("call converge() before reading tables")
+        return {node: dict(table) for node, table in self._tables.items()}
+
+    def path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Reconstruct the full path src -> dst from the tables."""
+        if not self._converged:
+            raise RoutingError("call converge() before reading paths")
+        if src == dst:
+            return [src]
+        path = [src]
+        current = src
+        for _ in range(len(self._tables) + 1):
+            table = self._tables.get(current, {})
+            nxt = table.get(dst)
+            if nxt is None:
+                return None
+            path.append(nxt)
+            if nxt == dst:
+                return path
+            current = nxt
+        raise RoutingError(f"loop detected computing path {src}->{dst}")

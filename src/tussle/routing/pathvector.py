@@ -1,0 +1,164 @@
+"""Path-vector (BGP-like) inter-domain routing with pluggable policy.
+
+The protocol the providers "had the economic incentive to drive the
+engineering and standardization of" (§V-A-4). Each AS selects one best
+route per destination under its :class:`~tussle.routing.policies.RoutingPolicy`
+and exports routes subject to the policy's export rule. Convergence is by
+synchronous Bellman-Ford-style iteration to a fixed point, which is
+guaranteed for Gao–Rexford-compliant policies.
+
+Visibility: an AS sees only the routes its neighbours chose to announce to
+it — the property the paper contrasts with link-state routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import RoutingError
+from ..netsim.topology import Network
+from .base import ControlPoint, Route, RoutingProtocol
+from .policies import GaoRexfordPolicy, RoutingPolicy
+
+__all__ = ["PathVectorRouting"]
+
+
+class PathVectorRouting(RoutingProtocol):
+    """BGP-like routing at AS granularity.
+
+    Parameters
+    ----------
+    network:
+        Topology carrying the AS-level business graph.
+    policy:
+        Route preference / export policy, defaulting to Gao–Rexford.
+    max_iterations:
+        Safety bound on convergence loops.
+    """
+
+    control_point = ControlPoint.PROVIDER
+
+    def __init__(
+        self,
+        network: Network,
+        policy: Optional[RoutingPolicy] = None,
+        max_iterations: int = 1000,
+    ):
+        self.network = network
+        self.policy = policy or GaoRexfordPolicy()
+        self.max_iterations = max_iterations
+        # asn -> destination -> selected Route
+        self._rib: Dict[int, Dict[int, Route]] = {}
+        # what each AS has announced to each neighbour (for visibility study)
+        self.announcements: Dict[Tuple[int, int], Dict[int, Route]] = {}
+        self._converged = False
+        self.iterations_used = 0
+
+    # ------------------------------------------------------------------
+    # Convergence
+    # ------------------------------------------------------------------
+    def converge(self) -> int:
+        """Iterate announce/select to a fixed point.
+
+        Returns the number of iterations needed. Raises
+        :class:`RoutingError` if the bound is exceeded (policy dispute
+        wheel — cannot happen under Gao–Rexford).
+        """
+        asns = [a.asn for a in self.network.ases]
+        self._rib = {asn: {asn: Route(destination=asn, path=(asn,))} for asn in asns}
+        self.announcements = {}
+
+        for iteration in range(1, self.max_iterations + 1):
+            changed = False
+            # Build this round's announcements from the current RIBs.
+            round_announcements: Dict[Tuple[int, int], Dict[int, Route]] = {}
+            for asn in asns:
+                for neighbor in sorted(self.network.as_neighbors(asn)):
+                    exported: Dict[int, Route] = {}
+                    for dest, route in self._rib[asn].items():
+                        if neighbor in route.path:
+                            continue  # loop prevention
+                        if self.policy.may_export(self.network, asn, route, neighbor):
+                            exported[dest] = route
+                    round_announcements[(asn, neighbor)] = exported
+            # Each AS selects its best route per destination from its own
+            # prefix plus all received announcements.
+            for asn in asns:
+                new_rib: Dict[int, Route] = {asn: Route(destination=asn, path=(asn,))}
+                for neighbor in sorted(self.network.as_neighbors(asn)):
+                    received = round_announcements.get((neighbor, asn), {})
+                    for dest, route in received.items():
+                        if asn in route.path:
+                            continue
+                        candidate = Route(
+                            destination=dest,
+                            path=(asn,) + route.path,
+                            selected_by=ControlPoint.PROVIDER,
+                        )
+                        incumbent = new_rib.get(dest)
+                        if incumbent is None:
+                            new_rib[dest] = candidate
+                        else:
+                            new_rib[dest] = self.policy.prefer(
+                                self.network, asn, incumbent, candidate
+                            )
+                if new_rib != self._rib[asn]:
+                    changed = True
+                self._rib[asn] = new_rib
+            self.announcements = round_announcements
+            if not changed:
+                self._converged = True
+                self.iterations_used = iteration
+                return iteration
+        raise RoutingError(
+            f"path-vector routing failed to converge in {self.max_iterations} iterations"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def routes(self, asn: int) -> Dict[int, Route]:
+        self._check_converged()
+        try:
+            return dict(self._rib[asn])
+        except KeyError:
+            raise RoutingError(f"unknown AS {asn}") from None
+
+    def reachable(self, src: int, dst: int) -> bool:
+        return dst in self.routes(src)
+
+    def as_path(self, src: int, dst: int) -> Optional[Tuple[int, ...]]:
+        route = self.routes(src).get(dst)
+        return route.path if route else None
+
+    def announced_routes(self, frm: int, to: int) -> Dict[int, Route]:
+        """What ``frm`` announced to ``to`` in the final round."""
+        self._check_converged()
+        return dict(self.announcements.get((frm, to), {}))
+
+    def transit_load(self, asn: int) -> int:
+        """Number of (src, dst) selected routes transiting ``asn``."""
+        self._check_converged()
+        count = 0
+        for src, rib in self._rib.items():
+            if src == asn:
+                continue
+            for route in rib.values():
+                if route.through(asn):
+                    count += 1
+        return count
+
+    def reachability_matrix(self) -> Dict[Tuple[int, int], bool]:
+        """(src, dst) -> reachable, over all AS pairs."""
+        self._check_converged()
+        asns = [a.asn for a in self.network.ases]
+        return {
+            (s, d): d in self._rib[s]
+            for s in asns
+            for d in asns
+            if s != d
+        }
+
+    def _check_converged(self) -> None:
+        if not self._converged:
+            raise RoutingError("call converge() first")

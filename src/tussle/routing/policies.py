@@ -1,0 +1,109 @@
+"""Inter-domain routing policies (Gao–Rexford and variants).
+
+BGP "has a different character than a protocol such as OSPF... The routing
+arrangements among ISPs are generally not public" (§IV-C). Policy is where
+the provider's business interests enter the protocol: which routes to
+prefer (local preference) and which to tell the neighbours about (export
+rules).
+
+:class:`GaoRexfordPolicy` implements the canonical economically-stable
+policy: prefer customer routes over peer routes over provider routes, and
+only export customer routes to peers/providers. :class:`OpenPolicy` is the
+tussle-free counterfactual (announce everything, prefer shortest), used as
+a baseline in E04.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Tuple
+
+from ..netsim.topology import Network
+from .base import Route
+
+__all__ = ["NeighborClass", "RoutingPolicy", "GaoRexfordPolicy", "OpenPolicy"]
+
+
+class NeighborClass(IntEnum):
+    """How a neighbour relates to us, ordered by route preference.
+
+    Lower value = more preferred: customers pay us, so routes through them
+    earn money; providers cost us, so routes through them cost money.
+    """
+
+    CUSTOMER = 0
+    PEER = 1
+    PROVIDER = 2
+    UNKNOWN = 3
+
+
+def classify_neighbor(network: Network, me: int, neighbor: int) -> NeighborClass:
+    """Classify ``neighbor`` from ``me``'s business point of view."""
+    if network.is_provider_of(me, neighbor):
+        return NeighborClass.CUSTOMER
+    if network.is_provider_of(neighbor, me):
+        return NeighborClass.PROVIDER
+    if neighbor in network.peers_of(me):
+        return NeighborClass.PEER
+    return NeighborClass.UNKNOWN
+
+
+class RoutingPolicy:
+    """Interface: preference ranking and export control for one AS."""
+
+    def prefer(self, network: Network, me: int, a: Route, b: Route) -> Route:
+        """Return the preferred of two candidate routes to the same dest."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def may_export(self, network: Network, me: int, route: Route, to_neighbor: int) -> bool:
+        """May ``me`` announce ``route`` to ``to_neighbor``?"""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+@dataclass
+class GaoRexfordPolicy(RoutingPolicy):
+    """The canonical provider-interest policy.
+
+    Preference: customer > peer > provider (local-pref), then shorter AS
+    path, then lower next-hop ASN (deterministic tiebreak).
+
+    Export ("valley-free" rule): routes learned from a customer may be
+    announced to everyone; routes learned from a peer or provider may be
+    announced only to customers. An AS never carries traffic between two
+    of its providers/peers for free.
+    """
+
+    def _rank(self, network: Network, me: int, route: Route) -> Tuple[int, int, int]:
+        if route.length == 0:
+            neighbor_class = NeighborClass.CUSTOMER  # own prefix, best
+        else:
+            neighbor_class = classify_neighbor(network, me, route.next_hop)
+        return (int(neighbor_class), route.length, route.next_hop)
+
+    def prefer(self, network: Network, me: int, a: Route, b: Route) -> Route:
+        return min((a, b), key=lambda r: self._rank(network, me, r))
+
+    def may_export(self, network: Network, me: int, route: Route, to_neighbor: int) -> bool:
+        to_class = classify_neighbor(network, me, to_neighbor)
+        if to_class is NeighborClass.CUSTOMER:
+            return True
+        if route.length == 0:
+            return True  # always announce your own prefix
+        learned_from = classify_neighbor(network, me, route.next_hop)
+        return learned_from is NeighborClass.CUSTOMER
+
+
+@dataclass
+class OpenPolicy(RoutingPolicy):
+    """Announce-everything, prefer-shortest: no business interests.
+
+    Used as the tussle-free baseline; with it, path-vector routing reduces
+    to shortest-AS-path routing and every feasible path is announced.
+    """
+
+    def prefer(self, network: Network, me: int, a: Route, b: Route) -> Route:
+        return min((a, b), key=lambda r: (r.length, r.next_hop))
+
+    def may_export(self, network: Network, me: int, route: Route, to_neighbor: int) -> bool:
+        return True

@@ -1,0 +1,229 @@
+"""User-controlled provider-level source routing (NIRA-like).
+
+The paper's concrete research recommendation: "The Internet should support
+a mechanism for choice such as source routing that would permit a customer
+to control the path of his packets at the level of providers. A design for
+such a system must include where these user-selected routes come from or
+how they are constructed, how failures are managed, and how the user knows
+that the traffic actually took the desired route" (§V-A-4) — and
+crucially, "the design for provider-level source routing must incorporate
+a recognition of the need for payment."
+
+:class:`SourceRoutingSystem` provides exactly these pieces:
+
+* **route discovery** — enumerate valley-free candidate AS paths from the
+  business graph (the user's route catalogue);
+* **willingness** — each transit AS carries source-routed traffic only if
+  compensated (or altruistic), so routes are usable only when the payment
+  scheme covers every hop;
+* **verification** — a route attestation lets the user check the traffic
+  actually took the requested path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.topology import Network
+from .base import ControlPoint, Route
+from .policies import NeighborClass, classify_neighbor
+
+__all__ = ["TransitTerms", "RouteAttempt", "SourceRoutingSystem", "valley_free_paths"]
+
+
+def valley_free_paths(
+    network: Network, src: int, dst: int, max_length: int = 8
+) -> List[Tuple[int, ...]]:
+    """Enumerate valley-free AS paths from src to dst.
+
+    Valley-free (after Gao): a path climbs customer->provider links, may
+    cross at most one peer link at the top, then descends provider->
+    customer. These are the economically-rational paths a source-routing
+    user could buy.
+    Paths are returned sorted by (length, path) for determinism.
+    """
+    network.autonomous_system(src)
+    network.autonomous_system(dst)
+    results: List[Tuple[int, ...]] = []
+
+    # state: 0 = climbing (may go up, peer, or down), after peer/down only down
+    def extend(path: List[int], state: int) -> None:
+        current = path[-1]
+        if current == dst:
+            results.append(tuple(path))
+            return
+        if len(path) > max_length:
+            return
+        for neighbor in sorted(network.as_neighbors(current)):
+            if neighbor in path:
+                continue
+            rel = classify_neighbor(network, current, neighbor)
+            if rel is NeighborClass.PROVIDER:  # climbing up
+                if state == 0:
+                    extend(path + [neighbor], 0)
+            elif rel is NeighborClass.PEER:
+                if state == 0:
+                    extend(path + [neighbor], 1)
+            elif rel is NeighborClass.CUSTOMER:  # descending
+                extend(path + [neighbor], 2)
+
+    extend([src], 0)
+    return sorted(set(results), key=lambda p: (len(p), p))
+
+
+@dataclass
+class TransitTerms:
+    """Under what terms an AS carries source-routed transit traffic.
+
+    ``price`` is the per-unit charge for carrying a source-routed flow;
+    ``accepts_source_routes`` False models today's ISPs, which "do not
+    like loose source routes, because ISPs do not receive any benefit when
+    they carry traffic directed by a source route."
+    """
+
+    accepts_source_routes: bool = True
+    price: float = 1.0
+
+
+@dataclass
+class RouteAttempt:
+    """Outcome of trying to use a user-selected route."""
+
+    path: Tuple[int, ...]
+    succeeded: bool
+    total_price: float = 0.0
+    refused_by: Optional[int] = None
+    attested_path: Optional[Tuple[int, ...]] = None
+
+    @property
+    def verified(self) -> bool:
+        """Did the attestation match the requested path?
+
+        "How the user knows that the traffic actually took the desired
+        route" — verification succeeds only when every hop attested.
+        """
+        return self.succeeded and self.attested_path == self.path
+
+
+class SourceRoutingSystem:
+    """User-controlled routing with payment and verification.
+
+    Parameters
+    ----------
+    network:
+        AS-level topology.
+    payment_enabled:
+        When False, transit ASes receive nothing for source-routed traffic
+        and refuse it unless explicitly altruistic — reproducing the
+        paper's diagnosis of why loose source routes "do not work
+        effectively today."
+    """
+
+    control_point = ControlPoint.USER
+
+    def __init__(self, network: Network, payment_enabled: bool = True):
+        self.network = network
+        self.payment_enabled = payment_enabled
+        self._terms: Dict[int, TransitTerms] = {}
+        self.attempts: List[RouteAttempt] = []
+        self.revenue: Dict[int, float] = {}
+
+    def set_terms(self, asn: int, terms: TransitTerms) -> None:
+        self.network.autonomous_system(asn)
+        self._terms[asn] = terms
+
+    def terms_of(self, asn: int) -> TransitTerms:
+        return self._terms.get(asn, TransitTerms())
+
+    # ------------------------------------------------------------------
+    # Route discovery
+    # ------------------------------------------------------------------
+    def candidate_routes(self, src: int, dst: int, max_length: int = 8) -> List[Route]:
+        """The user's route catalogue: all valley-free paths."""
+        paths = valley_free_paths(self.network, src, dst, max_length=max_length)
+        return [
+            Route(destination=dst, path=p, selected_by=ControlPoint.USER)
+            for p in paths
+        ]
+
+    def route_price(self, path: Sequence[int]) -> float:
+        """Sum of transit prices along the path (endpoints excluded)."""
+        return sum(self.terms_of(asn).price for asn in path[1:-1])
+
+    # ------------------------------------------------------------------
+    # Using a route
+    # ------------------------------------------------------------------
+    def use_route(self, route: Route, budget: float = float("inf")) -> RouteAttempt:
+        """Attempt to send along a user-selected route.
+
+        Each transit AS accepts iff it accepts source routes AND (payment
+        is enabled AND the user can pay, or its price is zero). The
+        attempt accumulates an attested path hop by hop; refusal truncates
+        it, so the user can see where the route died.
+        """
+        path = route.path
+        attested: List[int] = [path[0]]
+        total = 0.0
+        for asn in path[1:-1]:
+            terms = self.terms_of(asn)
+            can_pay = (self.payment_enabled
+                       and total + terms.price <= budget)
+            if terms.accepts_source_routes:
+                # A willing AS still wants its (nonzero) price paid.
+                willing = terms.price == 0.0 or can_pay
+            else:
+                # An unwilling AS is moved only by actual compensation.
+                willing = terms.price > 0.0 and can_pay
+            if not willing:
+                attempt = RouteAttempt(
+                    path=path, succeeded=False, total_price=total,
+                    refused_by=asn, attested_path=tuple(attested),
+                )
+                self.attempts.append(attempt)
+                return attempt
+            if terms.price > 0:
+                total += terms.price
+                self.revenue[asn] = self.revenue.get(asn, 0.0) + terms.price
+            attested.append(asn)
+        attested.append(path[-1])
+        attempt = RouteAttempt(
+            path=path, succeeded=True, total_price=total,
+            attested_path=tuple(attested),
+        )
+        self.attempts.append(attempt)
+        return attempt
+
+    def best_affordable_route(
+        self, src: int, dst: int, budget: float = float("inf")
+    ) -> Optional[RouteAttempt]:
+        """Try candidate routes cheapest-first until one succeeds."""
+        candidates = self.candidate_routes(src, dst)
+        candidates.sort(key=lambda r: (self.route_price(r.path), r.length, r.path))
+        for route in candidates:
+            attempt = self.use_route(route, budget=budget)
+            if attempt.succeeded:
+                return attempt
+        return None
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def success_rate(self) -> float:
+        if not self.attempts:
+            return 0.0
+        return sum(1 for a in self.attempts if a.succeeded) / len(self.attempts)
+
+    def path_diversity(self, src: int, dst: int, budget: float = float("inf")) -> int:
+        """How many distinct usable paths the user actually has."""
+        usable = 0
+        for route in self.candidate_routes(src, dst):
+            # Probe without recording revenue side effects.
+            saved_revenue = dict(self.revenue)
+            saved_attempts = len(self.attempts)
+            attempt = self.use_route(route, budget=budget)
+            if attempt.succeeded:
+                usable += 1
+            self.revenue = saved_revenue
+            del self.attempts[saved_attempts:]
+        return usable

@@ -1,0 +1,135 @@
+"""Visibility analysis: who can see whose choices.
+
+"In the context of tussle, it matters if choices and the consequence of
+choices are visible" (§IV-C). The paper contrasts link-state routing
+(everyone exports link costs — full visibility) with path-vector routing
+(internal choices are hard to see; only consequences at the BGP level are
+public).
+
+This module quantifies that contrast so it can appear in benchmark rows:
+
+* :func:`linkstate_visibility` — fraction of the topology's link facts a
+  participant can observe (always 1.0 by construction);
+* :func:`pathvector_visibility` — fraction of another AS's selected routes
+  an observer can reconstruct from the announcements it receives;
+* :class:`ChoiceVisibilityReport` — a per-mechanism scorecard of the four
+  interface properties the paper lists for tussle interfaces (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .linkstate import LinkStateRouting
+from .pathvector import PathVectorRouting
+
+__all__ = [
+    "linkstate_visibility",
+    "pathvector_visibility",
+    "ChoiceVisibilityReport",
+    "TUSSLE_INTERFACE_PROPERTIES",
+]
+
+#: The four properties the paper says tussle interfaces may need (§IV-C).
+TUSSLE_INTERFACE_PROPERTIES: Tuple[str, ...] = (
+    "visible_exchange_of_value",
+    "exposure_of_cost_of_choice",
+    "visibility_of_choices_made",
+    "fault_isolation_tools",
+)
+
+
+def linkstate_visibility(routing: LinkStateRouting, observer: str) -> float:
+    """Fraction of all link facts visible to ``observer``.
+
+    Link-state floods everything, so this is 1.0 whenever the database is
+    non-empty — included for symmetry with the path-vector measurement.
+    """
+    total = len(routing.database)
+    if total == 0:
+        return 0.0
+    visible = len(routing.database.visible_to(observer))
+    return visible / total
+
+
+def pathvector_visibility(routing: PathVectorRouting, observer: int, subject: int) -> float:
+    """How much of ``subject``'s routing state ``observer`` can see.
+
+    The observer receives announcements only if adjacent; from those it
+    learns the AS paths the subject selected *for exported destinations*.
+    The returned fraction is (subject routes inferable by observer) /
+    (subject's total selected routes). Non-adjacent observers see nothing
+    directly (they'd have to infer from end-to-end consequences, which the
+    paper notes is all that is public).
+    """
+    subject_routes = routing.routes(subject)
+    if not subject_routes:
+        return 0.0
+    announced = routing.announced_routes(subject, observer)
+    # The observer can infer the subject's choice for each announced dest:
+    # the announced path IS the selected path.
+    inferable = sum(1 for dest in subject_routes if dest in announced)
+    return inferable / len(subject_routes)
+
+
+@dataclass
+class ChoiceVisibilityReport:
+    """Scorecard of a mechanism against the paper's interface properties.
+
+    Each property scores in [0, 1]. :meth:`overall` is the mean — a crude
+    but comparable "designed for tussle" index used in benchmark tables.
+    """
+
+    mechanism: str
+    scores: Dict[str, float] = field(default_factory=dict)
+
+    def set_score(self, prop: str, value: float) -> None:
+        if prop not in TUSSLE_INTERFACE_PROPERTIES:
+            raise ValueError(f"unknown interface property {prop!r}")
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"score must be in [0,1], got {value}")
+        self.scores[prop] = value
+
+    def overall(self) -> float:
+        if not self.scores:
+            return 0.0
+        return sum(self.scores.values()) / len(TUSSLE_INTERFACE_PROPERTIES)
+
+    @classmethod
+    def for_linkstate(cls) -> "ChoiceVisibilityReport":
+        """Canonical scores for a link-state protocol.
+
+        Everyone's costs are exported (choices fully visible), but there
+        is no value exchange or per-choice pricing in the protocol.
+        """
+        report = cls("link-state")
+        report.set_score("visible_exchange_of_value", 0.0)
+        report.set_score("exposure_of_cost_of_choice", 1.0)
+        report.set_score("visibility_of_choices_made", 1.0)
+        report.set_score("fault_isolation_tools", 0.5)
+        return report
+
+    @classmethod
+    def for_pathvector(cls) -> "ChoiceVisibilityReport":
+        """Canonical scores for BGP-like routing.
+
+        Internal choices are hidden; consequences are visible; no value
+        flow in the protocol (settlements happen in contracts outside).
+        """
+        report = cls("path-vector")
+        report.set_score("visible_exchange_of_value", 0.0)
+        report.set_score("exposure_of_cost_of_choice", 0.2)
+        report.set_score("visibility_of_choices_made", 0.3)
+        report.set_score("fault_isolation_tools", 0.2)
+        return report
+
+    @classmethod
+    def for_source_routing_with_payment(cls) -> "ChoiceVisibilityReport":
+        """Scores for the paper's proposed payment-aware source routing."""
+        report = cls("source-routing+payment")
+        report.set_score("visible_exchange_of_value", 1.0)
+        report.set_score("exposure_of_cost_of_choice", 1.0)
+        report.set_score("visibility_of_choices_made", 1.0)
+        report.set_score("fault_isolation_tools", 0.8)
+        return report

@@ -1,0 +1,27 @@
+"""Trust substrate (§V-B): identity, trust graphs, firewalls, mediators, threats."""
+
+from .identity import IdentityFramework, IdentityScheme, Principal
+from .trustgraph import TrustGraph
+from .firewall import (
+    ControlChannel,
+    PinholeRequest,
+    PolicyAuthority,
+    TrustAwareFirewall,
+)
+from .thirdparty import (
+    CertificateAuthority,
+    LiabilityShield,
+    MediatedInteraction,
+    ReputationService,
+    TrustMediator,
+)
+from .threats import AttackKind, Attacker, ThreatCampaign, TrafficMix
+
+__all__ = [
+    "IdentityFramework", "IdentityScheme", "Principal",
+    "TrustGraph",
+    "ControlChannel", "PinholeRequest", "PolicyAuthority", "TrustAwareFirewall",
+    "CertificateAuthority", "LiabilityShield", "MediatedInteraction",
+    "ReputationService", "TrustMediator",
+    "AttackKind", "Attacker", "ThreatCampaign", "TrafficMix",
+]

@@ -1,0 +1,218 @@
+"""Trust-aware firewalls and the who-sets-policy tussle (§V-B).
+
+"Firewalls that provide trust-mediated transparency must be designed so
+that they apply constraints based on who is communicating, as well as (or
+instead of) what protocols are being run... Along with this device must be
+protocols and interfaces to allow the end node and the control point to
+communicate about the desired controls."
+
+:class:`TrustAwareFirewall` is a middlebox that admits traffic by the
+*identity and trust* of the communicating parties rather than by port —
+so a new application from a trusted party passes (innovation preserved)
+while an untrusted party's traffic is dropped regardless of port.
+
+:class:`ControlChannel` is the MIDCOM-like protocol: endpoints request
+pinholes; whether a request is honoured depends on :class:`PolicyAuthority`
+("Who gets to set the policy in the firewall?... All we can design is the
+space for the tussle"), and whether installed rules are *visible* to the
+affected user is an explicit design flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import TrustError
+from ..netsim.middlebox import Action, Middlebox, Verdict
+from ..netsim.packets import Packet
+from .identity import IdentityFramework
+from .trustgraph import TrustGraph
+
+__all__ = [
+    "PolicyAuthority",
+    "PinholeRequest",
+    "TrustAwareFirewall",
+    "ControlChannel",
+]
+
+
+class PolicyAuthority(Enum):
+    """Who is 'in charge' of the firewall's policy."""
+
+    END_USER = "end-user"
+    ADMINISTRATOR = "administrator"
+    NEGOTIATED = "negotiated"  # both must concur (the OPES/IAB position)
+
+
+@dataclass
+class PinholeRequest:
+    """An endpoint's request to permit a flow through the firewall."""
+
+    requester: str
+    src: str
+    dst: str
+    application: str
+    granted: Optional[bool] = None
+    reason: str = ""
+
+
+class TrustAwareFirewall(Middlebox):
+    """A firewall deciding on *who*, not *what port*.
+
+    Parameters
+    ----------
+    protected:
+        The party (endpoint name) whose traffic this firewall mediates.
+    trust_graph / identities:
+        The trust substrate consulted per packet.
+    trust_threshold:
+        Minimum effective trust (protected -> sender) to admit traffic.
+    accountability_floor:
+        Minimum identity accountability; anonymous senders score 0 and
+        are refused when the floor is positive (the §V-B-1 outcome:
+        "many people will choose not to communicate with you").
+    authority:
+        Who may change policy via the control channel.
+    rules_visible:
+        Whether an affected end user may download and examine the rules
+        — the paper's visibility-of-decision-making question.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        protected: str,
+        trust_graph: TrustGraph,
+        identities: Optional[IdentityFramework] = None,
+        trust_threshold: float = 0.5,
+        accountability_floor: float = 0.0,
+        authority: PolicyAuthority = PolicyAuthority.END_USER,
+        rules_visible: bool = True,
+        discloses: bool = True,
+    ):
+        super().__init__(name, discloses=discloses)
+        self.protected = protected
+        self.trust_graph = trust_graph
+        self.identities = identities
+        self.trust_threshold = trust_threshold
+        self.accountability_floor = accountability_floor
+        self.authority = authority
+        self.rules_visible = rules_visible
+        self.pinholes: Set[Tuple[str, str]] = set()  # (src, dst) always allowed
+        self.blocklist: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Packet processing
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet) -> Verdict:
+        wire = packet.wire_header
+        sender = wire.src
+        if (sender, wire.dst) in self.pinholes:
+            return self._record(packet, Verdict(Action.FORWARD, packet=packet))
+        if sender in self.blocklist:
+            return self._record(
+                packet, Verdict(Action.DROP, reason=f"{sender!r} blocklisted")
+            )
+        # Traffic not addressed to/from the protected party is transit.
+        if self.protected not in (wire.src, wire.dst):
+            return self._record(packet, Verdict(Action.FORWARD, packet=packet))
+        counterparty = wire.src if wire.dst == self.protected else wire.dst
+        if counterparty == self.protected:
+            return self._record(packet, Verdict(Action.FORWARD, packet=packet))
+
+        if self.identities is not None:
+            try:
+                accountability = self.identities.accountability_level(counterparty)
+            except TrustError:
+                accountability = 0.0
+            if accountability < self.accountability_floor:
+                return self._record(
+                    packet,
+                    Verdict(Action.DROP,
+                            reason=f"insufficient accountability "
+                                   f"({accountability:.2f} < {self.accountability_floor:.2f})"),
+                )
+        trust = self.trust_graph.trust(self.protected, counterparty)
+        if trust >= self.trust_threshold:
+            return self._record(packet, Verdict(Action.FORWARD, packet=packet))
+        return self._record(
+            packet,
+            Verdict(Action.DROP,
+                    reason=f"trust {trust:.2f} below threshold {self.trust_threshold:.2f}"),
+        )
+
+    # ------------------------------------------------------------------
+    # Rule inspection (visibility of decision-making)
+    # ------------------------------------------------------------------
+    def download_rules(self, requester: str) -> List[str]:
+        """The paper's question: can the end user examine the rules?
+
+        Visible-rule firewalls answer anyone affected; otherwise only the
+        administrator-side gets them, and end users receive an empty list
+        (a courtesy withheld).
+        """
+        if not self.rules_visible and requester == self.protected \
+                and self.authority is PolicyAuthority.ADMINISTRATOR:
+            return []
+        rules = [
+            f"admit if trust >= {self.trust_threshold:.2f}",
+            f"admit if accountability >= {self.accountability_floor:.2f}",
+        ]
+        rules.extend(f"pinhole {src}->{dst}" for src, dst in sorted(self.pinholes))
+        rules.extend(f"block {party}" for party in sorted(self.blocklist))
+        return rules
+
+
+class ControlChannel:
+    """MIDCOM-like control protocol between endpoints and the firewall.
+
+    Requests are granted according to the firewall's
+    :class:`PolicyAuthority`:
+
+    * END_USER — the protected party's own requests are honoured;
+    * ADMINISTRATOR — only the named administrator's requests are;
+    * NEGOTIATED — a request needs *both* the protected party and the
+      administrator to have approved the same flow.
+    """
+
+    def __init__(self, firewall: TrustAwareFirewall, administrator: str = "admin"):
+        self.firewall = firewall
+        self.administrator = administrator
+        self.requests: List[PinholeRequest] = []
+        self._pending_approvals: Dict[Tuple[str, str, str], Set[str]] = {}
+
+    def request_pinhole(self, requester: str, src: str, dst: str,
+                        application: str = "generic") -> PinholeRequest:
+        request = PinholeRequest(requester=requester, src=src, dst=dst,
+                                 application=application)
+        authority = self.firewall.authority
+        if authority is PolicyAuthority.END_USER:
+            allowed = requester == self.firewall.protected
+            request.reason = ("end-user authority" if allowed
+                              else "only the protected end user may open pinholes")
+        elif authority is PolicyAuthority.ADMINISTRATOR:
+            allowed = requester == self.administrator
+            request.reason = ("administrator authority" if allowed
+                              else "only the administrator may open pinholes")
+        else:
+            key = (src, dst, application)
+            approvers = self._pending_approvals.setdefault(key, set())
+            if requester in (self.firewall.protected, self.administrator):
+                approvers.add(requester)
+            allowed = {self.firewall.protected, self.administrator} <= approvers
+            request.reason = (
+                "both parties concurred" if allowed
+                else f"awaiting concurrence (have {sorted(approvers)})"
+            )
+        request.granted = allowed
+        if allowed:
+            self.firewall.pinholes.add((src, dst))
+        self.requests.append(request)
+        return request
+
+    def grant_rate(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(1 for r in self.requests if r.granted) / len(self.requests)

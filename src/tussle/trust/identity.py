@@ -1,0 +1,157 @@
+"""Identity: a framework for talking about identity, not a single scheme.
+
+"There are lots of ways that parties choose to identify themselves to each
+other, many of which will be private to the parties, based on role rather
+than individual name, etc. What is needed is a framework that translates
+these diverse ways into lower level network actions that control access.
+This implies a framework for talking about identity, not a single
+identity scheme" (§V-B-1).
+
+Also: "A compromise outcome of this tussle might be that if you are trying
+to act in an anonymous way, it should be hard to disguise this fact."
+:meth:`IdentityFramework.apparent_scheme` implements that compromise —
+disguised anonymity is detected with high probability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from ..errors import TrustError
+
+__all__ = ["IdentityScheme", "Principal", "IdentityFramework"]
+
+
+class IdentityScheme(Enum):
+    """The diverse ways parties identify themselves."""
+
+    REAL_NAME = "real-name"
+    PSEUDONYM = "pseudonym"
+    ROLE = "role"                  # "based on role rather than individual name"
+    CERTIFICATE = "certificate"    # vouched by a third party
+    ANONYMOUS = "anonymous"
+
+    @property
+    def accountable(self) -> bool:
+        """Can actions under this scheme be traced to a responsible party?"""
+        return self in (IdentityScheme.REAL_NAME, IdentityScheme.CERTIFICATE)
+
+
+@dataclass
+class Principal:
+    """A party as seen by the identity framework.
+
+    Attributes
+    ----------
+    scheme:
+        The identity scheme the principal actually uses.
+    disguised_as:
+        An anonymous principal may *claim* another scheme; the framework
+        makes such disguise hard to sustain.
+    roles:
+        Role names for ROLE-scheme principals.
+    vouched_by:
+        Certificate issuer name for CERTIFICATE principals.
+    """
+
+    name: str
+    scheme: IdentityScheme
+    disguised_as: Optional[IdentityScheme] = None
+    roles: Set[str] = field(default_factory=set)
+    vouched_by: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme is IdentityScheme.CERTIFICATE and not self.vouched_by:
+            raise TrustError(
+                f"certificate principal {self.name!r} needs a voucher"
+            )
+        if self.disguised_as is not None and self.scheme is not IdentityScheme.ANONYMOUS:
+            raise TrustError("only anonymous principals can be disguised")
+
+    @property
+    def claimed_scheme(self) -> IdentityScheme:
+        return self.disguised_as or self.scheme
+
+
+class IdentityFramework:
+    """Registers principals and translates identities into access inputs.
+
+    Parameters
+    ----------
+    disguise_detection_rate:
+        Probability that a disguised-anonymous principal is unmasked per
+        observation — the "hard to disguise" design point. 1.0 means
+        disguise always fails.
+    seed:
+        Seeds detection randomness.
+    """
+
+    def __init__(self, disguise_detection_rate: float = 0.9, seed: int = 0):
+        if not 0.0 <= disguise_detection_rate <= 1.0:
+            raise TrustError("detection rate must be a probability")
+        self.disguise_detection_rate = disguise_detection_rate
+        self.rng = random.Random(seed)
+        self._principals: Dict[str, Principal] = {}
+        self._trusted_vouchers: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, principal: Principal) -> Principal:
+        if principal.name in self._principals:
+            raise TrustError(f"duplicate principal {principal.name!r}")
+        self._principals[principal.name] = principal
+        return principal
+
+    def principal(self, name: str) -> Principal:
+        try:
+            return self._principals[name]
+        except KeyError:
+            raise TrustError(f"unknown principal {name!r}") from None
+
+    def trust_voucher(self, voucher: str) -> None:
+        """Mark a certificate issuer as trusted by this framework."""
+        self._trusted_vouchers.add(voucher)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def apparent_scheme(self, name: str) -> IdentityScheme:
+        """The scheme an observer perceives.
+
+        A disguised anonymous principal is unmasked with probability
+        ``disguise_detection_rate``; otherwise the claimed scheme shows.
+        """
+        principal = self.principal(name)
+        if principal.disguised_as is None:
+            return principal.scheme
+        if self.rng.random() < self.disguise_detection_rate:
+            return IdentityScheme.ANONYMOUS
+        return principal.disguised_as
+
+    def accountability_level(self, name: str) -> float:
+        """A [0, 1] accountability score for access decisions.
+
+        REAL_NAME and trusted CERTIFICATE score 1; untrusted certificates
+        0.6; pseudonyms 0.4 (persistent but unlinkable); roles 0.5;
+        anonymous 0.
+        """
+        principal = self.principal(name)
+        scheme = self.apparent_scheme(name)
+        if scheme is IdentityScheme.REAL_NAME:
+            return 1.0
+        if scheme is IdentityScheme.CERTIFICATE:
+            if principal.vouched_by in self._trusted_vouchers:
+                return 1.0
+            return 0.6
+        if scheme is IdentityScheme.ROLE:
+            return 0.5
+        if scheme is IdentityScheme.PSEUDONYM:
+            return 0.4
+        return 0.0
+
+    def principals(self) -> List[Principal]:
+        return [self._principals[k] for k in sorted(self._principals)]

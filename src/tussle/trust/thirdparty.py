@@ -1,0 +1,181 @@
+"""Third parties that mediate trust (§V-B).
+
+"We depend on third parties to mediate and enhance the assurance that
+things are going to go right. Credit card companies limit our liability...
+Public key certificate agents provide us with certificates... Web sites
+assess and report the reputation of other sites... there should be
+explicit ability to select what third parties are used to mediate an
+interaction."
+
+Three mediator types are provided, all implementing
+:class:`TrustMediator.mediate`, which adjusts the expected outcome of an
+interaction between a wary party and a counterparty:
+
+* :class:`CertificateAuthority` — binds identity, raising confidence the
+  counterparty is who they claim;
+* :class:`ReputationService` — aggregates past outcomes into a score;
+* :class:`LiabilityShield` — caps the loss if things go wrong (the credit
+  card model).
+
+:class:`MediatedInteraction` composes any set of mediators *chosen by the
+parties* and computes expected utility, so experiments can show that the
+ability to select mediators raises welfare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TrustError
+
+__all__ = [
+    "TrustMediator",
+    "CertificateAuthority",
+    "ReputationService",
+    "LiabilityShield",
+    "MediatedInteraction",
+]
+
+
+class TrustMediator:
+    """Interface: adjust (success_probability, loss_if_failure)."""
+
+    name = "mediator"
+    fee = 0.0
+
+    def mediate(self, counterparty: str, success_probability: float,
+                loss_if_failure: float) -> Tuple[float, float]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class CertificateAuthority(TrustMediator):
+    """Certifies identities; certified counterparties fail less often.
+
+    A certificate doesn't make a merchant honest, but it eliminates
+    impostors: the failure probability attributable to misidentification
+    (``impostor_fraction`` of all failures) goes away for certified
+    parties.
+    """
+
+    def __init__(self, name: str = "cert-authority", fee: float = 0.1,
+                 impostor_fraction: float = 0.5):
+        if not 0.0 <= impostor_fraction <= 1.0:
+            raise TrustError("impostor fraction must be a probability")
+        self.name = name
+        self.fee = fee
+        self.impostor_fraction = impostor_fraction
+        self._certified: Dict[str, bool] = {}
+
+    def certify(self, party: str) -> None:
+        self._certified[party] = True
+
+    def is_certified(self, party: str) -> bool:
+        return self._certified.get(party, False)
+
+    def mediate(self, counterparty: str, success_probability: float,
+                loss_if_failure: float) -> Tuple[float, float]:
+        if not self.is_certified(counterparty):
+            return success_probability, loss_if_failure
+        failure = 1.0 - success_probability
+        reduced_failure = failure * (1.0 - self.impostor_fraction)
+        return 1.0 - reduced_failure, loss_if_failure
+
+
+class ReputationService(TrustMediator):
+    """Aggregates reported outcomes; consulting it screens bad parties.
+
+    Parties whose observed success rate falls below ``warn_threshold``
+    are flagged; a wary user simply avoids them (modelled as success
+    probability snapped to the observed rate, so expectations become
+    accurate rather than hopeful).
+    """
+
+    def __init__(self, name: str = "reputation", fee: float = 0.02,
+                 warn_threshold: float = 0.5):
+        self.name = name
+        self.fee = fee
+        self.warn_threshold = warn_threshold
+        self._outcomes: Dict[str, List[bool]] = {}
+
+    def report(self, party: str, success: bool) -> None:
+        self._outcomes.setdefault(party, []).append(success)
+
+    def score(self, party: str) -> Optional[float]:
+        outcomes = self._outcomes.get(party)
+        if not outcomes:
+            return None
+        return sum(outcomes) / len(outcomes)
+
+    def warns_about(self, party: str) -> bool:
+        score = self.score(party)
+        return score is not None and score < self.warn_threshold
+
+    def mediate(self, counterparty: str, success_probability: float,
+                loss_if_failure: float) -> Tuple[float, float]:
+        score = self.score(counterparty)
+        if score is None:
+            return success_probability, loss_if_failure
+        return score, loss_if_failure
+
+
+class LiabilityShield(TrustMediator):
+    """Caps the user's loss (credit-card style: "$50, or sometimes nothing")."""
+
+    def __init__(self, name: str = "liability-shield", fee: float = 0.3,
+                 cap: float = 0.5):
+        if cap < 0:
+            raise TrustError("liability cap cannot be negative")
+        self.name = name
+        self.fee = fee
+        self.cap = cap
+
+    def mediate(self, counterparty: str, success_probability: float,
+                loss_if_failure: float) -> Tuple[float, float]:
+        return success_probability, min(loss_if_failure, self.cap)
+
+
+@dataclass
+class MediatedInteraction:
+    """An interaction whose risk profile is shaped by chosen mediators.
+
+    Attributes
+    ----------
+    counterparty:
+        Who the wary party is dealing with.
+    value:
+        Gain if the interaction succeeds.
+    success_probability / loss_if_failure:
+        The unmediated risk profile.
+    mediators:
+        The third parties the user *chose* — choice is the point.
+    """
+
+    counterparty: str
+    value: float
+    success_probability: float
+    loss_if_failure: float
+    mediators: List[TrustMediator] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.success_probability <= 1.0:
+            raise TrustError("success probability must be in [0, 1]")
+        if self.loss_if_failure < 0:
+            raise TrustError("loss cannot be negative")
+
+    def effective_profile(self) -> Tuple[float, float, float]:
+        """(success_probability, loss, total_fees) after mediation."""
+        probability = self.success_probability
+        loss = self.loss_if_failure
+        fees = 0.0
+        for mediator in self.mediators:
+            probability, loss = mediator.mediate(self.counterparty, probability, loss)
+            fees += mediator.fee
+        return probability, loss, fees
+
+    def expected_utility(self) -> float:
+        probability, loss, fees = self.effective_profile()
+        return probability * self.value - (1.0 - probability) * loss - fees
+
+    def worth_doing(self) -> bool:
+        return self.expected_utility() > 0

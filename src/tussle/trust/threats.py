@@ -1,0 +1,149 @@
+"""Threats: the "genuine bad guys" of §V-B.
+
+"Most users would prefer to have nothing to do with the bad guys. They
+would like protection from system penetration attacks, DoS attacks, and
+so on."
+
+:class:`Attacker` generates attack packets (scans, penetration attempts,
+floods) addressed at victims; :class:`ThreatCampaign` runs a seeded mixed
+workload of attack and legitimate traffic through a forwarding engine so
+E05 can measure, per firewall design, the attack admission rate alongside
+the new-application success rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+from ..netsim.forwarding import ForwardingEngine
+from ..netsim.packets import Packet, make_packet
+
+__all__ = ["AttackKind", "Attacker", "TrafficMix", "ThreatCampaign"]
+
+
+class AttackKind(Enum):
+    """The attack classes the paper names."""
+
+    SCAN = "scan"
+    PENETRATION = "penetration"
+    DOS_FLOOD = "dos-flood"
+
+
+@dataclass
+class Attacker:
+    """A source of attack traffic.
+
+    Attack packets imitate whatever application gets through: scans use
+    shifting ports, penetration attempts target well-known services, and
+    floods use whatever is cheap. The ``application`` labels carry ground
+    truth so admission can be measured exactly.
+    """
+
+    name: str
+    kind: AttackKind = AttackKind.PENETRATION
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+
+    def generate(self, victim: str, count: int) -> List[Packet]:
+        packets = []
+        for _ in range(count):
+            if self.kind is AttackKind.SCAN:
+                application = self.rng.choice(["http", "smtp", "dns", "generic"])
+            elif self.kind is AttackKind.PENETRATION:
+                application = self.rng.choice(["http", "smtp"])
+            else:
+                application = "generic"
+            packet = make_packet(self.name, victim, application=application)
+            packet.payload = {"attack": self.kind.value}
+            packets.append(packet)
+        return packets
+
+
+@dataclass
+class TrafficMix:
+    """Outcome counts of a threat campaign."""
+
+    attacks_sent: int = 0
+    attacks_admitted: int = 0
+    legit_sent: int = 0
+    legit_admitted: int = 0
+    new_app_sent: int = 0
+    new_app_admitted: int = 0
+
+    @property
+    def attack_admission_rate(self) -> float:
+        return self.attacks_admitted / self.attacks_sent if self.attacks_sent else 0.0
+
+    @property
+    def legit_success_rate(self) -> float:
+        return self.legit_admitted / self.legit_sent if self.legit_sent else 0.0
+
+    @property
+    def new_app_success_rate(self) -> float:
+        """The innovation metric: do *novel* applications get through?"""
+        return self.new_app_admitted / self.new_app_sent if self.new_app_sent else 0.0
+
+
+class ThreatCampaign:
+    """Runs a mixed workload of attack / known-app / new-app traffic.
+
+    Parameters
+    ----------
+    engine:
+        Forwarding engine with whatever firewall deployment is under test.
+    victim:
+        Destination all traffic is addressed to.
+    attackers:
+        Attack sources.
+    legit_senders:
+        (sender, application) pairs for established applications.
+    new_app_senders:
+        (sender, application) pairs for *novel* applications (names must
+        not collide with well-known ports so classification fails open or
+        closed depending on the firewall design).
+    """
+
+    def __init__(
+        self,
+        engine: ForwardingEngine,
+        victim: str,
+        attackers: Sequence[Attacker],
+        legit_senders: Sequence[Tuple[str, str]],
+        new_app_senders: Sequence[Tuple[str, str]] = (),
+    ):
+        self.engine = engine
+        self.victim = victim
+        self.attackers = list(attackers)
+        self.legit_senders = list(legit_senders)
+        self.new_app_senders = list(new_app_senders)
+
+    def run(self, packets_per_source: int = 10) -> TrafficMix:
+        mix = TrafficMix()
+        for attacker in self.attackers:
+            for packet in attacker.generate(self.victim, packets_per_source):
+                receipt = self.engine.send(packet)
+                mix.attacks_sent += 1
+                if receipt.delivered:
+                    mix.attacks_admitted += 1
+        for sender, application in self.legit_senders:
+            for _ in range(packets_per_source):
+                receipt = self.engine.send(
+                    make_packet(sender, self.victim, application=application)
+                )
+                mix.legit_sent += 1
+                if receipt.delivered:
+                    mix.legit_admitted += 1
+        for sender, application in self.new_app_senders:
+            for _ in range(packets_per_source):
+                receipt = self.engine.send(
+                    make_packet(sender, self.victim, application=application)
+                )
+                mix.new_app_sent += 1
+                if receipt.delivered:
+                    mix.new_app_admitted += 1
+        return mix

@@ -1,0 +1,84 @@
+"""Tests for the networkx-based actor-network analysis."""
+
+import pytest
+
+from tussle.actornet.actors import Actor, ActorKind
+from tussle.actornet.analysis import (
+    anchor_scores,
+    central_anchor,
+    fragmentation_if_removed,
+    technology_is_central_anchor,
+    to_networkx,
+)
+from tussle.actornet.churn import seed_internet_network
+from tussle.actornet.network import ActorNetwork
+
+
+def hub_network():
+    """A technology hub with human spokes."""
+    net = ActorNetwork()
+    net.add_actor(Actor.make("protocols", ActorKind.TECHNOLOGY,
+                             values=(0.0, 0.0)))
+    for i in range(4):
+        name = f"user{i}"
+        net.add_actor(Actor.make(name, ActorKind.USER, values=(0.0, 0.0)))
+        net.commit(name, "protocols", 0.8)
+    return net
+
+
+class TestExport:
+    def test_nodes_and_edges(self):
+        graph = to_networkx(hub_network())
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+        assert graph.nodes["protocols"]["human"] is False
+        assert graph.edges["user0", "protocols"]["weight"] == 0.8
+
+
+class TestAnchors:
+    def test_hub_is_the_central_anchor(self):
+        assert central_anchor(hub_network()) == "protocols"
+
+    def test_technology_is_central_in_seeded_internet(self):
+        """Latour's claim holds for the stylized Internet network."""
+        network = seed_internet_network()
+        assert technology_is_central_anchor(network)
+        assert central_anchor(network) == "internet-protocols"
+
+    def test_empty_network_has_no_anchor(self):
+        assert central_anchor(ActorNetwork()) is None
+        assert not technology_is_central_anchor(ActorNetwork())
+
+    def test_scores_cover_all_actors(self):
+        network = hub_network()
+        scores = anchor_scores(network)
+        assert set(scores) == {a.name for a in network.actors}
+        assert scores["protocols"] == max(scores.values())
+
+    def test_edgeless_network_scores_zero(self):
+        net = ActorNetwork()
+        net.add_actor(Actor.make("lone", ActorKind.USER, values=(0.0,)))
+        assert anchor_scores(net) == {"lone": 0.0}
+
+
+class TestFragmentation:
+    def test_anchor_removal_shatters_the_network(self):
+        network = hub_network()
+        assert fragmentation_if_removed(network, "protocols") == 4
+
+    def test_spoke_removal_is_harmless(self):
+        network = hub_network()
+        assert fragmentation_if_removed(network, "user0") == 1
+
+    def test_unknown_actor_rejected(self):
+        with pytest.raises(Exception):
+            fragmentation_if_removed(hub_network(), "ghost")
+
+    def test_anchor_fragments_more_than_any_spoke(self):
+        """'Technology, by its durability, provides an important source of
+        structure' — its removal costs the most structure."""
+        network = seed_internet_network()
+        anchor = central_anchor(network)
+        anchor_pieces = fragmentation_if_removed(network, anchor)
+        for actor in network.human_actors():
+            assert fragmentation_if_removed(network, actor.name) <= anchor_pieces

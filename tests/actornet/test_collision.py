@@ -1,0 +1,82 @@
+"""Tests for actor-network collision (§II-C, VoIP)."""
+
+import numpy as np
+import pytest
+
+from tussle.errors import ActorNetworkError
+from tussle.actornet.actors import Actor, ActorKind
+from tussle.actornet.collision import collide, merge_networks
+from tussle.actornet.network import ActorNetwork
+
+
+def small_network(prefix, center, tight=False):
+    network = ActorNetwork()
+    tech = Actor.make(f"{prefix}-tech", ActorKind.TECHNOLOGY,
+                      values=np.array(center, dtype=float),
+                      inertia=0.95 if tight else 0.85)
+    network.add_actor(tech)
+    for i in range(2):
+        name = f"{prefix}-user{i}"
+        offset = 0.02 if tight else 0.5
+        values = np.array(center, dtype=float) + (i - 0.5) * offset
+        network.add_actor(Actor.make(name, ActorKind.USER, values=values))
+        network.commit(name, f"{prefix}-tech", 0.9 if tight else 0.4)
+    return network
+
+
+class TestMerge:
+    def test_merge_preserves_everything(self):
+        a = small_network("a", (0.0, 0.0))
+        b = small_network("b", (2.0, 2.0))
+        merged = merge_networks(a, b)
+        assert len(merged.actors) == 6
+        assert len(merged.commitments) == 4
+
+    def test_name_overlap_rejected(self):
+        a = small_network("x", (0.0, 0.0))
+        b = small_network("x", (2.0, 2.0))
+        with pytest.raises(ActorNetworkError):
+            merge_networks(a, b)
+
+
+class TestCollide:
+    def test_bridge_names_validated(self):
+        a = small_network("a", (0.0, 0.0))
+        b = small_network("b", (2.0, 2.0))
+        with pytest.raises(ActorNetworkError):
+            collide(a, b, bridges=[("a-user0", "ghost")])
+
+    def test_collision_pulls_sides_together(self):
+        a = small_network("a", (0.0, 0.0))
+        b = small_network("b", (2.0, 2.0))
+        merged, result = collide(
+            a, b, bridges=[("a-user0", "b-user0")], settle_rounds=80)
+        assert result.drift_side_a + result.drift_side_b > 0.1
+
+    def test_looser_side_yields_more(self):
+        loose = small_network("loose", (0.0, 0.0), tight=False)
+        tight = small_network("tight", (2.0, 2.0), tight=True)
+        _, result = collide(
+            loose, tight,
+            bridges=[("loose-user0", "tight-user0"),
+                     ("loose-tech", "tight-tech")],
+            settle_rounds=60,
+        )
+        assert result.drift_side_a > result.drift_side_b
+        assert result.softer_side() == "a"
+
+    def test_distant_weak_bridges_dissolve(self):
+        a = small_network("a", (0.0, 0.0), tight=True)
+        b = small_network("b", (5.0, 5.0), tight=True)
+        _, result = collide(a, b, bridges=[("a-user0", "b-user0")],
+                            bridge_strength=0.1, settle_rounds=40)
+        assert result.turbulent  # the lone tense bridge snapped
+
+    def test_durabilities_reported(self):
+        a = small_network("a", (0.0, 0.0), tight=False)
+        b = small_network("b", (2.0, 2.0), tight=True)
+        _, result = collide(a, b, bridges=[("a-user0", "b-user0")],
+                            settle_rounds=10)
+        before_a, before_b = result.durability_before
+        assert before_b > before_a
+        assert 0.0 <= result.durability_after <= 1.0

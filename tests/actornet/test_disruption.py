@@ -1,0 +1,61 @@
+"""Tests for the Christensen disruption scenario."""
+
+import pytest
+
+from tussle.errors import ActorNetworkError
+from tussle.actornet.disruption import (
+    DisruptionScenario,
+    EntryStrategy,
+)
+
+
+class TestDisruption:
+    def test_head_on_entry_fails(self):
+        """Attacking the incumbent's customers with inferior tech dies."""
+        scenario = DisruptionScenario(seed=0)
+        outcome = scenario.run(EntryStrategy.HEAD_ON, rounds=40)
+        assert not outcome.entrant_survived or not outcome.overthrow
+
+    def test_new_market_entry_eventually_overthrows(self):
+        """Christensen's path: build durability outside, then overthrow."""
+        scenario = DisruptionScenario(improvement_rate=0.15, seed=0)
+        outcome = scenario.run(EntryStrategy.NEW_MARKET, rounds=60)
+        assert outcome.entrant_survived
+        assert outcome.overthrow
+        assert outcome.rounds_to_overthrow is not None
+
+    def test_new_market_beats_head_on(self):
+        scenario = DisruptionScenario(improvement_rate=0.15, seed=0)
+        head_on = scenario.run(EntryStrategy.HEAD_ON, rounds=60)
+        scenario2 = DisruptionScenario(improvement_rate=0.15, seed=0)
+        new_market = scenario2.run(EntryStrategy.NEW_MARKET, rounds=60)
+        assert (new_market.incumbent_customers_lost
+                > head_on.incumbent_customers_lost)
+
+    def test_slow_improvement_delays_overthrow(self):
+        fast = DisruptionScenario(improvement_rate=0.3, seed=0).run(
+            EntryStrategy.NEW_MARKET, rounds=80)
+        slow = DisruptionScenario(improvement_rate=0.05, seed=0).run(
+            EntryStrategy.NEW_MARKET, rounds=80)
+        if fast.overthrow and slow.overthrow:
+            assert fast.rounds_to_overthrow <= slow.rounds_to_overthrow
+        else:
+            assert fast.overthrow or not slow.overthrow
+
+    def test_entrant_network_durability_grows_in_new_market(self):
+        scenario = DisruptionScenario(seed=0)
+        outcome = scenario.run(EntryStrategy.NEW_MARKET, rounds=30)
+        assert outcome.final_entrant_durability > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ActorNetworkError):
+            DisruptionScenario(n_incumbent_customers=0)
+
+    def test_deterministic_under_seed(self):
+        def run():
+            return DisruptionScenario(seed=5).run(EntryStrategy.NEW_MARKET,
+                                                  rounds=30)
+
+        a, b = run(), run()
+        assert a.incumbent_customers_lost == b.incumbent_customers_lost
+        assert a.rounds_to_overthrow == b.rounds_to_overthrow

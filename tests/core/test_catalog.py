@@ -1,0 +1,59 @@
+"""Tests for the ready-made tussle-space catalogue."""
+
+import pytest
+
+from tussle.core.catalog import economics_space, openness_space, trust_space
+from tussle.core.principles import rigidity
+from tussle.core.simulator import TussleSimulator
+
+
+ALL_SPACES = [economics_space, trust_space, openness_space]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("factory", ALL_SPACES)
+    def test_every_variable_has_a_mechanism(self, factory):
+        space = factory()
+        covered = {m.variable for m in space.mechanisms}
+        assert covered == set(space.variables())
+
+    @pytest.mark.parametrize("factory", ALL_SPACES)
+    def test_flexible_by_default_rigid_on_request(self, factory):
+        flexible = factory(flexible=True)
+        rigid = factory(flexible=False)
+        assert rigidity(flexible.mechanisms, flexible.variables()) == 0.0
+        assert rigidity(rigid.mechanisms, rigid.variables()) == 1.0
+
+    @pytest.mark.parametrize("factory", ALL_SPACES)
+    def test_spaces_are_genuinely_contested(self, factory):
+        assert factory().contested_variables()
+
+    def test_arena_names(self):
+        assert economics_space().name == "economics"
+        assert trust_space().name == "trust"
+        assert openness_space().name == "openness"
+
+
+class TestDynamics:
+    @pytest.mark.parametrize("factory", ALL_SPACES)
+    def test_flexible_arena_survives_the_fight(self, factory):
+        outcome = TussleSimulator(factory(flexible=True)).run(40)
+        assert outcome.survived
+        assert outcome.total_workarounds == 0
+        assert outcome.total_moves > 0
+
+    @pytest.mark.parametrize("factory", ALL_SPACES)
+    def test_rigid_arena_is_broken(self, factory):
+        outcome = TussleSimulator(factory(flexible=False)).run(40)
+        assert outcome.broken
+        assert outcome.total_workarounds > 0
+
+    def test_trust_space_three_way_contention(self):
+        """Anonymity is pulled three ways: users, government, bad guys."""
+        space = trust_space()
+        assert "anonymity" in space.contested_variables()
+        assert space.conflict_intensity("anonymity") > 0.5
+
+    def test_economics_contest_never_settles(self):
+        outcome = TussleSimulator(economics_space()).run(40)
+        assert not outcome.settled  # "no final outcome"

@@ -1,0 +1,124 @@
+"""Tests for coupled tussle spaces (dynamic isolation)."""
+
+import pytest
+
+from tussle.errors import DesignError, TussleError
+from tussle.core.coupling import MultiSpaceSimulator
+from tussle.core.design import Design
+from tussle.core.mechanisms import Mechanism
+from tussle.core.stakeholders import Stakeholder, StakeholderKind
+from tussle.core.tussle import TussleSpace
+
+
+def hot_space(name="hot"):
+    space = TussleSpace(name, initial_state={"x": 0.5})
+    space.add_mechanism(Mechanism(name=f"{name}-knob", variable="x",
+                                  allowed_range=(0.5, 0.5)))
+    a = Stakeholder("a", StakeholderKind.USER, workaround_cost=0.05)
+    a.add_interest("x", target=1.0)
+    b = Stakeholder("b", StakeholderKind.COMMERCIAL_ISP, workaround_cost=0.05)
+    b.add_interest("x", target=0.0)
+    space.add_stakeholder(a)
+    space.add_stakeholder(b)
+    return space
+
+
+def calm_space(name="calm"):
+    space = TussleSpace(name, initial_state={"y": 0.2})
+    space.add_mechanism(Mechanism(name=f"{name}-knob", variable="y"))
+    solo = Stakeholder("solo", StakeholderKind.USER)
+    solo.add_interest("y", target=0.9)
+    space.add_stakeholder(solo)
+    return space
+
+
+def monolith_layout():
+    design = Design("monolith")
+    design.add_module("m")
+    return design, {"hot": "m", "calm": "m"}
+
+
+def split_layout():
+    design = Design("split")
+    design.add_module("m1")
+    design.add_module("m2")
+    return design, {"hot": "m1", "calm": "m2"}
+
+
+class TestValidation:
+    def test_placement_required_for_every_space(self):
+        design, _ = monolith_layout()
+        with pytest.raises(DesignError):
+            MultiSpaceSimulator(design, [hot_space()], placement={})
+
+    def test_placement_module_must_exist(self):
+        design, _ = monolith_layout()
+        with pytest.raises(DesignError):
+            MultiSpaceSimulator(design, [hot_space()],
+                                placement={"hot": "ghost"})
+
+    def test_space_names_unique(self):
+        design, placement = monolith_layout()
+        with pytest.raises(TussleError):
+            MultiSpaceSimulator(design, [hot_space("hot"), hot_space("hot")],
+                                placement=placement)
+
+
+class TestCoupling:
+    def test_colocated_hot_space_breaks_bystander(self):
+        design, placement = monolith_layout()
+        simulator = MultiSpaceSimulator(design, [hot_space(), calm_space()],
+                                        placement=placement,
+                                        workaround_damage=0.1)
+        result = simulator.run(20)
+        calm = result.record_for("calm")
+        assert calm.broken
+        assert calm.own_workarounds == 0
+        assert result.collateral_breakage() == ["calm"]
+
+    def test_separated_bystander_untouched(self):
+        design, placement = split_layout()
+        simulator = MultiSpaceSimulator(design, [hot_space(), calm_space()],
+                                        placement=placement,
+                                        workaround_damage=0.1)
+        result = simulator.run(20)
+        calm = result.record_for("calm")
+        assert not calm.broken
+        assert calm.final_integrity == 1.0
+        assert result.collateral_breakage() == []
+
+    def test_hot_space_breaks_its_own_module_either_way(self):
+        for layout in (monolith_layout, split_layout):
+            design, placement = layout()
+            simulator = MultiSpaceSimulator(design,
+                                            [hot_space(), calm_space()],
+                                            placement=placement,
+                                            workaround_damage=0.1)
+            result = simulator.run(20)
+            assert result.record_for("hot").broken
+
+    def test_broken_module_stops_running(self):
+        design, placement = monolith_layout()
+        simulator = MultiSpaceSimulator(design, [hot_space()],
+                                        placement={"hot": "m"},
+                                        workaround_damage=0.3)
+        result = simulator.run(20)
+        hot = result.record_for("hot")
+        # Breaks after round 1 (2 workarounds x 0.3); no further damage.
+        assert hot.broken
+        assert hot.own_workarounds == 2
+
+    def test_calm_space_settles_and_keeps_welfare(self):
+        design, placement = split_layout()
+        simulator = MultiSpaceSimulator(design, [hot_space(), calm_space()],
+                                        placement=placement)
+        result = simulator.run(20)
+        assert result.record_for("calm").final_welfare == pytest.approx(0.0)
+
+    def test_unknown_record_raises(self):
+        design, placement = split_layout()
+        simulator = MultiSpaceSimulator(design, [hot_space(), calm_space()],
+                                        placement=placement)
+        result = simulator.run(2)
+        with pytest.raises(TussleError):
+            result.record_for("ghost")

@@ -1,0 +1,121 @@
+"""Tests for the application design guidelines (§VI-A)."""
+
+import pytest
+
+from tussle.core.guidelines import (
+    GUIDELINES,
+    ApplicationDesign,
+    Severity,
+    audit,
+    tussle_readiness_grade,
+)
+
+
+def clean_design(**overrides):
+    base = dict(
+        name="clean",
+        user_selectable_roles={"server"},
+        third_parties={"ca"},
+        third_parties_selectable=True,
+        supports_encryption=True,
+        encryption_user_controlled=True,
+        reports_failures=True,
+        interfaces_open=True,
+        value_flow_designed=True,
+        needs_value_flow=True,
+        preconfigured_defaults=True,
+    )
+    base.update(overrides)
+    return ApplicationDesign(**base)
+
+
+class TestCatalogue:
+    def test_eight_guidelines_with_citations(self):
+        assert len(GUIDELINES) == 8
+        for guideline in GUIDELINES:
+            assert "§" in guideline.rationale  # every rule cites the paper
+
+    def test_identifiers_unique(self):
+        identifiers = [g.identifier for g in GUIDELINES]
+        assert len(set(identifiers)) == len(identifiers)
+
+
+class TestAudit:
+    def test_clean_design_passes_everything(self):
+        assert audit(clean_design()) == []
+        assert tussle_readiness_grade(clean_design()) == "A"
+
+    def test_fixed_roles_violate_g1(self):
+        design = clean_design(fixed_roles={"locked-server"})
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert "G1" in violated
+
+    def test_forced_third_parties_violate_g2(self):
+        design = clean_design(third_parties_selectable=False)
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert "G2" in violated
+
+    def test_no_third_parties_is_fine(self):
+        design = clean_design(third_parties=set(),
+                              third_parties_selectable=False)
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert "G2" not in violated
+
+    def test_missing_encryption_violates_g3_not_g4(self):
+        design = clean_design(supports_encryption=False,
+                              encryption_user_controlled=False)
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert "G3" in violated
+        assert "G4" not in violated  # nothing to control
+
+    def test_provider_controlled_encryption_violates_g4(self):
+        design = clean_design(encryption_user_controlled=False)
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert violated == {"G4"}
+
+    def test_undesigned_value_flow_violates_g7(self):
+        design = clean_design(value_flow_designed=False)
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert "G7" in violated
+
+    def test_value_flow_not_needed_is_fine(self):
+        design = clean_design(needs_value_flow=False,
+                              value_flow_designed=False)
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert "G7" not in violated
+
+    def test_choice_without_defaults_violates_g8(self):
+        design = clean_design(preconfigured_defaults=False)
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert "G8" in violated
+
+    def test_no_choice_needs_no_defaults(self):
+        design = clean_design(user_selectable_roles=set(),
+                              third_parties=set(),
+                              preconfigured_defaults=False)
+        violated = {f.guideline.identifier for f in audit(design)}
+        assert "G8" not in violated
+
+
+class TestGrading:
+    def test_advisory_only_grades_b(self):
+        design = clean_design(encryption_user_controlled=False)  # G4 advisory
+        assert tussle_readiness_grade(design) == "B"
+
+    def test_grades_degrade_with_serious_violations(self):
+        one = clean_design(reports_failures=False)                      # G5
+        two = clean_design(reports_failures=False, interfaces_open=False)  # +G6
+        many = clean_design(reports_failures=False, interfaces_open=False,
+                            supports_encryption=False,
+                            fixed_roles={"x"})
+        assert tussle_readiness_grade(one) == "C"
+        assert tussle_readiness_grade(two) == "D"
+        assert tussle_readiness_grade(many) == "F"
+
+    def test_findings_know_their_severity(self):
+        design = clean_design(reports_failures=False,
+                              preconfigured_defaults=False)
+        findings = audit(design)
+        severities = {f.guideline.identifier: f.serious for f in findings}
+        assert severities["G5"] is True
+        assert severities["G8"] is False

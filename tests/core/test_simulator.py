@@ -1,0 +1,128 @@
+"""Tests for the tussle adaptation simulator."""
+
+import pytest
+
+from tussle.core.mechanisms import Mechanism, MoveKind
+from tussle.core.simulator import TussleSimulator
+from tussle.core.stakeholders import Stakeholder, StakeholderKind
+from tussle.core.tussle import TussleSpace
+
+
+def contested_space(knob_range=(0.0, 1.0), can_workaround=True,
+                    workaround_cost=0.05):
+    space = TussleSpace("arena", initial_state={"x": 0.5})
+    space.add_mechanism(Mechanism(name="knob", variable="x",
+                                  allowed_range=knob_range))
+    users = Stakeholder("users", StakeholderKind.USER,
+                        can_workaround=can_workaround,
+                        workaround_cost=workaround_cost)
+    users.add_interest("x", target=1.0)
+    providers = Stakeholder("providers", StakeholderKind.COMMERCIAL_ISP,
+                            can_workaround=can_workaround,
+                            workaround_cost=workaround_cost)
+    providers.add_interest("x", target=0.0)
+    space.add_stakeholder(providers)
+    space.add_stakeholder(users)
+    return space
+
+
+def one_sided_space():
+    space = TussleSpace("calm", initial_state={"x": 0.2})
+    space.add_mechanism(Mechanism(name="knob", variable="x"))
+    users = Stakeholder("users", StakeholderKind.USER)
+    users.add_interest("x", target=0.9)
+    space.add_stakeholder(users)
+    return space
+
+
+class TestFlexibleDesign:
+    def test_endless_in_design_tussle_never_breaks(self):
+        simulator = TussleSimulator(contested_space())
+        outcome = simulator.run(50)
+        assert outcome.survived
+        assert outcome.final_integrity == 1.0
+        assert outcome.total_workarounds == 0
+        assert not outcome.settled  # "no final outcome"
+
+    def test_moves_use_the_knob(self):
+        simulator = TussleSimulator(contested_space())
+        record = simulator.step()
+        assert record.moves
+        assert all(m.kind is MoveKind.WITHIN_DESIGN for m in record.moves)
+        assert all(m.mechanism == "knob" for m in record.moves)
+
+
+class TestRigidDesign:
+    def test_workarounds_break_the_design(self):
+        space = contested_space(knob_range=(0.5, 0.5))
+        simulator = TussleSimulator(space, workaround_damage=0.1)
+        outcome = simulator.run(50)
+        assert outcome.broken
+        assert outcome.total_workarounds > 0
+        assert outcome.final_integrity < 0.5
+        assert outcome.broken_at is not None
+
+    def test_incapable_stakeholders_cannot_work_around(self):
+        space = contested_space(knob_range=(0.5, 0.5), can_workaround=False)
+        simulator = TussleSimulator(space)
+        outcome = simulator.run(20)
+        assert outcome.survived
+        assert outcome.total_moves == 0
+        assert outcome.settled  # nothing anyone can do: a frozen stalemate
+
+    def test_expensive_workarounds_deter(self):
+        space = contested_space(knob_range=(0.5, 0.5), workaround_cost=10.0)
+        simulator = TussleSimulator(space)
+        outcome = simulator.run(20)
+        assert outcome.total_workarounds == 0
+        assert outcome.survived
+
+
+class TestSettlement:
+    def test_uncontested_space_settles(self):
+        simulator = TussleSimulator(one_sided_space())
+        outcome = simulator.run(20)
+        assert outcome.settled
+        assert outcome.settled_at is not None
+        assert simulator.space.state["x"] == pytest.approx(0.9)
+
+    def test_settled_run_stops_early(self):
+        simulator = TussleSimulator(one_sided_space(), settle_rounds=2)
+        outcome = simulator.run(100)
+        assert outcome.rounds_run < 100
+
+
+class TestAccounting:
+    def test_history_snapshots_are_copies(self):
+        simulator = TussleSimulator(contested_space())
+        simulator.run(3)
+        states = [r.state for r in simulator.history]
+        assert states[0] is not states[1]
+
+    def test_workaround_fraction(self):
+        space = contested_space(knob_range=(0.5, 0.5))
+        simulator = TussleSimulator(space, workaround_damage=0.01)
+        outcome = simulator.run(10)
+        assert outcome.workaround_fraction == 1.0
+
+    def test_stakeholder_move_counters(self):
+        space = contested_space(knob_range=(0.5, 0.5))
+        simulator = TussleSimulator(space, workaround_damage=0.01)
+        simulator.run(5)
+        users = space.stakeholder("users")
+        assert users.moves_made > 0
+        assert users.workarounds_made == users.moves_made
+        assert users.total_move_costs > 0
+
+    def test_controller_restrictions_respected(self):
+        space = TussleSpace("arena", initial_state={"x": 0.5})
+        space.add_mechanism(Mechanism(
+            name="isp-only", variable="x",
+            controllers=frozenset({StakeholderKind.COMMERCIAL_ISP})))
+        users = Stakeholder("users", StakeholderKind.USER,
+                            can_workaround=False)
+        users.add_interest("x", target=1.0)
+        space.add_stakeholder(users)
+        simulator = TussleSimulator(space)
+        outcome = simulator.run(5)
+        assert outcome.total_moves == 0  # users cannot reach the knob

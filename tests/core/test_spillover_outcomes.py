@@ -1,0 +1,142 @@
+"""Tests for spillover measurement and welfare accounting."""
+
+import pytest
+
+from tussle.errors import DesignError, TussleError
+from tussle.core.design import Design
+from tussle.core.outcomes import (
+    WelfareLedger,
+    outcome_diversity,
+    pareto_dominates,
+)
+from tussle.core.spillover import dns_spillover, spillover_from_event
+from tussle.netsim.dns import EntangledNameSystem, SeparatedNameSystem
+
+
+def mixed_design():
+    design = Design("mixed")
+    design.add_module("shared")
+    design.place_function("shared", "fight-zone", tussle_spaces=["economics"])
+    design.place_function("shared", "bystander")
+    design.add_module("clean")
+    design.place_function("clean", "unrelated")
+    return design
+
+
+class TestStructuralSpillover:
+    def test_collateral_counted_in_affected_modules_only(self):
+        report = spillover_from_event(mixed_design(), "economics")
+        assert report.direct == 1
+        assert report.collateral == 1
+        assert report.affected_modules == ["shared"]
+        assert report.ratio == 1.0
+
+    def test_isolated_space_has_zero_ratio(self):
+        design = Design()
+        design.add_module("arena")
+        design.place_function("arena", "fight", tussle_spaces=["economics"])
+        report = spillover_from_event(design, "economics")
+        assert report.ratio == 0.0
+
+    def test_unknown_space_rejected(self):
+        with pytest.raises(DesignError):
+            spillover_from_event(mixed_design(), "nonexistent")
+
+
+class TestDnsSpillover:
+    def test_entangled_breaks_services(self):
+        result = dns_spillover(EntangledNameSystem(), n_names=10, seed=1)
+        assert result.disputes == 3
+        assert result.service_breakage > 0
+        assert result.machine_bindings_broken > 0
+        assert result.collateral_rate > 0
+
+    def test_separated_contains_the_damage(self):
+        result = dns_spillover(SeparatedNameSystem(), n_names=10, seed=1)
+        assert result.service_breakage == 0
+        assert result.machine_bindings_broken == 0
+        # Human-name resolution is still disrupted (the fight is real).
+        assert result.human_name_breakage > 0
+
+    def test_same_seed_same_disputes(self):
+        a = dns_spillover(EntangledNameSystem(), n_names=12, seed=5)
+        b = dns_spillover(EntangledNameSystem(), n_names=12, seed=5)
+        assert a.human_name_breakage == b.human_name_breakage
+
+
+class TestWelfareLedger:
+    def test_credit_debit(self):
+        ledger = WelfareLedger()
+        ledger.credit("users", 5.0)
+        ledger.debit("users", 2.0)
+        assert ledger.surplus("users") == 3.0
+        assert ledger.total() == 3.0
+
+    def test_as_row_includes_total(self):
+        ledger = WelfareLedger()
+        ledger.credit("a", 1.0)
+        row = ledger.as_row()
+        assert row["__total__"] == 1.0
+        assert ledger.parties() == ["a"]
+
+
+class TestPareto:
+    def test_dominance(self):
+        assert pareto_dominates({"a": 2.0, "b": 1.0}, {"a": 1.0, "b": 1.0})
+
+    def test_no_dominance_on_tradeoff(self):
+        assert not pareto_dominates({"a": 2.0, "b": 0.0}, {"a": 1.0, "b": 1.0})
+
+    def test_equal_profiles_do_not_dominate(self):
+        assert not pareto_dominates({"a": 1.0}, {"a": 1.0})
+
+    def test_mismatched_parties_rejected(self):
+        with pytest.raises(TussleError):
+            pareto_dominates({"a": 1.0}, {"b": 1.0})
+
+
+class TestOutcomeDiversity:
+    def test_identical_outcomes_zero(self):
+        states = [{"x": 0.5}, {"x": 0.5}, {"x": 0.5}]
+        assert outcome_diversity(states) == 0.0
+
+    def test_varied_outcomes_positive(self):
+        states = [{"x": 0.0}, {"x": 1.0}]
+        assert outcome_diversity(states) > 0.0
+
+    def test_single_state_zero(self):
+        assert outcome_diversity([{"x": 1.0}]) == 0.0
+
+    def test_diversity_grows_with_spread(self):
+        narrow = [{"x": 0.4}, {"x": 0.6}]
+        wide = [{"x": 0.0}, {"x": 1.0}]
+        assert outcome_diversity(wide) > outcome_diversity(narrow)
+
+
+class TestOutcomeComparison:
+    def test_tie_reported(self):
+        from tussle.core.outcomes import compare_outcomes
+        from tussle.core.simulator import TussleOutcome
+
+        outcome = TussleOutcome(rounds_run=1, broken=False, broken_at=None,
+                                settled=True, settled_at=0,
+                                final_integrity=1.0, final_welfare=0.0,
+                                total_moves=0, total_workarounds=0)
+        comparison = compare_outcomes("a", outcome, "b", outcome)
+        assert comparison.winner() == "tie"
+
+    def test_survival_dominates_welfare(self):
+        from tussle.core.outcomes import compare_outcomes
+        from tussle.core.simulator import TussleOutcome
+
+        survivor = TussleOutcome(rounds_run=1, broken=False, broken_at=None,
+                                 settled=False, settled_at=None,
+                                 final_integrity=0.8, final_welfare=-100.0,
+                                 total_moves=5, total_workarounds=0)
+        rich_wreck = TussleOutcome(rounds_run=1, broken=True, broken_at=0,
+                                   settled=False, settled_at=None,
+                                   final_integrity=0.2, final_welfare=50.0,
+                                   total_moves=5, total_workarounds=5)
+        comparison = compare_outcomes("survivor", survivor,
+                                      "wreck", rich_wreck)
+        assert comparison.winner() == "survivor"

@@ -1,0 +1,85 @@
+"""Tests for stakeholders, interests and mechanisms."""
+
+import pytest
+
+from tussle.errors import TussleError
+from tussle.core.mechanisms import Mechanism, Move, MoveKind
+from tussle.core.stakeholders import Interest, Stakeholder, StakeholderKind
+
+
+class TestInterest:
+    def test_dissatisfaction_is_weighted_distance(self):
+        interest = Interest(variable="x", target=1.0, weight=2.0)
+        assert interest.dissatisfaction(0.25) == pytest.approx(1.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(TussleError):
+            Interest(variable="x", target=0.0, weight=-1.0)
+
+
+class TestStakeholder:
+    def test_utility_sums_interests(self):
+        stakeholder = Stakeholder("u", StakeholderKind.USER)
+        stakeholder.add_interest("a", target=1.0, weight=1.0)
+        stakeholder.add_interest("b", target=0.0, weight=2.0)
+        assert stakeholder.utility({"a": 1.0, "b": 0.0}) == 0.0
+        assert stakeholder.utility({"a": 0.5, "b": 0.5}) == pytest.approx(-1.5)
+
+    def test_missing_variable_counts_fully(self):
+        stakeholder = Stakeholder("u", StakeholderKind.USER)
+        stakeholder.add_interest("a", target=1.0, weight=3.0)
+        assert stakeholder.utility({}) == -3.0
+
+    def test_cares_about(self):
+        stakeholder = Stakeholder("u", StakeholderKind.USER)
+        stakeholder.add_interest("a", target=1.0)
+        stakeholder.add_interest("b", target=1.0, weight=0.0)
+        assert stakeholder.cares_about("a")
+        assert not stakeholder.cares_about("b")
+        assert not stakeholder.cares_about("c")
+
+
+class TestMechanism:
+    def test_defaults_open_to_all_kinds(self):
+        mechanism = Mechanism(name="m", variable="x")
+        for kind in StakeholderKind:
+            assert mechanism.controllable_by(kind)
+
+    def test_restricted_controllers(self):
+        mechanism = Mechanism(name="m", variable="x",
+                              controllers=frozenset({StakeholderKind.USER}))
+        assert mechanism.controllable_by(StakeholderKind.USER)
+        assert not mechanism.controllable_by(StakeholderKind.GOVERNMENT)
+
+    def test_controllers_coerced_to_frozenset(self):
+        mechanism = Mechanism(name="m", variable="x",
+                              controllers={StakeholderKind.USER})
+        assert isinstance(mechanism.controllers, frozenset)
+
+    def test_clamp_and_permits(self):
+        mechanism = Mechanism(name="m", variable="x", allowed_range=(0.2, 0.8))
+        assert mechanism.clamp(1.0) == 0.8
+        assert mechanism.clamp(0.0) == 0.2
+        assert mechanism.clamp(0.5) == 0.5
+        assert mechanism.permits(0.5)
+        assert not mechanism.permits(0.9)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(TussleError):
+            Mechanism(name="m", variable="x", allowed_range=(0.8, 0.2))
+
+    def test_effectiveness_bounds(self):
+        with pytest.raises(TussleError):
+            Mechanism(name="m", variable="x", effectiveness=0.0)
+        with pytest.raises(TussleError):
+            Mechanism(name="m", variable="x", effectiveness=1.5)
+
+
+class TestMove:
+    def test_within_design_flag(self):
+        move = Move(actor="u", variable="x", new_value=0.5,
+                    kind=MoveKind.WITHIN_DESIGN)
+        assert move.within_design
+        workaround = Move(actor="u", variable="x", new_value=0.5,
+                          kind=MoveKind.WORKAROUND)
+        assert not workaround.within_design

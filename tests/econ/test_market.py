@@ -1,0 +1,168 @@
+"""Tests for the round-based access market."""
+
+import pytest
+
+from tussle.errors import MarketError
+from tussle.econ.agents import Consumer, Provider
+from tussle.econ.demand import Segment
+from tussle.econ.market import Market
+from tussle.econ.pricing import UndercutPricing
+
+
+def simple_market(switching_cost=0.0, **market_kwargs):
+    providers = [
+        Provider(name="cheap", price=10.0, unit_cost=2.0),
+        Provider(name="dear", price=30.0, unit_cost=2.0),
+    ]
+    consumers = [
+        Consumer(name=f"c{i}", wtp=50.0, switching_cost=switching_cost)
+        for i in range(4)
+    ]
+    return Market(providers=providers, consumers=consumers, **market_kwargs)
+
+
+class TestSetup:
+    def test_needs_providers(self):
+        with pytest.raises(MarketError):
+            Market(providers=[], consumers=[])
+
+    def test_unique_provider_names(self):
+        providers = [Provider(name="p", price=1.0), Provider(name="p", price=2.0)]
+        with pytest.raises(MarketError):
+            Market(providers=providers, consumers=[])
+
+    def test_initial_assignment_picks_best_offer(self):
+        market = simple_market()
+        assert all(c.provider == "cheap" for c in market.consumers)
+
+    def test_preassigned_consumers_kept(self):
+        providers = [Provider(name="a", price=10.0), Provider(name="b", price=10.0)]
+        consumer = Consumer(name="c", wtp=50.0, provider="b")
+        market = Market(providers=providers, consumers=[consumer])
+        assert consumer.provider == "b"
+        assert "c" in market.providers["b"].subscribers
+
+
+class TestRounds:
+    def test_switching_cost_prevents_churn(self):
+        market = simple_market(switching_cost=100.0)
+        # Move everyone to the dear provider artificially.
+        for consumer in market.consumers:
+            market.providers["cheap"].subscribers.discard(consumer.name)
+            consumer.provider = "dear"
+            market.providers["dear"].subscribers.add(consumer.name)
+        market.step()
+        assert market.total_switches() == 0
+
+    def test_cheap_switching_enables_churn(self):
+        market = simple_market(switching_cost=0.5)
+        for consumer in market.consumers:
+            market.providers["cheap"].subscribers.discard(consumer.name)
+            consumer.provider = "dear"
+            market.providers["dear"].subscribers.add(consumer.name)
+        market.step()
+        assert market.total_switches() == 4
+        assert all(c.provider == "cheap" for c in market.consumers)
+
+    def test_negative_surplus_consumer_leaves(self):
+        providers = [Provider(name="p", price=100.0)]
+        consumers = [Consumer(name="c", wtp=10.0)]
+        market = Market(providers=providers, consumers=consumers)
+        market.step()
+        assert consumers[0].provider is None
+        assert market.subscribed_fraction() == 0.0
+
+    def test_revenue_equals_price_times_subscribers(self):
+        market = simple_market()
+        market.step()
+        cheap = market.providers["cheap"]
+        assert cheap.revenue_history[-1] == pytest.approx(10.0 * 4)
+
+    def test_history_records_rounds(self):
+        market = simple_market()
+        market.run(3)
+        assert len(market.history) == 3
+        assert [r.index for r in market.history] == [0, 1, 2]
+
+    def test_strategies_applied_each_round(self):
+        market = simple_market(strategies={"dear": UndercutPricing()})
+        market.step()
+        assert market.providers["dear"].price == pytest.approx(9.0)
+
+
+class TestValuePricingPath:
+    def _business_market(self, can_tunnel, detects=False):
+        providers = [Provider(name="p", price=20.0, business_price=50.0,
+                              detects_tunnels=detects)]
+        consumers = [Consumer(name="biz", wtp=40.0, segment=Segment.BUSINESS,
+                              server_value=35.0, can_tunnel=can_tunnel,
+                              tunnel_cost=2.0)]
+        return Market(providers=providers, consumers=consumers)
+
+    def test_business_consumer_pays_tier_when_no_tunnel(self):
+        market = self._business_market(can_tunnel=False)
+        market.step()
+        # paid business rate: revenue 50
+        assert market.providers["p"].revenue_history[-1] == pytest.approx(50.0)
+
+    def test_tunneling_consumer_pays_basic_rate(self):
+        market = self._business_market(can_tunnel=True)
+        market.step()
+        assert market.consumers[0].tunnelling
+        assert market.providers["p"].revenue_history[-1] == pytest.approx(20.0)
+
+    def test_detection_defeats_tunnelling(self):
+        market = self._business_market(can_tunnel=True, detects=True)
+        market.step()
+        assert not market.consumers[0].tunnelling
+        assert market.providers["p"].revenue_history[-1] == pytest.approx(50.0)
+
+    def test_servers_free_when_not_prohibited(self):
+        providers = [Provider(name="p", price=20.0, business_price=50.0)]
+        consumers = [Consumer(name="biz", wtp=40.0, segment=Segment.BUSINESS,
+                              server_value=35.0)]
+        market = Market(providers=providers, consumers=consumers,
+                        server_prohibited_without_tier=False)
+        market.step()
+        assert market.providers["p"].revenue_history[-1] == pytest.approx(20.0)
+
+
+class TestPreferenceNoise:
+    def test_noise_spreads_consumers_across_equal_providers(self):
+        providers = [Provider(name=f"p{i}", price=10.0) for i in range(4)]
+        consumers = [Consumer(name=f"c{i}", wtp=50.0) for i in range(40)]
+        market = Market(providers=providers, consumers=consumers,
+                        preference_noise=2.0, seed=1)
+        counts = [len(p.subscribers) for p in market.providers.values()]
+        assert max(counts) < 40  # not everyone on one provider
+
+    def test_no_noise_concentrates(self):
+        providers = [Provider(name=f"p{i}", price=10.0) for i in range(4)]
+        consumers = [Consumer(name=f"c{i}", wtp=50.0) for i in range(40)]
+        market = Market(providers=providers, consumers=consumers, seed=1)
+        counts = sorted(len(p.subscribers) for p in market.providers.values())
+        assert counts == [0, 0, 0, 40]
+
+
+class TestRoundRecords:
+    def test_shares_sum_to_subscribed_fraction(self):
+        market = simple_market()
+        record = market.step()
+        assert sum(record.shares.values()) == pytest.approx(
+            market.subscribed_fraction())
+
+    def test_tunnelling_consumers_counted(self):
+        providers = [Provider(name="p", price=20.0, business_price=50.0)]
+        consumers = [
+            Consumer(name=f"biz{i}", wtp=40.0, segment=Segment.BUSINESS,
+                     server_value=35.0, can_tunnel=True, tunnel_cost=2.0)
+            for i in range(3)
+        ]
+        market = Market(providers=providers, consumers=consumers)
+        record = market.step()
+        assert record.tunnelling_consumers == 3
+
+    def test_mean_price_over_providers(self):
+        market = simple_market()
+        record = market.step()
+        assert record.mean_price == pytest.approx((10.0 + 30.0) / 2)

@@ -1,0 +1,76 @@
+"""Tests for the multicast coordination game (the §VII exercise)."""
+
+import pytest
+
+from tussle.econ.investment import (
+    DeploymentChoice,
+    MulticastModel,
+    multicast_deployment_game,
+)
+
+
+class TestPayoffs:
+    def test_solo_open_deployment_loses_money(self):
+        model = MulticastModel()
+        payoff = model.payoff(DeploymentChoice.DEPLOY_OPEN,
+                              DeploymentChoice.NO_DEPLOY, True, True)
+        assert payoff < 0
+
+    def test_universal_open_deployment_profits(self):
+        model = MulticastModel()
+        payoff = model.payoff(DeploymentChoice.DEPLOY_OPEN,
+                              DeploymentChoice.DEPLOY_OPEN, True, True)
+        assert payoff > 0
+
+    def test_network_effect_gates_open_revenue(self):
+        model = MulticastModel()
+        alone = model.payoff(DeploymentChoice.DEPLOY_OPEN,
+                             DeploymentChoice.NO_DEPLOY, True, False)
+        together = model.payoff(DeploymentChoice.DEPLOY_OPEN,
+                                DeploymentChoice.DEPLOY_OPEN, True, False)
+        assert together > alone
+
+    def test_no_value_flow_means_no_open_revenue(self):
+        model = MulticastModel()
+        assert model.payoff(DeploymentChoice.DEPLOY_OPEN,
+                            DeploymentChoice.DEPLOY_OPEN, False, False) \
+            == pytest.approx(-model.deployment_cost)
+
+
+class TestEquilibria:
+    def test_best_cell_is_a_stag_hunt(self):
+        """Open is stable AND closed/no-deploy is stable: coordination trap."""
+        model = MulticastModel()
+        stable = model.symmetric_equilibria(True, True)
+        assert DeploymentChoice.DEPLOY_OPEN in stable
+        assert len(stable) > 1
+
+    def test_factorial_traps(self):
+        cells = {(c.value_flow, c.user_choice): c
+                 for c in multicast_deployment_game()}
+        assert cells[(True, True)].coordination_trap
+        # Without user choice there is no churn pressure toward open at
+        # all; closed deployment is simply the unique equilibrium.
+        assert not cells[(True, False)].coordination_trap
+        assert cells[(True, False)].equilibria == [DeploymentChoice.DEPLOY_CLOSED]
+
+    def test_contrast_with_qos(self):
+        """QoS's best cell resolves to open; multicast's stays ambiguous."""
+        from tussle.econ.investment import InvestmentModel
+
+        qos_stable = InvestmentModel().symmetric_equilibria(True, True)
+        multicast_stable = MulticastModel().symmetric_equilibria(True, True)
+        assert qos_stable == [DeploymentChoice.DEPLOY_OPEN]
+        assert len(multicast_stable) > len(qos_stable)
+
+    def test_no_closed_option_still_trapped(self):
+        cells = {(c.value_flow, c.user_choice): c
+                 for c in multicast_deployment_game(allow_closed=False)}
+        best = cells[(True, True)]
+        assert DeploymentChoice.DEPLOY_OPEN in best.equilibria
+        assert DeploymentChoice.NO_DEPLOY in best.equilibria
+        assert best.coordination_trap
+
+    def test_describe(self):
+        cell = multicast_deployment_game()[0]
+        assert "no-value-flow" in cell.describe()

@@ -1,0 +1,94 @@
+"""Tests for payment mechanisms and the value-flow ledger."""
+
+import pytest
+
+from tussle.errors import MarketError
+from tussle.econ.payments import (
+    AGGREGATOR,
+    CREDIT_CARD,
+    MICROPAYMENT,
+    MUTUAL_AID,
+    PaymentMechanism,
+    ValueFlowLedger,
+    cheapest_mechanism,
+    viable_mechanisms,
+)
+
+
+class TestMechanisms:
+    def test_fee_structure(self):
+        mech = PaymentMechanism("m", fixed_fee=0.1, proportional_fee=0.02)
+        assert mech.fee(10.0) == pytest.approx(0.3)
+        assert mech.net(10.0) == pytest.approx(9.7)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(MarketError):
+            CREDIT_CARD.fee(-1.0)
+
+    def test_credit_card_not_viable_for_micropayments(self):
+        """The paper's case study: fees eat tiny transactions."""
+        assert not CREDIT_CARD.viable_for(0.05)
+        assert MICROPAYMENT.viable_for(0.05)
+
+    def test_credit_card_viable_for_normal_purchases(self):
+        assert CREDIT_CARD.viable_for(25.0)
+
+    def test_minimum_transaction_enforced(self):
+        assert not CREDIT_CARD.viable_for(0.4)
+
+    def test_viable_mechanisms_for_tiny_amount(self):
+        viable = {m.name for m in viable_mechanisms(0.05)}
+        assert "micropayment" in viable
+        assert "credit-card" not in viable
+
+    def test_cheapest_mechanism_crossover(self):
+        """Micropayments win small; proportional fees dominate large."""
+        small = cheapest_mechanism(0.10)
+        assert small.name == "micropayment"
+        large = cheapest_mechanism(1000.0)
+        assert large.name == "micropayment" or large.fee(1000.0) <= \
+            MICROPAYMENT.fee(1000.0)
+
+    def test_mutual_aid_excluded_when_monetary_required(self):
+        chosen = cheapest_mechanism(10.0, monetary_only=True)
+        assert chosen.monetary
+        in_kind = cheapest_mechanism(10.0, monetary_only=False)
+        assert in_kind.name == "mutual-aid"  # zero fees
+
+
+class TestLedger:
+    def test_transfer_conserves_value(self):
+        ledger = ValueFlowLedger()
+        ledger.transfer("user", "isp", 10.0, CREDIT_CARD)
+        assert ledger.total() == pytest.approx(0.0)
+
+    def test_payee_receives_net_of_fees(self):
+        ledger = ValueFlowLedger()
+        net = ledger.transfer("user", "isp", 10.0, CREDIT_CARD)
+        assert net == pytest.approx(10.0 - CREDIT_CARD.fee(10.0))
+        assert ledger.balance("isp") == pytest.approx(net)
+        assert ledger.balance("user") == pytest.approx(-10.0)
+
+    def test_nonviable_transfer_rejected(self):
+        ledger = ValueFlowLedger()
+        with pytest.raises(MarketError):
+            ledger.transfer("user", "isp", 0.05, CREDIT_CARD)
+        assert ledger.total() == 0.0
+        assert ledger.volume() == 0.0
+
+    def test_self_transfer_rejected(self):
+        with pytest.raises(MarketError):
+            ValueFlowLedger().transfer("a", "a", 1.0)
+
+    def test_volume_and_parties(self):
+        ledger = ValueFlowLedger()
+        ledger.transfer("a", "b", 5.0, AGGREGATOR)
+        ledger.transfer("b", "c", 2.0, AGGREGATOR)
+        assert ledger.volume() == pytest.approx(7.0)
+        assert ledger.parties() == ["a", "b", "c"]
+
+    def test_mutual_aid_is_free(self):
+        ledger = ValueFlowLedger()
+        net = ledger.transfer("peer1", "peer2", 3.0, MUTUAL_AID)
+        assert net == 3.0
+        assert ledger.balance(ValueFlowLedger.FEE_ACCOUNT) == 0.0

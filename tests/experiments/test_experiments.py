@@ -1,0 +1,117 @@
+"""Every experiment must reproduce the paper's qualitative shape.
+
+These are the repository's headline assertions: each ``run_eNN`` returns
+explicit shape checks against the claims of the paper, and all of them
+must hold.
+"""
+
+import pytest
+
+from tussle.experiments import ALL_EXPERIMENTS
+from tussle.experiments.common import ExperimentResult, Table
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {eid: fn() for eid, fn in ALL_EXPERIMENTS.items()}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_shape_holds(results, experiment_id):
+    result = results[experiment_id]
+    failing = [c for c in result.checks if not c.holds]
+    assert result.shape_holds, (
+        f"{experiment_id} failed checks: "
+        + "; ".join(f"{c.claim} ({c.detail})" for c in failing)
+    )
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_result_is_well_formed(results, experiment_id):
+    result = results[experiment_id]
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.paper_claim
+    assert result.tables, "every experiment reports at least one table"
+    assert result.checks, "every experiment asserts at least one shape check"
+    for table in result.tables:
+        assert len(table) > 0
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_format_renders(results, experiment_id):
+    text = results[experiment_id].format()
+    assert experiment_id in text
+    assert "HOLDS" in text
+    assert "FAILS" not in text
+
+
+def test_experiment_registry_complete():
+    expected = [f"E{i:02d}" for i in range(1, 13)] + ["X01", "X02", "X03", "X04", "X05", "X06", "X07"]
+    assert sorted(ALL_EXPERIMENTS) == expected
+
+
+def test_experiments_deterministic():
+    """Re-running an experiment yields identical tables."""
+    from tussle.experiments import run_e01
+
+    first = run_e01()
+    second = run_e01()
+    assert first.tables[0].rows == second.tables[0].rows
+
+
+class TestTableHarness:
+    def test_unknown_column_rejected(self):
+        table = Table("t", ["a"])
+        with pytest.raises(Exception):
+            table.add_row(b=1)
+
+    def test_column_extraction(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(a=1, b=2)
+        table.add_row(a=3)
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2, None]
+
+    def test_format_alignment(self):
+        table = Table("title", ["name", "value"])
+        table.add_row(name="x", value=1.5)
+        text = table.format()
+        assert "title" in text
+        assert "1.500" in text
+
+    def test_needs_columns(self):
+        with pytest.raises(Exception):
+            Table("t", [])
+
+
+class TestMonotoneHelpers:
+    def test_monotone_decreasing(self):
+        from tussle.experiments.common import monotone_decreasing
+
+        assert monotone_decreasing([3.0, 2.0, 2.0, 1.0])
+        assert not monotone_decreasing([1.0, 2.0])
+        assert monotone_decreasing([3.0, 2.0, 1.0], strict=True)
+        assert not monotone_decreasing([3.0, 2.0, 2.0], strict=True)
+        assert monotone_decreasing([])
+        assert monotone_decreasing([1.0])
+
+    def test_monotone_increasing(self):
+        from tussle.experiments.common import monotone_increasing
+
+        assert monotone_increasing([1.0, 2.0, 2.0, 3.0])
+        assert not monotone_increasing([2.0, 1.0])
+        assert monotone_increasing([1.0, 2.0], strict=True)
+        assert not monotone_increasing([1.0, 1.0], strict=True)
+
+    def test_shape_check_records(self):
+        from tussle.experiments.common import ExperimentResult
+
+        result = ExperimentResult(experiment_id="T00", title="t",
+                                  paper_claim="c")
+        result.add_check("passes", True, detail="d")
+        result.add_check("fails", False)
+        assert not result.shape_holds
+        text = result.format()
+        assert "[HOLDS] passes" in text
+        assert "[FAILS] fails" in text

@@ -1,0 +1,122 @@
+"""Tests for bounded-rationality agents."""
+
+import random
+
+import numpy as np
+import pytest
+
+from tussle.errors import GameError
+from tussle.gametheory.bounded import (
+    BoundedPlaySession,
+    Imitator,
+    MyopicBestResponder,
+    Satisficer,
+)
+from tussle.gametheory.repeated import prisoners_dilemma
+
+
+class TestMyopic:
+    def test_tries_every_action_first(self):
+        agent = MyopicBestResponder(3, exploration=0.0)
+        rng = random.Random(0)
+        first_choices = []
+        for action in range(3):
+            choice = agent.choose(rng)
+            first_choices.append(choice)
+            agent.observe(choice, payoff=float(choice))
+        assert sorted(first_choices) == [0, 1, 2]
+
+    def test_exploits_best_average(self):
+        agent = MyopicBestResponder(2, exploration=0.0)
+        rng = random.Random(0)
+        agent.observe(0, 1.0)
+        agent.observe(1, 5.0)
+        assert agent.choose(rng) == 1
+
+    def test_needs_actions(self):
+        with pytest.raises(GameError):
+            MyopicBestResponder(0)
+
+
+class TestSatisficer:
+    def test_stays_while_satisfied(self):
+        agent = Satisficer(3, aspiration=1.0)
+        rng = random.Random(0)
+        first = agent.choose(rng)
+        agent.observe(first, payoff=5.0)
+        assert agent.choose(rng) == first
+
+    def test_searches_when_dissatisfied(self):
+        agent = Satisficer(10, aspiration=10.0, adaptation=0.0)
+        rng = random.Random(1)
+        first = agent.choose(rng)
+        agent.observe(first, payoff=0.0)
+        choices = {agent.choose(rng) for _ in range(20)}
+        assert len(choices) > 1  # it moved
+
+    def test_aspiration_adapts_toward_payoffs(self):
+        agent = Satisficer(2, aspiration=0.0, adaptation=0.5)
+        agent.observe(0, payoff=4.0)
+        assert agent.aspiration == pytest.approx(2.0)
+
+
+class TestImitator:
+    def test_copies_best_seen(self):
+        agent = Imitator(3)
+        agent.observe_peer(2, payoff=9.0)
+        agent.observe_peer(1, payoff=3.0)
+        assert agent.choose(random.Random(0)) == 2
+
+
+class TestSession:
+    def test_two_player_only(self):
+        import numpy as np
+        from tussle.gametheory.games import NormalFormGame
+        payoffs = [np.zeros((2, 2, 2)) for _ in range(3)]
+        with pytest.raises(GameError):
+            BoundedPlaySession(NormalFormGame(payoffs),
+                               MyopicBestResponder(2), MyopicBestResponder(2))
+
+    def test_myopic_agents_find_defection_in_pd(self):
+        """Bounded learners land on the same equilibrium as theory."""
+        session = BoundedPlaySession(
+            prisoners_dilemma(),
+            MyopicBestResponder(2, exploration=0.1),
+            MyopicBestResponder(2, exploration=0.1),
+            noise=0.3,
+            seed=4,
+        )
+        session.run(400)
+        row_freq, col_freq = session.empirical_distribution(tail=100)
+        assert row_freq[1] > 0.7
+        assert col_freq[1] > 0.7
+
+    def test_satisficers_can_sustain_cooperation(self):
+        """Satisficing (not optimizing) can settle on the Pareto outcome —
+        the bounded-rationality point: the tussle need not reach Nash."""
+        session = BoundedPlaySession(
+            prisoners_dilemma(),
+            Satisficer(2, aspiration=2.5, adaptation=0.0),
+            Satisficer(2, aspiration=2.5, adaptation=0.0),
+            noise=0.0,
+            seed=0,
+        )
+        session.run(100)
+        row_freq, _ = session.empirical_distribution(tail=50)
+        assert row_freq[0] > 0.9  # cooperating
+
+    def test_history_recorded(self):
+        session = BoundedPlaySession(prisoners_dilemma(),
+                                     MyopicBestResponder(2),
+                                     MyopicBestResponder(2), seed=1)
+        session.run(10)
+        assert len(session.action_history) == 10
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            session = BoundedPlaySession(prisoners_dilemma(),
+                                         MyopicBestResponder(2),
+                                         MyopicBestResponder(2), seed=seed)
+            return session.run(50)
+
+        assert run(7) == run(7)

@@ -1,0 +1,116 @@
+"""Tests for Vickrey auctions and VCG."""
+
+import pytest
+
+from tussle.errors import GameError
+from tussle.gametheory.mechanism import (
+    VCGMechanism,
+    first_price_auction,
+    is_truthful_dominant,
+    vickrey_auction,
+)
+
+
+class TestVickrey:
+    def test_highest_bid_wins_pays_second(self):
+        result = vickrey_auction({"a": 10.0, "b": 7.0, "c": 3.0})
+        assert result.winner == "a"
+        assert result.price == 7.0
+
+    def test_single_bidder_pays_zero(self):
+        result = vickrey_auction({"a": 10.0})
+        assert result.winner == "a"
+        assert result.price == 0.0
+
+    def test_tie_broken_by_name(self):
+        result = vickrey_auction({"b": 5.0, "a": 5.0})
+        assert result.winner == "a"
+        assert result.price == 5.0
+
+    def test_winner_utility_value_minus_price(self):
+        values = {"a": 10.0, "b": 7.0}
+        result = vickrey_auction({"a": 10.0, "b": 7.0}, values)
+        assert result.utilities["a"] == pytest.approx(3.0)
+        assert result.utilities["b"] == 0.0
+
+    def test_negative_bid_rejected(self):
+        with pytest.raises(GameError):
+            vickrey_auction({"a": -1.0})
+
+    def test_empty_auction_rejected(self):
+        with pytest.raises(GameError):
+            vickrey_auction({})
+
+
+class TestTruthfulness:
+    def test_vickrey_truthful(self):
+        values = {"alice": 8.0, "bob": 5.0}
+        assert is_truthful_dominant(vickrey_auction, values)
+
+    def test_first_price_not_truthful(self):
+        values = {"alice": 8.0, "bob": 5.0}
+        assert not is_truthful_dominant(first_price_auction, values)
+
+    def test_focal_bidder_selectable(self):
+        values = {"alice": 8.0, "bob": 5.0}
+        assert is_truthful_dominant(vickrey_auction, values, focal_bidder="bob")
+
+    def test_unknown_focal_rejected(self):
+        with pytest.raises(GameError):
+            is_truthful_dominant(vickrey_auction, {"a": 1.0}, focal_bidder="x")
+
+
+class TestVcg:
+    def test_welfare_maximizing_outcome_chosen(self):
+        vcg = VCGMechanism(["x", "y"])
+        reports = {
+            "p1": {"x": 5.0, "y": 0.0},
+            "p2": {"x": 0.0, "y": 3.0},
+        }
+        chosen, payments = vcg.run(reports)
+        assert chosen == "x"
+
+    def test_clarke_pivot_payment(self):
+        vcg = VCGMechanism(["x", "y"])
+        reports = {
+            "p1": {"x": 5.0, "y": 0.0},
+            "p2": {"x": 0.0, "y": 3.0},
+        }
+        _, payments = vcg.run(reports)
+        # Without p1, y (worth 3) would win; with p1, p2 gets 0 => p1 pays 3.
+        assert payments["p1"] == pytest.approx(3.0)
+        # p2 is not pivotal: x wins either way.
+        assert payments["p2"] == pytest.approx(0.0)
+
+    def test_non_pivotal_agents_pay_nothing(self):
+        vcg = VCGMechanism(["x", "y"])
+        reports = {
+            "big": {"x": 10.0, "y": 0.0},
+            "small1": {"x": 1.0, "y": 0.0},
+            "small2": {"x": 1.0, "y": 0.0},
+        }
+        _, payments = vcg.run(reports)
+        assert payments["small1"] == 0.0
+        assert payments["small2"] == 0.0
+
+    def test_truthful_reporting_weakly_dominant_spot_check(self):
+        vcg = VCGMechanism(["x", "y"])
+        true_values = {"x": 5.0, "y": 0.0}
+        others = {"p2": {"x": 0.0, "y": 3.0}}
+        truthful = vcg.utility("p1", true_values,
+                               {"p1": true_values, **others})
+        for lie in ({"x": 2.0, "y": 0.0}, {"x": 0.0, "y": 9.0},
+                    {"x": 100.0, "y": 0.0}):
+            lying = vcg.utility("p1", true_values, {"p1": lie, **others})
+            assert lying <= truthful + 1e-9
+
+    def test_missing_outcome_values_rejected(self):
+        vcg = VCGMechanism(["x", "y"])
+        with pytest.raises(GameError):
+            vcg.run({"p1": {"x": 1.0}})
+
+    def test_needs_agents_and_outcomes(self):
+        with pytest.raises(GameError):
+            VCGMechanism([])
+        with pytest.raises(GameError):
+            VCGMechanism(["x"]).run({})

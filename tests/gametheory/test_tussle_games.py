@@ -1,0 +1,136 @@
+"""Tests for the canonical tussle-game constructors."""
+
+import pytest
+
+from tussle.errors import GameError
+from tussle.gametheory.games import TussleClass, classify_game
+from tussle.gametheory.tussle_games import (
+    anonymity_game,
+    congestion_dilemma,
+    encryption_escalation_game,
+    peering_game,
+    wiretap_hide_seek,
+)
+
+
+class TestCongestionDilemma:
+    def test_is_a_dilemma(self):
+        game = congestion_dilemma()
+        assert game.pure_nash_equilibria() == [(1, 1)]
+        assert game.dominant_strategy(0) == 1
+
+    def test_mutual_compliance_is_better_for_both(self):
+        game = congestion_dilemma()
+        assert game.payoff(0, (0, 0)) > game.payoff(0, (1, 1))
+
+    def test_parameter_validation(self):
+        with pytest.raises(GameError):
+            congestion_dilemma(capacity_value=1.0, cheat_gain=0.0)
+
+
+class TestEncryptionEscalation:
+    def test_competition_range_validated(self):
+        with pytest.raises(GameError):
+            encryption_escalation_game(1.5)
+
+    def test_monopoly_has_no_pure_equilibrium(self):
+        game = encryption_escalation_game(0.0)
+        assert game.pure_nash_equilibria() == []
+
+    def test_competition_stabilizes_transparency(self):
+        game = encryption_escalation_game(1.0)
+        assert (0, 0) in game.pure_nash_equilibria()
+
+    def test_exploit_profitable_only_under_weak_competition(self):
+        weak = encryption_escalation_game(0.0)
+        strong = encryption_escalation_game(1.0)
+        # ISP payoff of exploit vs plaintext user.
+        assert weak.payoff(1, (0, 1)) > weak.payoff(1, (0, 0))
+        assert strong.payoff(1, (0, 1)) < strong.payoff(1, (0, 0))
+
+    def test_encryption_defeats_exploitation_for_user(self):
+        game = encryption_escalation_game(0.0)
+        assert game.payoff(0, (1, 1)) > game.payoff(0, (0, 1))
+
+    def test_blocking_hurts_encrypted_user_most(self):
+        game = encryption_escalation_game(0.0)
+        assert game.payoff(0, (1, 2)) == 0.0
+
+
+class TestPeering:
+    def test_coordination_structure(self):
+        game = peering_game()
+        equilibria = game.pure_nash_equilibria()
+        assert (0, 0) in equilibria  # both peer
+        assert (1, 1) in equilibria  # both refuse
+        assert classify_game(game) is TussleClass.COORDINATION
+
+    def test_unilateral_peering_wastes_setup_cost(self):
+        game = peering_game(setup_cost=2.0)
+        assert game.payoff(0, (0, 1)) == -2.0
+
+    def test_must_be_jointly_profitable(self):
+        with pytest.raises(GameError):
+            peering_game(interconnection_value=1.0, setup_cost=2.0)
+
+
+class TestAnonymity:
+    def test_receiver_prefers_refusing_anonymous(self):
+        game = anonymity_game()
+        # Against an anonymous sender, refusal beats accepting abuse risk.
+        assert game.payoff(1, (1, 1)) > game.payoff(1, (1, 0))
+
+    def test_identified_sender_always_served(self):
+        game = anonymity_game()
+        assert game.payoff(0, (0, 0)) == game.payoff(0, (0, 1))
+
+    def test_identified_accept_is_equilibrium(self):
+        """The paper's predicted compromise: identify, and be served."""
+        game = anonymity_game()
+        assert (0, 1) in game.pure_nash_equilibria()
+
+
+class TestWiretapHideSeek:
+    def test_zero_sum(self):
+        assert wiretap_hide_seek(3).is_zero_sum()
+
+    def test_channel_count_validated(self):
+        with pytest.raises(GameError):
+            wiretap_hide_seek(1)
+
+    def test_value_scales_with_channels(self):
+        from tussle.gametheory.zerosum import solve_zero_sum
+        v3 = solve_zero_sum(wiretap_hide_seek(3)).value
+        v5 = solve_zero_sum(wiretap_hide_seek(5)).value
+        assert v3 == pytest.approx(-1 / 3, abs=1e-6)
+        assert v5 == pytest.approx(-1 / 5, abs=1e-6)
+        assert v5 > v3  # more channels favour the hider
+
+
+class TestSteganographyEscalation:
+    def test_steg_row_added(self):
+        game = encryption_escalation_game(0.0, steganography=True)
+        assert game.n_actions == (3, 3)
+        assert game.action_labels[0][2] == "steganography"
+
+    def test_steg_payoff_uniform_across_isp_postures(self):
+        game = encryption_escalation_game(0.0, steganography=True)
+        payoffs = [game.payoff(0, (2, col)) for col in range(3)]
+        assert payoffs[0] == payoffs[1] == payoffs[2]
+
+    def test_steg_raises_user_maximin(self):
+        import numpy as np
+        from tussle.gametheory.zerosum import minimax_value
+
+        without = minimax_value(
+            np.asarray(encryption_escalation_game(0.0).payoffs[0]))
+        with_steg = minimax_value(
+            np.asarray(encryption_escalation_game(
+                0.0, steganography=True).payoffs[0]))
+        assert with_steg > without
+
+    def test_steg_costs_more_than_encryption(self):
+        game = encryption_escalation_game(0.0, steganography=True)
+        # Against a carrying ISP: plaintext > encrypt > steg.
+        assert game.payoff(0, (0, 0)) > game.payoff(0, (1, 0)) \
+            > game.payoff(0, (2, 0))

@@ -1,0 +1,136 @@
+"""Tests for addressing: blocks, registry, renumbering costs."""
+
+import pytest
+
+from tussle.errors import AddressingError
+from tussle.netsim.addressing import (
+    AddressBlock,
+    AddressRegistry,
+    AddressingMode,
+    RenumberingModel,
+)
+
+
+class TestAddressBlock:
+    def test_contains(self):
+        block = AddressBlock(start=100, size=10, owner="x")
+        assert block.contains(100)
+        assert block.contains(109)
+        assert not block.contains(110)
+        assert not block.contains(99)
+
+    def test_provider_independent_flag(self):
+        pa = AddressBlock(start=0, size=4, owner="x", provider_asn=7)
+        pi = AddressBlock(start=4, size=4, owner="x")
+        assert not pa.provider_independent
+        assert pi.provider_independent
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(AddressingError):
+            AddressBlock(start=0, size=0, owner="x")
+
+    def test_out_of_space_rejected(self):
+        with pytest.raises(AddressingError):
+            AddressBlock(start=2 ** 32 - 1, size=2, owner="x")
+
+
+class TestRegistry:
+    def test_customer_block_carved_from_aggregate(self):
+        registry = AddressRegistry()
+        aggregate = registry.allocate_aggregate(1)
+        block = registry.assign_customer_block("acme", 1)
+        assert aggregate.contains(block.start)
+        assert registry.provider_of("acme") == 1
+
+    def test_duplicate_aggregate_rejected(self):
+        registry = AddressRegistry()
+        registry.allocate_aggregate(1)
+        with pytest.raises(AddressingError):
+            registry.allocate_aggregate(1)
+
+    def test_customer_block_needs_aggregate(self):
+        with pytest.raises(AddressingError):
+            AddressRegistry().assign_customer_block("acme", 99)
+
+    def test_core_table_counts_aggregates_and_pi(self):
+        registry = AddressRegistry()
+        registry.allocate_aggregate(1)
+        registry.allocate_aggregate(2)
+        registry.assign_customer_block("a", 1)
+        registry.assign_customer_block("b", 1)
+        assert registry.core_table_size() == 2  # PA blocks aggregate away
+        registry.assign_provider_independent("c")
+        assert registry.core_table_size() == 3
+
+    def test_pa_supersedes_pi_and_vice_versa(self):
+        registry = AddressRegistry()
+        registry.allocate_aggregate(1)
+        registry.assign_provider_independent("acme")
+        assert registry.provider_of("acme") is None
+        registry.assign_customer_block("acme", 1)
+        assert registry.provider_of("acme") == 1
+        registry.assign_provider_independent("acme")
+        assert registry.provider_of("acme") is None
+        assert registry.core_table_size() == 2
+
+    def test_renumbering_to_new_provider_changes_block(self):
+        registry = AddressRegistry()
+        registry.allocate_aggregate(1)
+        registry.allocate_aggregate(2)
+        old = registry.assign_customer_block("acme", 1)
+        new = registry.assign_customer_block("acme", 2)
+        assert old.start != new.start
+        assert registry.provider_of("acme") == 2
+
+    def test_unknown_customer_raises(self):
+        with pytest.raises(AddressingError):
+            AddressRegistry().block_of("ghost")
+
+    def test_aggregate_exhaustion(self):
+        registry = AddressRegistry()
+        registry.allocate_aggregate(1, size=256)
+        registry.assign_customer_block("a", 1, size=256)
+        with pytest.raises(AddressingError):
+            registry.assign_customer_block("b", 1, size=1)
+
+    def test_pi_fraction(self):
+        registry = AddressRegistry()
+        registry.allocate_aggregate(1)
+        registry.assign_customer_block("a", 1)
+        registry.assign_provider_independent("b")
+        assert registry.pi_fraction() == pytest.approx(0.5)
+
+
+class TestRenumberingModel:
+    def test_static_most_expensive(self):
+        model = RenumberingModel()
+        static = model.switching_cost(50, AddressingMode.STATIC)
+        dhcp = model.switching_cost(50, AddressingMode.DHCP)
+        ddns = model.switching_cost(50, AddressingMode.DHCP_DDNS)
+        assert static > dhcp > ddns
+
+    def test_cost_scales_with_hosts(self):
+        model = RenumberingModel()
+        assert (model.switching_cost(100, AddressingMode.STATIC)
+                > model.switching_cost(10, AddressingMode.STATIC))
+
+    def test_provider_independent_costs_contract_only(self):
+        model = RenumberingModel(contractual_cost=3.0)
+        cost = model.switching_cost(1000, AddressingMode.STATIC,
+                                    provider_independent=True)
+        assert cost == 3.0
+
+    def test_lock_in_index_bounds(self):
+        model = RenumberingModel()
+        assert model.lock_in_index(30, AddressingMode.STATIC) == pytest.approx(1.0)
+        assert 0.0 < model.lock_in_index(30, AddressingMode.DHCP) < 1.0
+        assert (model.lock_in_index(30, AddressingMode.DHCP_DDNS)
+                < model.lock_in_index(30, AddressingMode.DHCP))
+
+    def test_negative_hosts_rejected(self):
+        with pytest.raises(AddressingError):
+            RenumberingModel().switching_cost(-1, AddressingMode.DHCP)
+
+    def test_zero_hosts_is_contract_only(self):
+        model = RenumberingModel(contractual_cost=2.0)
+        assert model.switching_cost(0, AddressingMode.STATIC) == 2.0

@@ -1,0 +1,104 @@
+"""Tests for the two name-system designs (E08 substrate)."""
+
+import pytest
+
+from tussle.errors import TussleError
+from tussle.netsim.dns import (
+    DisputeOutcome,
+    EntangledNameSystem,
+    SeparatedNameSystem,
+)
+
+
+class TestEntangled:
+    def test_register_and_resolve(self):
+        system = EntangledNameSystem()
+        system.register("acme", holder="acme-co", machine="m1")
+        assert system.resolve("acme") == "m1"
+
+    def test_duplicate_registration_rejected(self):
+        system = EntangledNameSystem()
+        system.register("acme", "a", "m1")
+        with pytest.raises(TussleError):
+            system.register("acme", "b", "m2")
+
+    def test_transfer_breaks_resolution_for_old_users(self):
+        system = EntangledNameSystem()
+        system.register("acme", "acme-co", "m1")
+        system.dispute("acme", challenger="acme-inc",
+                       outcome=DisputeOutcome.TRANSFERRED)
+        assert system.resolve("acme") != "m1"
+
+    def test_freeze_breaks_resolution(self):
+        system = EntangledNameSystem()
+        system.register("acme", "acme-co", "m1")
+        system.dispute("acme", "acme-inc", DisputeOutcome.FROZEN)
+        assert system.resolve("acme") is None
+
+    def test_denied_dispute_leaves_bindings_intact(self):
+        system = EntangledNameSystem()
+        system.register("acme", "acme-co", "m1")
+        system.add_dependent("acme", "mail.acme")
+        system.dispute("acme", "acme-inc", DisputeOutcome.DENIED)
+        assert system.resolve("acme") == "m1"
+        assert system.machine_bindings_broken() == 0
+
+    def test_dependents_are_collateral_damage(self):
+        system = EntangledNameSystem()
+        system.register("acme", "acme-co", "m1")
+        system.add_dependent("acme", "mail.acme")
+        system.add_dependent("acme", "web.acme")
+        system.dispute("acme", "acme-inc", DisputeOutcome.TRANSFERRED)
+        assert system.collateral_services() == {"mail.acme", "web.acme"}
+        assert system.machine_bindings_broken() == 3  # name + 2 dependents
+
+    def test_dependent_on_unregistered_name_rejected(self):
+        with pytest.raises(TussleError):
+            EntangledNameSystem().add_dependent("ghost", "svc")
+
+    def test_dispute_over_unregistered_name_rejected(self):
+        with pytest.raises(TussleError):
+            EntangledNameSystem().dispute("ghost", "x", DisputeOutcome.FROZEN)
+
+
+class TestSeparated:
+    def test_register_and_resolve_via_directory(self):
+        system = SeparatedNameSystem()
+        system.register("acme", "acme-co", "m1")
+        assert system.resolve("acme") == "m1"
+
+    def test_identifier_resolution_is_stable(self):
+        system = SeparatedNameSystem()
+        system.register("acme", "acme-co", "m1")
+        identifier = system.identifier_of("acme")
+        system.dispute("acme", "acme-inc", DisputeOutcome.TRANSFERRED)
+        # The human name now points elsewhere, but the identifier survives.
+        assert system.resolve_identifier(identifier) == "m1"
+        assert system.resolve("acme") == "machine-of-acme-inc"
+
+    def test_freeze_affects_directory_only(self):
+        system = SeparatedNameSystem()
+        system.register("acme", "acme-co", "m1")
+        identifier = system.identifier_of("acme")
+        system.dispute("acme", "acme-inc", DisputeOutcome.FROZEN)
+        assert system.resolve("acme") is None
+        assert system.resolve_identifier(identifier) == "m1"
+
+    def test_dependents_never_break(self):
+        system = SeparatedNameSystem()
+        system.register("acme", "acme-co", "m1")
+        system.add_dependent("acme", "mail.acme")
+        system.dispute("acme", "acme-inc", DisputeOutcome.TRANSFERRED)
+        assert system.machine_bindings_broken() == 0
+        assert system.collateral_services() == set()
+
+    def test_disputes_recorded_in_both_designs(self):
+        for cls in (EntangledNameSystem, SeparatedNameSystem):
+            system = cls()
+            system.register("acme", "acme-co", "m1")
+            system.dispute("acme", "acme-inc", DisputeOutcome.FROZEN)
+            assert len(system.disputes) == 1
+            assert system.disputes[0].challenger == "acme-inc"
+
+    def test_unknown_identifier_returns_none(self):
+        assert SeparatedNameSystem().resolve_identifier("id-999") is None

@@ -1,0 +1,236 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from tussle.errors import SimulationError
+from tussle.netsim.engine import EventHandle, Process, Simulator
+
+
+class TestSimulatorBasics:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_schedule_and_run_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_priority_then_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "second", priority=1)
+        sim.schedule(1.0, order.append, "first", priority=0)
+        sim.schedule(1.0, order.append, "third", priority=1)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.active
+
+    def test_handle_active_lifecycle(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.active
+        sim.run()
+        assert not handle.active
+        assert handle.fired
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_when_empty(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_bounds_firing(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 7
+
+    def test_stop_requests_early_return(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, fired.append, 2)
+        sim.run()
+        assert fired == [(None)] or len(fired) == 1
+
+    def test_step_returns_false_on_empty_calendar(self):
+        assert Simulator().step() is False
+
+    def test_clear_drops_pending_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.clear()
+        assert sim.pending == 0
+        assert sim.run() == 0
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestProcess:
+    def test_ticks_at_interval(self):
+        sim = Simulator()
+        times = []
+        Process(sim, interval=1.0, callback=lambda: times.append(sim.now)).start()
+        sim.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_custom_start_delay(self):
+        sim = Simulator()
+        times = []
+        proc = Process(sim, interval=2.0, callback=lambda: times.append(sim.now),
+                       start_delay=0.5)
+        proc.start()
+        sim.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_callback_false_stops_recurrence(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            if len(count) >= 2:
+                return False
+
+        Process(sim, interval=1.0, callback=tick).start()
+        sim.run(until=10.0)
+        assert len(count) == 2
+
+    def test_stop_cancels_pending_tick(self):
+        sim = Simulator()
+        count = []
+        proc = Process(sim, interval=1.0, callback=lambda: count.append(1))
+        proc.start()
+        sim.run(until=1.5)
+        proc.stop()
+        sim.run(until=5.0)
+        assert len(count) == 1
+        assert not proc.running
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        proc = Process(sim, interval=1.0, callback=lambda: None)
+        proc.start()
+        with pytest.raises(SimulationError):
+            proc.start()
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Process(Simulator(), interval=0.0, callback=lambda: None)
+
+
+class TestBookkeeping:
+    def test_events_processed_counts(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_process_priority_orders_simultaneous_ticks(self):
+        sim = Simulator()
+        order = []
+        late = Process(sim, interval=1.0,
+                       callback=lambda: order.append("late"), priority=5)
+        early = Process(sim, interval=1.0,
+                        callback=lambda: order.append("early"), priority=0)
+        late.start()
+        early.start()
+        sim.run(until=1.0)
+        assert order == ["early", "late"]
+
+    def test_process_tick_counter(self):
+        sim = Simulator()
+        proc = Process(sim, interval=1.0, callback=lambda: None)
+        proc.start()
+        sim.run(until=3.5)
+        assert proc.ticks == 3

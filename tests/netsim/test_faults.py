@@ -1,0 +1,108 @@
+"""Tests for fault injection and audience-targeted reporting."""
+
+import pytest
+
+from tussle.netsim.faults import Audience, FaultInjector, FaultReporter, traceroute
+from tussle.netsim.forwarding import DeliveryStatus, ForwardingEngine
+from tussle.netsim.middlebox import PortFilterFirewall
+from tussle.netsim.packets import make_packet
+from tussle.netsim.topology import line_topology
+
+
+@pytest.fixture
+def engine():
+    e = ForwardingEngine(line_topology(4))
+    e.install_shortest_path_tables()
+    return e
+
+
+class TestFaultReporter:
+    def test_delivered_report_not_actionable(self, engine):
+        receipt = engine.send(make_packet("n0", "n3"))
+        report = FaultReporter().report(receipt, Audience.END_USER)
+        assert report.summary == "delivered"
+        assert not report.actionable
+
+    def test_disclosed_block_is_actionable_for_user(self, engine):
+        engine.attach_middlebox(
+            "n1", PortFilterFirewall("fw", blocked_applications={"p2p"}))
+        receipt = engine.send(make_packet("n0", "n3", application="p2p"))
+        report = FaultReporter().report(receipt, Audience.END_USER)
+        assert report.actionable
+        assert "different provider" in report.summary
+
+    def test_silent_block_not_actionable_for_user(self, engine):
+        engine.attach_middlebox(
+            "n1", PortFilterFirewall("fw", blocked_applications={"p2p"},
+                                     discloses=False))
+        receipt = engine.send(make_packet("n0", "n3", application="p2p"))
+        report = FaultReporter().report(receipt, Audience.END_USER)
+        assert not report.actionable
+        assert "undisclosed" in report.summary
+
+    def test_operator_report_localizes_link_failure(self, engine):
+        engine.network.fail_link("n1", "n2")
+        receipt = engine.send(make_packet("n0", "n3"))
+        report = FaultReporter().report(receipt, Audience.OPERATOR)
+        assert report.actionable
+        assert report.location == "n1"
+        assert "link" in report.summary
+
+    def test_user_report_for_link_failure_mentions_unreachable(self, engine):
+        engine.network.fail_link("n1", "n2")
+        receipt = engine.send(make_packet("n0", "n3"))
+        report = FaultReporter().report(receipt, Audience.END_USER)
+        assert "unreachable" in report.summary
+
+    def test_source_route_refusal_report(self, engine):
+        engine.honor_source_routes = False
+        packet = make_packet("n0", "n3", source_route=["n0", "n1", "n2", "n3"])
+        receipt = engine.send(packet)
+        report = FaultReporter().report(receipt, Audience.END_USER)
+        assert report.actionable
+        assert "refuses" in report.summary
+
+
+class TestTraceroute:
+    def test_full_path_on_success(self, engine):
+        hops = traceroute(engine, "n0", "n3")
+        assert hops == [("n0", True), ("n1", True), ("n2", True), ("n3", True)]
+
+    def test_trace_stops_at_silent_interferer(self, engine):
+        engine.attach_middlebox(
+            "n2", PortFilterFirewall("fw", blocked_applications={"generic"},
+                                     discloses=False))
+        hops = traceroute(engine, "n0", "n3")
+        assert ("n2", True) in hops  # reached the box itself
+        assert hops[-1] == ("?", False)
+
+
+class TestFaultInjector:
+    def test_fail_random_link_is_seeded(self):
+        def failed(seed):
+            engine = ForwardingEngine(line_topology(5))
+            injector = FaultInjector(engine, seed=seed)
+            return injector.fail_random_link()
+
+        assert failed(3) == failed(3)
+
+    def test_fail_fraction(self):
+        engine = ForwardingEngine(line_topology(11))  # 10 links
+        injector = FaultInjector(engine, seed=0)
+        failed = injector.fail_fraction(0.5)
+        assert len(failed) == 5
+        assert sum(1 for l in engine.network.links if not l.up) == 5
+
+    def test_restore_all(self):
+        engine = ForwardingEngine(line_topology(5))
+        injector = FaultInjector(engine, seed=0)
+        injector.fail_fraction(1.0)
+        injector.restore_all()
+        assert all(l.up for l in engine.network.links)
+        assert injector.failed_links == []
+
+    def test_no_links_left_returns_none(self):
+        engine = ForwardingEngine(line_topology(2))
+        injector = FaultInjector(engine, seed=0)
+        injector.fail_fraction(1.0)
+        assert injector.fail_random_link() is None

@@ -1,0 +1,119 @@
+"""Tests for the mail system (§IV-B design-for-choice substrate)."""
+
+import pytest
+
+from tussle.errors import SimulationError
+from tussle.netsim.forwarding import ForwardingEngine
+from tussle.netsim.mail import (
+    MailServer,
+    MailSystem,
+    MailUser,
+    build_mail_topology,
+    server_market_discipline,
+)
+from tussle.netsim.middlebox import Redirector
+
+
+def make_system(servers, seed=0):
+    net = build_mail_topology([s.name for s in servers])
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    return MailSystem(engine, servers, seed=seed), engine
+
+
+class TestMailServer:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MailServer("s", reliability=1.5)
+        with pytest.raises(SimulationError):
+            MailServer("s", spam_filter=-0.1)
+
+    def test_server_must_exist_in_topology(self):
+        net = build_mail_topology(["smtp0"])
+        engine = ForwardingEngine(net)
+        with pytest.raises(SimulationError):
+            MailSystem(engine, [MailServer("ghost")])
+
+
+class TestDelivery:
+    def test_reliable_server_delivers(self):
+        system, _ = make_system([MailServer("smtp0", reliability=1.0)])
+        user = MailUser("user", smtp_server="smtp0", pop_server="smtp0")
+        outcome = system.send(user)
+        assert outcome.delivered
+        assert outcome.smtp_used == "smtp0"
+        assert not outcome.redirected
+        assert user.delivery_rate() == 1.0
+
+    def test_unreliable_server_drops_mail(self):
+        system, _ = make_system([MailServer("smtp0", reliability=0.0)])
+        user = MailUser("user", smtp_server="smtp0", pop_server="smtp0")
+        for _ in range(10):
+            system.send(user)
+        assert user.delivery_rate() == 0.0
+
+    def test_spam_filter_removes_spam(self):
+        system, _ = make_system(
+            [MailServer("smtp0", reliability=1.0, spam_filter=1.0)])
+        user = MailUser("user", smtp_server="smtp0", pop_server="smtp0")
+        outcome = system.send(user, is_spam=True)
+        assert outcome.spam_filtered
+        assert not outcome.delivered
+        assert user.spam_received == 0
+
+    def test_user_choice_of_filtering_server(self):
+        """'A user can pick among servers... such as spam filters.'"""
+        servers = [MailServer("plain", reliability=1.0, spam_filter=0.0),
+                   MailServer("filtered", reliability=1.0, spam_filter=1.0)]
+        system, _ = make_system(servers)
+        chooser = MailUser("user", smtp_server="filtered",
+                           pop_server="filtered")
+        for _ in range(5):
+            system.send(chooser, is_spam=True)
+        assert chooser.spam_received == 0
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            system, _ = make_system([MailServer("smtp0", reliability=0.5)],
+                                    seed=seed)
+            user = MailUser("user", smtp_server="smtp0", pop_server="smtp0")
+            return [system.send(user).delivered for _ in range(20)]
+
+        assert run(9) == run(9)
+
+
+class TestIspRedirection:
+    def test_redirector_overrides_server_choice(self):
+        servers = [MailServer("user-smtp", reliability=1.0),
+                   MailServer("isp-smtp", reliability=1.0)]
+        system, engine = make_system(servers)
+        engine.attach_middlebox("isp-access", Redirector(
+            "capture", port=25, new_destination="isp-smtp"))
+        user = MailUser("user", smtp_server="user-smtp",
+                        pop_server="user-smtp")
+        outcome = system.send(user)
+        assert outcome.redirected
+        assert outcome.smtp_used == "isp-smtp"
+        assert user.redirected_count == 1
+        assert system.redirection_rate() == 1.0
+
+    def test_no_redirector_no_override(self):
+        servers = [MailServer("user-smtp", reliability=1.0)]
+        system, _ = make_system(servers)
+        user = MailUser("user", smtp_server="user-smtp",
+                        pop_server="user-smtp")
+        system.send(user)
+        assert system.redirection_rate() == 0.0
+
+
+class TestMarketDiscipline:
+    def test_reliable_server_wins_user_base(self):
+        counts = server_market_discipline([0.99, 0.7, 0.5], seed=1)
+        assert counts["smtp0"] == max(counts.values())
+        assert counts["smtp2"] == 0
+
+    def test_all_reliable_no_churn(self):
+        counts = server_market_discipline([0.99, 0.99, 0.99],
+                                          n_users=30, seed=1)
+        # Nobody falls below threshold, so the initial spread persists.
+        assert all(count == 10 for count in counts.values())

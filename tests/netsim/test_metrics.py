@@ -1,0 +1,86 @@
+"""Tests for metric collection."""
+
+import pytest
+
+from tussle.netsim.metrics import Counter, MetricRegistry, TimeSeries, summarize
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("packets")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+        assert int(counter) == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestTimeSeries:
+    def test_record_and_stats(self):
+        series = TimeSeries("rate")
+        series.record(0.0, 1.0)
+        series.record(1.0, 3.0)
+        assert len(series) == 2
+        assert series.last() == 3.0
+        assert series.mean() == 2.0
+        assert series.delta() == 2.0
+
+    def test_time_must_not_go_backwards(self):
+        series = TimeSeries("rate")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_empty_series(self):
+        series = TimeSeries("rate")
+        assert series.last() is None
+        assert series.mean() == 0.0
+        assert series.delta() == 0.0
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+
+    def test_odd_median(self):
+        assert summarize([3, 1, 2]).median == 2.0
+
+    def test_empty_sample(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_stdev_zero_for_constant(self):
+        assert summarize([5, 5, 5]).stdev == 0.0
+
+    def test_as_row(self):
+        row = summarize([1, 2]).as_row()
+        assert set(row) == {"count", "mean", "stdev", "min", "max", "median"}
+
+
+class TestRegistry:
+    def test_counter_reuse(self):
+        registry = MetricRegistry()
+        registry.counter("hits").increment()
+        registry.counter("hits").increment()
+        assert registry.counter("hits").value == 2
+
+    def test_snapshot_combines_counters_and_series(self):
+        registry = MetricRegistry()
+        registry.counter("hits").increment(3)
+        registry.series("load").record(0.0, 0.7)
+        snapshot = registry.snapshot()
+        assert snapshot == {"hits": 3.0, "load": 0.7}
+
+    def test_empty_series_not_in_snapshot(self):
+        registry = MetricRegistry()
+        registry.series("load")
+        assert "load" not in registry.snapshot()

@@ -1,0 +1,159 @@
+"""Tests for packets: headers, observation semantics, tunnels."""
+
+import pytest
+
+from tussle.errors import SimulationError
+from tussle.netsim.packets import (
+    Header,
+    Packet,
+    Protocol,
+    WELL_KNOWN_PORTS,
+    make_packet,
+    port_for_app,
+)
+
+
+class TestHeader:
+    def test_port_range_enforced(self):
+        with pytest.raises(SimulationError):
+            Header(src="a", dst="b", dst_port=70000)
+
+    def test_tos_range_enforced(self):
+        with pytest.raises(SimulationError):
+            Header(src="a", dst="b", tos=300)
+
+    def test_header_is_immutable(self):
+        header = Header(src="a", dst="b")
+        with pytest.raises(AttributeError):
+            header.dst = "c"
+
+
+class TestObservation:
+    def test_plaintext_known_port_reveals_app(self):
+        packet = make_packet("a", "b", application="http")
+        assert packet.observable_application() == "http"
+
+    def test_plaintext_unknown_app_visible_via_payload(self):
+        packet = make_packet("a", "b", application="brand-new-app")
+        assert packet.observable_application() == "brand-new-app"
+
+    def test_encrypted_unknown_app_is_opaque(self):
+        packet = make_packet("a", "b", application="brand-new-app", encrypted=True)
+        assert packet.observable_application() is None
+
+    def test_encrypted_known_port_still_classified_by_port(self):
+        # Encryption hides content, not the port number.
+        packet = make_packet("a", "b", application="smtp", encrypted=True)
+        assert packet.observable_application() == "smtp"
+
+    def test_tos_visible(self):
+        packet = make_packet("a", "b", tos=8)
+        assert packet.observable_tos() == 8
+
+
+class TestTunnels:
+    def test_tunnel_masks_inner_application(self):
+        packet = make_packet("a", "b", application="p2p")
+        tunnelled = packet.tunnel_to("vpn-gw", application="https")
+        assert tunnelled.observable_application() == "https"
+        assert tunnelled.wire_header.dst == "vpn-gw"
+        assert tunnelled.application == "p2p"  # ground truth preserved
+
+    def test_tunnel_encrypts_by_default(self):
+        tunnelled = make_packet("a", "b").tunnel_to("gw")
+        assert tunnelled.encrypted
+
+    def test_decapsulate_restores_inner_header(self):
+        packet = make_packet("a", "b", application="p2p")
+        tunnelled = packet.tunnel_to("gw", application="https")
+        inner = tunnelled.decapsulate()
+        assert inner.wire_header.dst == "b"
+        assert not inner.tunnelled
+
+    def test_decapsulate_bare_packet_rejected(self):
+        with pytest.raises(SimulationError):
+            make_packet("a", "b").decapsulate()
+
+    def test_nested_tunnels_stack(self):
+        packet = make_packet("a", "b")
+        once = packet.tunnel_to("gw1")
+        twice = once.encapsulate(Header(src="a", dst="gw2", dst_port=443))
+        assert len(twice.encapsulation) == 2
+        assert twice.wire_header.dst == "gw2"
+        assert twice.decapsulate().wire_header.dst == "gw1"
+
+    def test_encapsulate_does_not_mutate_original(self):
+        packet = make_packet("a", "b")
+        packet.tunnel_to("gw")
+        assert not packet.tunnelled
+        assert not packet.encrypted
+
+
+class TestHelpers:
+    def test_port_for_known_app(self):
+        assert port_for_app("http") == 80
+        assert port_for_app("smtp") == 25
+
+    def test_port_for_unknown_app_is_stable_and_high(self):
+        port = port_for_app("weird-app")
+        assert port == port_for_app("weird-app")
+        assert port >= 40000
+
+    def test_make_packet_sets_well_known_destination_port(self):
+        packet = make_packet("a", "b", application="dns")
+        assert packet.header.dst_port == WELL_KNOWN_PORTS["dns"]
+
+    def test_packet_ids_unique(self):
+        a = make_packet("a", "b")
+        b = make_packet("a", "b")
+        assert a.packet_id != b.packet_id
+
+    def test_source_route_copied(self):
+        route = ["a", "r1", "b"]
+        packet = make_packet("a", "b", source_route=route)
+        route.append("evil")
+        assert packet.source_route == ["a", "r1", "b"]
+
+    def test_record_hop(self):
+        packet = make_packet("a", "b")
+        packet.record_hop("a")
+        packet.record_hop("r")
+        assert packet.hops == ["a", "r"]
+
+
+class TestSteganography:
+    def test_covert_classifies_as_cover(self):
+        packet = make_packet("a", "b", application="p2p").hide_in("http")
+        assert packet.observable_application() == "http"
+        assert packet.application == "p2p"  # ground truth preserved
+
+    def test_covert_is_not_visibly_protected(self):
+        """Unlike encryption, steganography leaves no visible marker."""
+        packet = make_packet("a", "b", application="p2p").hide_in("http")
+        assert not packet.encrypted
+        assert packet.covert_cover == "http"
+
+    def test_covert_uses_cover_port(self):
+        packet = make_packet("a", "b", application="p2p").hide_in("https")
+        assert packet.wire_header.dst_port == 443
+
+    def test_hide_in_does_not_mutate_original(self):
+        packet = make_packet("a", "b", application="p2p")
+        packet.hide_in("http")
+        assert packet.covert_cover is None
+        assert packet.observable_application() == "p2p"
+
+    def test_covert_evades_application_firewall(self):
+        from tussle.netsim.middlebox import Action, BlanketFirewall
+
+        firewall = BlanketFirewall("fw", allowed_applications={"http"})
+        hidden = make_packet("a", "b", application="p2p").hide_in("http")
+        assert firewall.process(hidden).action is Action.FORWARD
+
+    def test_covert_blinds_wiretap(self):
+        from tussle.netsim.middlebox import Wiretap
+
+        tap = Wiretap("tap")
+        tap.process(make_packet("a", "b", application="p2p").hide_in("http"))
+        assert tap.content_visibility_rate() == 0.0
+        assert tap.observations[0]["application"] == "http"

@@ -1,0 +1,87 @@
+"""Tests for the QoS classifiers and scheduler."""
+
+import pytest
+
+from tussle.netsim.packets import make_packet
+from tussle.netsim.qos import (
+    PRIORITY_TOS,
+    PortQosClassifier,
+    QosScheduler,
+    TosQosClassifier,
+)
+
+
+class TestPortClassifier:
+    def test_prioritizes_named_application(self):
+        classifier = PortQosClassifier()
+        assert classifier.prioritize(make_packet("a", "b", application="voip"))
+        assert not classifier.prioritize(make_packet("a", "b",
+                                                     application="http"))
+
+    def test_fooled_by_encapsulation(self):
+        classifier = PortQosClassifier()
+        bulk = make_packet("a", "b", application="p2p").tunnel_to(
+            "relay", application="voip", encrypt=False)
+        assert classifier.prioritize(bulk)
+
+    def test_misses_tunnelled_voip(self):
+        classifier = PortQosClassifier()
+        voip = make_packet("a", "b", application="voip").tunnel_to(
+            "vpn", application="vpn")
+        assert not classifier.prioritize(voip)
+
+
+class TestTosClassifier:
+    def test_threshold(self):
+        classifier = TosQosClassifier()
+        assert classifier.prioritize(make_packet("a", "b", tos=PRIORITY_TOS))
+        assert not classifier.prioritize(make_packet("a", "b", tos=0))
+
+    def test_tos_survives_tunnelling(self):
+        classifier = TosQosClassifier()
+        voip = make_packet("a", "b", application="voip",
+                           tos=PRIORITY_TOS).tunnel_to("vpn")
+        assert classifier.prioritize(voip)
+
+    def test_billing_accrues_per_prioritized_packet(self):
+        classifier = TosQosClassifier(bill_per_packet=0.5)
+        classifier.prioritize(make_packet("a", "b", tos=PRIORITY_TOS))
+        classifier.prioritize(make_packet("a", "b", tos=0))
+        classifier.prioritize(make_packet("a", "b", tos=PRIORITY_TOS))
+        assert classifier.revenue == pytest.approx(1.0)
+
+
+class TestScheduler:
+    def _run(self, classifier, packets):
+        scheduler = QosScheduler("qos", classifier)
+        for packet in packets:
+            scheduler.process(packet)
+        return scheduler
+
+    def test_perfect_scores_on_honest_traffic(self):
+        packets = [make_packet("a", "b", application="voip", tos=PRIORITY_TOS),
+                   make_packet("a", "b", application="http", tos=0)]
+        for classifier in (PortQosClassifier(), TosQosClassifier()):
+            scheduler = self._run(classifier, packets)
+            assert scheduler.accuracy() == 1.0
+            assert scheduler.recall() == 1.0
+            assert scheduler.false_priority_rate() == 0.0
+
+    def test_ground_truth_uses_true_application(self):
+        bulk = make_packet("a", "b", application="p2p").tunnel_to(
+            "relay", application="voip", encrypt=False)
+        scheduler = self._run(PortQosClassifier(), [bulk])
+        assert scheduler.false_priority_rate() == 1.0
+        assert scheduler.accuracy() == 0.0
+
+    def test_always_forwards(self):
+        from tussle.netsim.middlebox import Action
+        scheduler = QosScheduler("qos", TosQosClassifier())
+        verdict = scheduler.process(make_packet("a", "b"))
+        assert verdict.action is Action.FORWARD
+
+    def test_empty_scores(self):
+        scheduler = QosScheduler("qos", TosQosClassifier())
+        assert scheduler.recall() == 1.0
+        assert scheduler.false_priority_rate() == 0.0
+        assert scheduler.accuracy() == 1.0

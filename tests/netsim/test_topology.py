@@ -1,0 +1,222 @@
+"""Tests for topology: nodes, links, AS relationships, builders."""
+
+import random
+
+import pytest
+
+from tussle.errors import TopologyError
+from tussle.netsim.topology import (
+    Network,
+    NodeKind,
+    Relationship,
+    dumbbell_topology,
+    line_topology,
+    multihomed_topology,
+    random_as_graph,
+    star_topology,
+)
+
+
+@pytest.fixture
+def triangle():
+    net = Network()
+    for name in "abc":
+        net.add_node(name)
+    net.add_link("a", "b")
+    net.add_link("b", "c")
+    net.add_link("a", "c")
+    return net
+
+
+class TestNodes:
+    def test_add_and_lookup(self):
+        net = Network()
+        node = net.add_node("h1", kind=NodeKind.HOST)
+        assert net.node("h1") is node
+
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        net.add_node("h1")
+        with pytest.raises(TopologyError):
+            net.add_node("h1")
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(TopologyError):
+            Network().node("ghost")
+
+    def test_remove_node_removes_incident_links(self, triangle):
+        triangle.remove_node("b")
+        assert not triangle.has_node("b")
+        assert not triangle.has_link("a", "b")
+        assert triangle.has_link("a", "c")
+
+    def test_nodes_of_kind(self):
+        net = Network()
+        net.add_node("h", kind=NodeKind.HOST)
+        net.add_node("r", kind=NodeKind.ROUTER)
+        assert [n.name for n in net.nodes_of_kind(NodeKind.ROUTER)] == ["r"]
+
+    def test_node_with_asn_auto_creates_as(self):
+        net = Network()
+        net.add_node("r", asn=65000)
+        assert net.has_as(65000)
+        assert net.nodes_in_as(65000)[0].name == "r"
+
+
+class TestLinks:
+    def test_link_is_bidirectional(self, triangle):
+        assert triangle.link("a", "b") is triangle.link("b", "a")
+
+    def test_self_loop_rejected(self):
+        net = Network()
+        net.add_node("a")
+        with pytest.raises(TopologyError):
+            net.add_link("a", "a")
+
+    def test_duplicate_link_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_link("b", "a")
+
+    def test_link_to_unknown_node_rejected(self):
+        net = Network()
+        net.add_node("a")
+        with pytest.raises(TopologyError):
+            net.add_link("a", "ghost")
+
+    def test_other_endpoint(self, triangle):
+        link = triangle.link("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(TopologyError):
+            link.other("c")
+
+    def test_neighbors_sorted_and_respect_link_state(self, triangle):
+        assert triangle.neighbors("a") == ["b", "c"]
+        triangle.fail_link("a", "b")
+        assert triangle.neighbors("a") == ["c"]
+        assert triangle.neighbors("a", only_up=False) == ["b", "c"]
+        triangle.restore_link("a", "b")
+        assert triangle.neighbors("a") == ["b", "c"]
+
+
+class TestPaths:
+    def test_connected_and_shortest_path(self, triangle):
+        assert triangle.connected("a", "c")
+        assert triangle.shortest_path("a", "c") == ["a", "c"]
+
+    def test_path_reroutes_around_failure(self, triangle):
+        triangle.fail_link("a", "c")
+        assert triangle.shortest_path("a", "c") == ["a", "b", "c"]
+
+    def test_disconnected_returns_none(self, triangle):
+        triangle.fail_link("a", "c")
+        triangle.fail_link("a", "b")
+        assert triangle.shortest_path("a", "c") is None
+        assert not triangle.connected("a", "c")
+
+    def test_path_to_self(self, triangle):
+        assert triangle.shortest_path("a", "a") == ["a"]
+
+    def test_path_latency_sums_links(self):
+        net = line_topology(3, latency=0.05)
+        assert net.path_latency(["n0", "n1", "n2"]) == pytest.approx(0.10)
+
+
+class TestAsRelationships:
+    def test_customer_provider_directional(self):
+        net = Network()
+        net.add_as(1)
+        net.add_as(2)
+        net.add_as_relationship(1, 2, Relationship.CUSTOMER_PROVIDER)
+        assert net.providers_of(1) == {2}
+        assert net.customers_of(2) == {1}
+        assert net.is_provider_of(2, 1)
+        assert not net.is_provider_of(1, 2)
+
+    def test_peering_symmetric(self):
+        net = Network()
+        net.add_as(1)
+        net.add_as(2)
+        net.add_as_relationship(1, 2, Relationship.PEER_PEER)
+        assert net.peers_of(1) == {2}
+        assert net.peers_of(2) == {1}
+
+    def test_self_relationship_rejected(self):
+        net = Network()
+        net.add_as(1)
+        with pytest.raises(TopologyError):
+            net.add_as_relationship(1, 1, Relationship.PEER_PEER)
+
+    def test_as_neighbors_unions_all(self):
+        net = Network()
+        for asn in (1, 2, 3, 4):
+            net.add_as(asn)
+        net.add_as_relationship(1, 2, Relationship.CUSTOMER_PROVIDER)
+        net.add_as_relationship(1, 3, Relationship.PEER_PEER)
+        net.add_as_relationship(1, 4, Relationship.SIBLING)
+        assert net.as_neighbors(1) == {2, 3, 4}
+
+    def test_duplicate_as_rejected(self):
+        net = Network()
+        net.add_as(1)
+        with pytest.raises(TopologyError):
+            net.add_as(1)
+
+    def test_relationship_lookup(self):
+        net = Network()
+        net.add_as(1)
+        net.add_as(2)
+        net.add_as(3)
+        net.add_as_relationship(1, 2, Relationship.CUSTOMER_PROVIDER)
+        assert net.relationship(1, 2) is Relationship.CUSTOMER_PROVIDER
+        assert net.relationship(1, 3) is None
+
+
+class TestBuilders:
+    def test_line_topology_structure(self):
+        net = line_topology(4)
+        assert len(net.nodes) == 4
+        assert len(net.links) == 3
+        assert net.shortest_path("n0", "n3") == ["n0", "n1", "n2", "n3"]
+
+    def test_line_needs_a_node(self):
+        with pytest.raises(TopologyError):
+            line_topology(0)
+
+    def test_star_topology_structure(self):
+        net = star_topology(5)
+        assert len(net.links) == 5
+        assert net.shortest_path("leaf0", "leaf4") == ["leaf0", "hub", "leaf4"]
+
+    def test_dumbbell_bottleneck(self):
+        net = dumbbell_topology(2, 2, bottleneck_capacity=100.0)
+        assert net.link("L", "R").capacity == 100.0
+        assert net.shortest_path("src0", "dst1") == ["src0", "L", "R", "dst1"]
+
+    def test_random_as_graph_is_hierarchical(self):
+        net = random_as_graph(n_tier1=2, n_tier2=4, n_tier3=6,
+                              rng=random.Random(42))
+        tiers = {a.asn: a.tier for a in net.ases}
+        assert sum(1 for t in tiers.values() if t == 1) == 2
+        # Every stub has at least one provider.
+        for autonomous_system in net.ases:
+            if autonomous_system.tier == 3:
+                assert net.providers_of(autonomous_system.asn)
+        # Tier-1s peer with each other.
+        tier1 = [a.asn for a in net.ases if a.tier == 1]
+        assert tier1[1] in net.peers_of(tier1[0])
+
+    def test_random_as_graph_deterministic_under_seed(self):
+        a = random_as_graph(rng=random.Random(7))
+        b = random_as_graph(rng=random.Random(7))
+        assert {x.asn for x in a.ases} == {x.asn for x in b.ases}
+        for autonomous_system in a.ases:
+            assert (a.providers_of(autonomous_system.asn)
+                    == b.providers_of(autonomous_system.asn))
+
+    def test_multihomed_topology(self):
+        net = multihomed_topology(3)
+        assert net.has_node("cust")
+        assert len(net.neighbors("cust")) == 3
+        for i in range(3):
+            assert net.connected("cust", "core")

@@ -1,0 +1,112 @@
+"""Tests for transport flows and the congestion-control tussle."""
+
+import pytest
+
+from tussle.errors import SimulationError
+from tussle.netsim.transport import (
+    AIMDFlow,
+    CheaterFlow,
+    SharedBottleneck,
+    fairness_index,
+)
+
+
+class TestAimd:
+    def test_additive_increase_without_congestion(self):
+        flow = AIMDFlow(name="f", rate=1.0, increase=1.0)
+        flow.on_round(congested=False)
+        assert flow.rate == 2.0
+
+    def test_multiplicative_decrease_on_congestion(self):
+        flow = AIMDFlow(name="f", rate=8.0, decrease_factor=0.5)
+        flow.on_round(congested=True)
+        assert flow.rate == 4.0
+
+    def test_rate_floor(self):
+        flow = AIMDFlow(name="f", rate=0.1, min_rate=0.1)
+        flow.on_round(congested=True)
+        assert flow.rate == 0.1
+
+    def test_compliant_flag(self):
+        assert AIMDFlow(name="f").compliant
+        assert not CheaterFlow(name="c").compliant
+
+
+class TestCheater:
+    def test_ignores_congestion(self):
+        cheater = CheaterFlow(name="c", rate=5.0, increase=2.0)
+        cheater.on_round(congested=True)
+        assert cheater.rate == 7.0
+
+    def test_respects_max_rate(self):
+        cheater = CheaterFlow(name="c", rate=9.0, increase=2.0, max_rate=10.0)
+        cheater.on_round(congested=True)
+        assert cheater.rate == 10.0
+
+
+class TestSharedBottleneck:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            SharedBottleneck(0.0)
+
+    def test_uncongested_serves_full_rates(self):
+        link = SharedBottleneck(100.0, [AIMDFlow(name="a", rate=10.0),
+                                        AIMDFlow(name="b", rate=20.0)])
+        served = link.step()
+        assert served == {"a": 10.0, "b": 20.0}
+        assert link.congested_rounds == 0
+
+    def test_congested_shares_proportionally(self):
+        link = SharedBottleneck(30.0, [AIMDFlow(name="a", rate=20.0),
+                                       AIMDFlow(name="b", rate=40.0)])
+        served = link.step()
+        assert served["a"] == pytest.approx(10.0)
+        assert served["b"] == pytest.approx(20.0)
+        assert link.congested_rounds == 1
+
+    def test_all_compliant_flows_share_fairly_long_run(self):
+        flows = [AIMDFlow(name=f"f{i}", rate=1.0 + i * 0.5) for i in range(4)]
+        link = SharedBottleneck(40.0, flows)
+        link.run(300)
+        shares = [f.delivered for f in flows]
+        assert fairness_index(shares) > 0.95
+
+    def test_cheater_wins_against_compliant_majority(self):
+        """The paper's §II-B claim: once a player defects, the technical
+        design does nothing to protect the compliant majority."""
+        flows = [AIMDFlow(name=f"f{i}") for i in range(9)]
+        flows.append(CheaterFlow(name="cheat"))
+        link = SharedBottleneck(50.0, flows)
+        link.run(200)
+        assert link.cheater_advantage() > 2.0
+
+    def test_more_cheaters_hurt_everyone(self):
+        def total_goodput(n_cheaters):
+            flows = [AIMDFlow(name=f"f{i}") for i in range(10 - n_cheaters)]
+            flows += [CheaterFlow(name=f"c{i}") for i in range(n_cheaters)]
+            link = SharedBottleneck(50.0, flows)
+            link.run(200)
+            return sum(f.delivered for f in flows if f.compliant) / max(
+                1, sum(1 for f in flows if f.compliant))
+
+        assert total_goodput(0) > total_goodput(2) > total_goodput(5)
+
+    def test_cheater_advantage_one_when_no_cheaters(self):
+        link = SharedBottleneck(10.0, [AIMDFlow(name="a")])
+        link.run(10)
+        assert link.cheater_advantage() == 1.0
+
+
+class TestFairnessIndex:
+    def test_equal_allocation_is_one(self):
+        assert fairness_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert fairness_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_are_fair(self):
+        assert fairness_index([]) == 1.0
+        assert fairness_index([0, 0]) == 1.0
+
+    def test_negative_values_clamped(self):
+        assert 0.0 < fairness_index([-1, 5]) <= 1.0

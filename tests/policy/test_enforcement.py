@@ -1,0 +1,113 @@
+"""Tests for the policy enforcement point."""
+
+import pytest
+
+from tussle.errors import OntologyError
+from tussle.netsim.forwarding import ForwardingEngine
+from tussle.netsim.middlebox import Action
+from tussle.netsim.packets import make_packet
+from tussle.netsim.topology import line_topology
+from tussle.policy.enforcement import PolicyEnforcementPoint, packet_to_request
+from tussle.policy.ontology import standard_access_ontology
+from tussle.policy.parser import parse_policy
+
+
+PERMIT_WEB = parse_policy("""
+permit if application in {"http", "https"}
+permit if encrypted
+default deny
+""")
+
+
+class TestRequestTranslation:
+    def test_basic_fields(self):
+        packet = make_packet("a", "b", application="http")
+        request = packet_to_request(packet)
+        assert request["src"] == "a"
+        assert request["dst"] == "b"
+        assert request["port"] == 80.0
+        assert request["application"] == "http"
+        assert request["encrypted"] is False
+
+    def test_opaque_traffic_has_no_application(self):
+        packet = make_packet("a", "b", application="mystery", encrypted=True)
+        request = packet_to_request(packet)
+        assert "application" not in request
+        assert request["encrypted"] is True
+
+    def test_extra_context_merged(self):
+        packet = make_packet("a", "b")
+        request = packet_to_request(packet, extra={"purpose": "backup"})
+        assert request["purpose"] == "backup"
+
+    def test_tunnel_classifies_as_cover(self):
+        packet = make_packet("a", "b", application="p2p").tunnel_to(
+            "gw", application="https")
+        request = packet_to_request(packet)
+        assert request["application"] == "https"
+
+
+class TestEnforcement:
+    def test_permit_forwards(self):
+        pep = PolicyEnforcementPoint("pep", PERMIT_WEB)
+        verdict = pep.process(make_packet("a", "b", application="http"))
+        assert verdict.action is Action.FORWARD
+
+    def test_deny_drops_with_rule_in_reason(self):
+        pep = PolicyEnforcementPoint("pep", PERMIT_WEB)
+        verdict = pep.process(make_packet("a", "b", application="p2p"))
+        assert verdict.action is Action.DROP
+        assert "policy denied" in verdict.reason
+
+    def test_encrypted_traffic_matches_second_rule(self):
+        pep = PolicyEnforcementPoint("pep", PERMIT_WEB)
+        packet = make_packet("a", "b", application="mystery", encrypted=True)
+        assert pep.process(packet).action is Action.FORWARD
+
+    def test_permit_rate(self):
+        pep = PolicyEnforcementPoint("pep", PERMIT_WEB)
+        pep.process(make_packet("a", "b", application="http"))
+        pep.process(make_packet("a", "b", application="p2p"))
+        assert pep.permit_rate() == pytest.approx(0.5)
+
+    def test_ontology_validation_at_construction(self):
+        policy = parse_policy("permit if carbon.footprint < 5")
+        with pytest.raises(OntologyError):
+            PolicyEnforcementPoint("pep", policy,
+                                   ontology=standard_access_ontology())
+
+    def test_blind_spots_recorded(self):
+        policy = parse_policy("""
+        permit if purpose == "research"
+        default deny
+        """)
+        pep = PolicyEnforcementPoint("pep", policy)
+        pep.process(make_packet("a", "b", application="http"))
+        pep.process(make_packet("a", "b", application="http"))
+        assert pep.blind_spot_report() == {"purpose": 2}
+
+    def test_context_fills_blind_spots(self):
+        policy = parse_policy("""
+        permit if purpose == "research"
+        default deny
+        """)
+        pep = PolicyEnforcementPoint("pep", policy,
+                                     context={"purpose": "research"})
+        verdict = pep.process(make_packet("a", "b"))
+        assert verdict.action is Action.FORWARD
+        assert pep.blind_spot_report() == {}
+
+    def test_works_on_a_forwarding_path(self):
+        engine = ForwardingEngine(line_topology(3))
+        engine.install_shortest_path_tables()
+        engine.attach_middlebox("n1", PolicyEnforcementPoint("pep", PERMIT_WEB))
+        allowed = engine.send(make_packet("n0", "n2", application="http"))
+        denied = engine.send(make_packet("n0", "n2", application="p2p"))
+        assert allowed.delivered
+        assert not denied.delivered
+
+    def test_steganography_evades_policy_enforcement(self):
+        """The §VI-A escalation reaches the policy layer too."""
+        pep = PolicyEnforcementPoint("pep", PERMIT_WEB)
+        hidden = make_packet("a", "b", application="p2p").hide_in("http")
+        assert pep.process(hidden).action is Action.FORWARD

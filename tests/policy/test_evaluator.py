@@ -1,0 +1,111 @@
+"""Tests for policy evaluation."""
+
+import pytest
+
+from tussle.errors import PolicyError
+from tussle.policy.evaluator import evaluate_expression, evaluate_policy
+from tussle.policy.parser import parse_expression, parse_policy
+
+
+class TestExpressionEvaluation:
+    def test_numeric_comparisons(self):
+        assert evaluate_expression(parse_expression("port >= 80"), {"port": 80.0})
+        assert not evaluate_expression(parse_expression("port < 80"), {"port": 80.0})
+
+    def test_string_equality(self):
+        expr = parse_expression('application == "http"')
+        assert evaluate_expression(expr, {"application": "http"})
+        assert not evaluate_expression(expr, {"application": "smtp"})
+
+    def test_string_ordering(self):
+        assert evaluate_expression(parse_expression('name < "m"'), {"name": "alice"})
+
+    def test_boolean_attribute(self):
+        assert evaluate_expression(parse_expression("encrypted"),
+                                   {"encrypted": True})
+        assert not evaluate_expression(parse_expression("encrypted"),
+                                       {"encrypted": False})
+
+    def test_membership(self):
+        expr = parse_expression('application in {"http", "smtp"}')
+        assert evaluate_expression(expr, {"application": "smtp"})
+        assert not evaluate_expression(expr, {"application": "ftp"})
+
+    def test_connectives(self):
+        expr = parse_expression("a == 1 and not b == 2")
+        assert evaluate_expression(expr, {"a": 1.0, "b": 3.0})
+        assert not evaluate_expression(expr, {"a": 1.0, "b": 2.0})
+
+    def test_missing_attribute_is_false(self):
+        expr = parse_expression("nonexistent == 1")
+        assert not evaluate_expression(expr, {})
+
+    def test_missing_under_not_is_false_not_true(self):
+        """NOT over a missing attribute must not accidentally match."""
+        expr = parse_expression("not nonexistent == 1")
+        assert not evaluate_expression(expr, {})
+
+    def test_cross_type_equality_is_false(self):
+        expr = parse_expression("port == 80")
+        assert not evaluate_expression(expr, {"port": "80"})
+
+    def test_cross_type_ordering_raises(self):
+        expr = parse_expression("port < 80")
+        with pytest.raises(PolicyError):
+            evaluate_expression(expr, {"port": "eighty"})
+
+    def test_non_boolean_bare_attribute_raises(self):
+        expr = parse_expression("port")
+        with pytest.raises(PolicyError):
+            evaluate_expression(expr, {"port": 80.0})
+
+    def test_boolean_ordering_rejected(self):
+        expr = parse_expression("encrypted < true")
+        with pytest.raises(PolicyError):
+            evaluate_expression(expr, {"encrypted": False})
+
+
+class TestPolicyEvaluation:
+    POLICY = parse_policy("""
+    deny if purpose == "marketing"
+    permit if identity.accountability >= 0.5
+    permit if encrypted
+    default deny
+    """)
+
+    def test_first_match_wins(self):
+        decision = evaluate_policy(self.POLICY, {
+            "purpose": "marketing",
+            "identity.accountability": 1.0,
+        })
+        assert not decision.permitted
+        assert decision.matched_rule.effect.value == "deny"
+
+    def test_fallthrough_to_later_rule(self):
+        decision = evaluate_policy(self.POLICY, {
+            "purpose": "service",
+            "identity.accountability": 0.8,
+        })
+        assert decision.permitted
+
+    def test_default_applies_when_nothing_matches(self):
+        decision = evaluate_policy(self.POLICY, {
+            "purpose": "service",
+            "identity.accountability": 0.1,
+            "encrypted": False,
+        })
+        assert not decision.permitted
+        assert decision.defaulted
+
+    def test_missing_attributes_recorded(self):
+        decision = evaluate_policy(self.POLICY, {"purpose": "service"})
+        assert "identity.accountability" in decision.missing_attributes
+        assert "encrypted" in decision.missing_attributes
+
+    def test_unconditional_rule_always_matches(self):
+        policy = parse_policy("permit")
+        assert evaluate_policy(policy, {}).permitted
+
+    def test_default_default_is_deny(self):
+        policy = parse_policy("permit if x == 1")
+        assert not evaluate_policy(policy, {}).permitted

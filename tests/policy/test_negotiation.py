@@ -1,0 +1,93 @@
+"""Tests for two-party policy negotiation."""
+
+import pytest
+
+from tussle.errors import PolicyError
+from tussle.policy.negotiation import Negotiation
+from tussle.policy.parser import parse_policy
+
+
+USER_POLICY = parse_policy("""
+# The user insists on privacy for sensitive apps and will pay a little.
+deny if application == "banking" and not encrypted
+permit if payment <= 2
+default deny
+""")
+
+ISP_POLICY = parse_policy("""
+# The provider wants compensation and dislikes opaque traffic unless paid.
+permit if payment >= 1
+permit if not encrypted
+default deny
+""")
+
+
+class TestNegotiation:
+    def test_agreement_found_in_joint_space(self):
+        negotiation = Negotiation(
+            USER_POLICY, ISP_POLICY,
+            fixed={"application": "banking"},
+            negotiable={"encrypted": [True, False],
+                        "payment": [0.0, 1.0, 2.0, 3.0]},
+        )
+        outcome = negotiation.run()
+        assert outcome.succeeded
+        agreement = outcome.agreement
+        # Banking must end up encrypted AND paid (>=1), and affordable (<=2).
+        assert agreement["encrypted"] is True
+        assert 1.0 <= agreement["payment"] <= 2.0
+
+    def test_choice_count_measures_latitude(self):
+        negotiation = Negotiation(
+            USER_POLICY, ISP_POLICY,
+            fixed={"application": "banking"},
+            negotiable={"encrypted": [True, False],
+                        "payment": [0.0, 1.0, 2.0, 3.0]},
+        )
+        outcome = negotiation.run()
+        assert outcome.choice_count == 2  # encrypted with payment 1 or 2
+
+    def test_failure_when_interests_truly_adverse(self):
+        strict_isp = parse_policy("permit if not encrypted\ndefault deny")
+        negotiation = Negotiation(
+            USER_POLICY, strict_isp,
+            fixed={"application": "banking"},
+            negotiable={"encrypted": [True, False], "payment": [0.0, 1.0]},
+        )
+        outcome = negotiation.run()
+        assert not outcome.succeeded
+        assert outcome.agreement is None
+
+    def test_preference_selects_among_acceptable(self):
+        negotiation = Negotiation(
+            USER_POLICY, ISP_POLICY,
+            fixed={"application": "banking"},
+            negotiable={"encrypted": [True], "payment": [1.0, 2.0]},
+        )
+        cheapest = negotiation.run(preference=lambda r: -r["payment"])
+        assert cheapest.agreement["payment"] == 1.0
+        dearest = negotiation.run(preference=lambda r: r["payment"])
+        assert dearest.agreement["payment"] == 2.0
+
+    def test_no_negotiable_space_still_evaluates_fixed(self):
+        permit_all = parse_policy("permit")
+        negotiation = Negotiation(permit_all, permit_all,
+                                  fixed={"application": "http"})
+        outcome = negotiation.run()
+        assert outcome.succeeded
+        assert outcome.rounds_searched == 1
+
+    def test_empty_candidate_list_rejected(self):
+        permit_all = parse_policy("permit")
+        with pytest.raises(PolicyError):
+            Negotiation(permit_all, permit_all, negotiable={"x": []})
+
+    def test_search_is_exhaustive(self):
+        permit_all = parse_policy("permit")
+        negotiation = Negotiation(
+            permit_all, permit_all,
+            negotiable={"a": [1.0, 2.0], "b": [1.0, 2.0, 3.0]},
+        )
+        outcome = negotiation.run()
+        assert outcome.rounds_searched == 6
+        assert outcome.choice_count == 6

@@ -1,0 +1,80 @@
+"""Tests for ontology bounds and expressiveness reporting."""
+
+import pytest
+
+from tussle.errors import OntologyError
+from tussle.policy.ontology import (
+    Ontology,
+    check_policy,
+    expressiveness_report,
+    standard_access_ontology,
+)
+from tussle.policy.parser import parse_policy
+
+
+class TestOntology:
+    def test_declare_and_admit(self):
+        ontology = Ontology("test")
+        ontology.declare("foo", "number")
+        assert ontology.admits("foo")
+        assert not ontology.admits("bar")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(OntologyError):
+            Ontology("test", attributes={"foo": "widget"})
+        with pytest.raises(OntologyError):
+            Ontology("test").declare("foo", "widget")
+
+    def test_value_conformance(self):
+        ontology = Ontology("test", attributes={
+            "n": "number", "s": "string", "b": "bool",
+        })
+        assert ontology.value_conforms("n", 1.5)
+        assert not ontology.value_conforms("n", True)  # bool is not a number
+        assert ontology.value_conforms("s", "x")
+        assert ontology.value_conforms("b", False)
+        assert not ontology.value_conforms("missing", 1.0)
+
+    def test_standard_ontology_covers_basics(self):
+        ontology = standard_access_ontology()
+        for attribute in ("application", "encrypted", "port",
+                          "identity.accountability"):
+            assert ontology.admits(attribute)
+
+
+class TestCheckPolicy:
+    def test_in_bounds_policy_passes(self):
+        policy = parse_policy('permit if application == "http"')
+        check_policy(policy, standard_access_ontology())
+
+    def test_out_of_bounds_policy_rejected(self):
+        """A policy about an unanticipated dimension cannot be written."""
+        policy = parse_policy("permit if carbon.footprint < 10")
+        with pytest.raises(OntologyError) as excinfo:
+            check_policy(policy, standard_access_ontology())
+        assert "carbon.footprint" in str(excinfo.value)
+
+
+class TestExpressiveness:
+    def test_full_coverage(self):
+        ontology = standard_access_ontology()
+        requests = [{"application": "http", "port": 80.0}]
+        report = expressiveness_report(ontology, requests)
+        assert report.coverage == 1.0
+        assert report.fully_expressive
+
+    def test_blind_spots_detected(self):
+        """The paper's 'defeating' case: tussles the language cannot see."""
+        ontology = standard_access_ontology()
+        requests = [
+            {"application": "http", "drm.license": "strict"},
+            {"application": "voip", "net.neutrality_tier": "fast-lane"},
+        ]
+        report = expressiveness_report(ontology, requests)
+        assert not report.fully_expressive
+        assert report.blind_spots == ["drm.license", "net.neutrality_tier"]
+        assert report.coverage == pytest.approx(1 / 3)
+
+    def test_empty_requests_trivially_covered(self):
+        report = expressiveness_report(standard_access_ontology(), [])
+        assert report.coverage == 1.0

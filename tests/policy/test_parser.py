@@ -1,0 +1,135 @@
+"""Tests for the policy-language parser."""
+
+import pytest
+
+from tussle.errors import PolicyParseError
+from tussle.policy.language import (
+    AndExpr,
+    Attribute,
+    Comparison,
+    Effect,
+    Literal,
+    Membership,
+    NotExpr,
+    OrExpr,
+)
+from tussle.policy.parser import parse_expression, parse_policy, parse_rule
+
+
+class TestExpressions:
+    def test_comparison(self):
+        expr = parse_expression("port == 80")
+        assert isinstance(expr, Comparison)
+        assert expr.op == "=="
+        assert expr.left == Attribute("port")
+        assert expr.right == Literal(80.0)
+
+    def test_all_comparison_operators(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            expr = parse_expression(f"x {op} 1")
+            assert isinstance(expr, Comparison)
+            assert expr.op == op
+
+    def test_string_literal(self):
+        expr = parse_expression('application == "http"')
+        assert expr.right == Literal("http")
+
+    def test_boolean_literals(self):
+        expr = parse_expression("encrypted == true")
+        assert expr.right == Literal(True)
+
+    def test_dotted_attribute(self):
+        expr = parse_expression("identity.accountability >= 0.5")
+        assert expr.left == Attribute("identity.accountability")
+
+    def test_membership(self):
+        expr = parse_expression('application in {"http", "smtp"}')
+        assert isinstance(expr, Membership)
+        assert expr.collection == frozenset({"http", "smtp"})
+
+    def test_numeric_membership(self):
+        expr = parse_expression("port in {80, 443}")
+        assert expr.collection == frozenset({80.0, 443.0})
+
+    def test_boolean_connectives(self):
+        expr = parse_expression("a == 1 and b == 2 or not c == 3")
+        assert isinstance(expr, OrExpr)
+        assert isinstance(expr.operands[0], AndExpr)
+        assert isinstance(expr.operands[1], NotExpr)
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("a == 1 and (b == 2 or c == 3)")
+        assert isinstance(expr, AndExpr)
+        assert isinstance(expr.operands[1], OrExpr)
+
+    def test_bare_attribute_condition(self):
+        expr = parse_expression("encrypted")
+        assert expr == Attribute("encrypted")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_expression("a == 1 extra")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_expression("(a == 1")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_expression("a ~ 1")
+
+    def test_set_members_must_be_literals(self):
+        with pytest.raises(PolicyParseError):
+            parse_expression("a in {b}")
+
+
+class TestRules:
+    def test_unconditional_permit(self):
+        rule = parse_rule("permit")
+        assert rule.effect is Effect.PERMIT
+        assert rule.condition is None
+
+    def test_conditional_deny(self):
+        rule = parse_rule('deny if purpose == "marketing"')
+        assert rule.effect is Effect.DENY
+        assert rule.condition is not None
+        assert rule.source == 'deny if purpose == "marketing"'
+
+    def test_rule_must_start_with_effect(self):
+        with pytest.raises(PolicyParseError):
+            parse_rule("allow if x == 1")
+
+    def test_condition_requires_if_keyword(self):
+        with pytest.raises(PolicyParseError):
+            parse_rule("permit x == 1")
+
+
+class TestPolicies:
+    POLICY_TEXT = """
+    # A representative access policy
+    deny if purpose == "marketing"
+    permit if identity.accountability >= 0.5 and application in {"http", "smtp"}
+    permit if encrypted
+    default deny
+    """
+
+    def test_parse_full_policy(self):
+        policy = parse_policy(self.POLICY_TEXT, name="access")
+        assert len(policy) == 3
+        assert policy.default is Effect.DENY
+        assert policy.name == "access"
+
+    def test_comments_and_blank_lines_ignored(self):
+        policy = parse_policy("# nothing\n\npermit\n")
+        assert len(policy) == 1
+
+    def test_default_line_variants(self):
+        assert parse_policy("default permit").default is Effect.PERMIT
+        with pytest.raises(PolicyParseError):
+            parse_policy("default maybe")
+
+    def test_attributes_collected(self):
+        policy = parse_policy(self.POLICY_TEXT)
+        assert policy.attributes() == {
+            "purpose", "identity.accountability", "application", "encrypted",
+        }

@@ -1,0 +1,147 @@
+"""Tests for policy rendering, including the hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tussle.errors import PolicyError
+from tussle.policy.language import (
+    AndExpr,
+    Attribute,
+    Comparison,
+    Effect,
+    Literal,
+    Membership,
+    NotExpr,
+    OrExpr,
+    Policy,
+    Rule,
+)
+from tussle.policy.parser import parse_expression, parse_policy, parse_rule
+from tussle.policy.render import render_expression, render_policy, render_rule
+
+
+class TestBasicRendering:
+    def test_comparison(self):
+        expr = Comparison("==", Attribute("port"), Literal(80.0))
+        assert render_expression(expr) == "port == 80.0"
+
+    def test_string_and_bool_literals(self):
+        expr = Comparison("==", Attribute("app"), Literal("http"))
+        assert render_expression(expr) == 'app == "http"'
+        expr = Comparison("==", Attribute("enc"), Literal(True))
+        assert render_expression(expr) == "enc == true"
+
+    def test_membership_sorted(self):
+        expr = Membership(Attribute("app"), frozenset({"smtp", "http"}))
+        assert render_expression(expr) == 'app in {"http", "smtp"}'
+
+    def test_not_over_connective_parenthesized(self):
+        inner = OrExpr((Attribute("a"), Attribute("b")))
+        expr = NotExpr(inner)
+        text = render_expression(expr)
+        assert text == "not (a or b)"
+        assert parse_expression(text) == expr
+
+    def test_or_inside_and_parenthesized(self):
+        expr = AndExpr((Attribute("a"), OrExpr((Attribute("b"), Attribute("c")))))
+        text = render_expression(expr)
+        assert text == "a and (b or c)"
+        assert parse_expression(text) == expr
+
+    def test_nested_and_keeps_grouping(self):
+        expr = AndExpr((AndExpr((Attribute("a"), Attribute("b"))),
+                        Attribute("c")))
+        text = render_expression(expr)
+        assert parse_expression(text) == expr
+
+    def test_quote_in_string_rejected(self):
+        with pytest.raises(PolicyError):
+            render_expression(Literal('has "quotes"'))
+
+    def test_rule_rendering(self):
+        rule = Rule(effect=Effect.DENY,
+                    condition=Comparison("==", Attribute("x"), Literal(1.0)))
+        assert render_rule(rule) == "deny if x == 1.0"
+        assert render_rule(Rule(effect=Effect.PERMIT)) == "permit"
+
+    def test_policy_round_trip(self):
+        source = """
+        deny if purpose == "marketing"
+        permit if encrypted
+        default permit
+        """
+        policy = parse_policy(source)
+        rendered = render_policy(policy)
+        reparsed = parse_policy(rendered)
+        assert reparsed.default == policy.default
+        assert [r.effect for r in reparsed.rules] == [r.effect for r in policy.rules]
+        assert [r.condition for r in reparsed.rules] \
+            == [r.condition for r in policy.rules]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis round-trip on randomly generated ASTs.
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["app", "port", "encrypted", "identity.level",
+                          "purpose", "src.zone"])
+_numbers = st.floats(min_value=-1e6, max_value=1e6,
+                     allow_nan=False, allow_infinity=False)
+_strings = st.text(alphabet="abcxyz-._ ", min_size=0, max_size=8)
+_values = st.one_of(st.booleans(), _numbers, _strings)
+
+
+def _terms():
+    return st.one_of(_values.map(Literal), _names.map(Attribute))
+
+
+def _comparisons():
+    return st.builds(
+        Comparison,
+        op=st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        left=_terms(),
+        right=_terms(),
+    )
+
+
+def _memberships():
+    return st.builds(
+        Membership,
+        item=_terms(),
+        collection=st.frozensets(_values, min_size=1, max_size=4),
+    )
+
+
+_expressions = st.recursive(
+    st.one_of(_comparisons(), _memberships(), _names.map(Attribute),
+              st.booleans().map(Literal)),
+    lambda children: st.one_of(
+        children.map(NotExpr),
+        st.tuples(children, children).map(AndExpr),
+        st.tuples(children, children).map(OrExpr),
+        st.tuples(children, children, children).map(OrExpr),
+    ),
+    max_leaves=12,
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(_expressions)
+    def test_render_parse_round_trip(self, expr):
+        assert parse_expression(render_expression(expr)) == expr
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.builds(Rule,
+                              effect=st.sampled_from(list(Effect)),
+                              condition=st.one_of(st.none(), _expressions)),
+                    max_size=4),
+           st.sampled_from(list(Effect)))
+    def test_policy_round_trip(self, rules, default):
+        policy = Policy(rules=list(rules), default=default)
+        reparsed = parse_policy(render_policy(policy))
+        assert reparsed.default == policy.default
+        assert [r.condition for r in reparsed.rules] \
+            == [r.condition for r in policy.rules]
+        assert [r.effect for r in reparsed.rules] \
+            == [r.effect for r in policy.rules]

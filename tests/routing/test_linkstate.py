@@ -1,0 +1,118 @@
+"""Tests for link-state routing and its full-visibility property."""
+
+import pytest
+
+from tussle.errors import RoutingError
+from tussle.netsim.topology import Network, line_topology
+from tussle.routing.linkstate import LinkStateDatabase, LinkStateRouting
+
+
+@pytest.fixture
+def diamond():
+    net = Network()
+    for name in "abcd":
+        net.add_node(name)
+    net.add_link("a", "b", cost=1.0)
+    net.add_link("b", "d", cost=1.0)
+    net.add_link("a", "c", cost=1.0)
+    net.add_link("c", "d", cost=5.0)
+    return net
+
+
+class TestDatabase:
+    def test_announce_and_list(self):
+        db = LinkStateDatabase()
+        db.announce("a", "b", 2.0)
+        assert db.links() == [("a", "b", 2.0)]
+
+    def test_announcement_canonicalized(self):
+        db = LinkStateDatabase()
+        db.announce("b", "a", 2.0)
+        db.announce("a", "b", 3.0)
+        assert len(db) == 1
+        assert db.links()[0][2] == 3.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(RoutingError):
+            LinkStateDatabase().announce("a", "b", -1.0)
+
+    def test_withdraw(self):
+        db = LinkStateDatabase()
+        db.announce("a", "b", 1.0)
+        db.withdraw("b", "a")
+        assert len(db) == 0
+
+    def test_everyone_sees_everything(self):
+        db = LinkStateDatabase()
+        db.announce("a", "b", 1.0)
+        db.announce("b", "c", 1.0)
+        assert db.visible_to("a") == db.visible_to("z") == db.links()
+
+
+class TestRouting:
+    def test_converges_in_one_iteration(self, diamond):
+        proto = LinkStateRouting(diamond)
+        assert proto.converge() == 1
+
+    def test_chooses_min_cost_path(self, diamond):
+        proto = LinkStateRouting(diamond)
+        proto.converge()
+        assert proto.path("a", "d") == ["a", "b", "d"]
+
+    def test_cost_change_reroutes(self, diamond):
+        diamond.link("b", "d").cost = 10.0
+        proto = LinkStateRouting(diamond)
+        proto.converge()
+        assert proto.path("a", "d") == ["a", "c", "d"]
+
+    def test_failed_links_excluded(self, diamond):
+        diamond.fail_link("a", "b")
+        proto = LinkStateRouting(diamond)
+        proto.converge()
+        assert proto.path("a", "d") == ["a", "c", "d"]
+
+    def test_tables_usable_by_forwarding_engine(self):
+        from tussle.netsim.forwarding import ForwardingEngine
+        from tussle.netsim.packets import make_packet
+
+        net = line_topology(4)
+        proto = LinkStateRouting(net)
+        proto.converge()
+        engine = ForwardingEngine(net)
+        engine.install_tables(proto.all_tables())
+        assert engine.send(make_packet("n0", "n3")).delivered
+
+    def test_reading_before_converge_rejected(self, diamond):
+        proto = LinkStateRouting(diamond)
+        with pytest.raises(RoutingError):
+            proto.forwarding_table("a")
+        with pytest.raises(RoutingError):
+            proto.path("a", "d")
+
+    def test_unknown_node_rejected(self, diamond):
+        proto = LinkStateRouting(diamond)
+        proto.converge()
+        with pytest.raises(RoutingError):
+            proto.forwarding_table("ghost")
+
+    def test_disconnected_destination_absent(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        proto = LinkStateRouting(net)
+        proto.converge()
+        assert "b" not in proto.forwarding_table("a")
+        assert proto.path("a", "b") is None
+
+    def test_path_to_self(self, diamond):
+        proto = LinkStateRouting(diamond)
+        proto.converge()
+        assert proto.path("a", "a") == ["a"]
+
+    def test_reconvergence_after_topology_change(self, diamond):
+        proto = LinkStateRouting(diamond)
+        proto.converge()
+        assert proto.path("a", "d") == ["a", "b", "d"]
+        diamond.fail_link("b", "d")
+        proto.converge()
+        assert proto.path("a", "d") == ["a", "c", "d"]

@@ -1,0 +1,87 @@
+"""Tests for overlay routing and its economic distortion."""
+
+import pytest
+
+from tussle.netsim.topology import Network, Relationship
+from tussle.routing.overlay import OverlayNetwork
+from tussle.routing.pathvector import PathVectorRouting
+
+
+@pytest.fixture
+def valley_network():
+    """Peers 10-11 at the top; stubs 1, 2, 3 below.
+
+    AS1 buys from 10 only, AS2 from 11 only, AS3 from both. Direct BGP
+    connectivity between 1 and 2 crosses the 10-11 peering.
+    """
+    net = Network()
+    for asn in (1, 2, 3, 10, 11):
+        net.add_as(asn)
+    net.add_as_relationship(1, 10, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(2, 11, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(3, 10, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(3, 11, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(10, 11, Relationship.PEER_PEER)
+    return net
+
+
+@pytest.fixture
+def converged(valley_network):
+    proto = PathVectorRouting(valley_network)
+    proto.converge()
+    return proto
+
+
+class TestPaths:
+    def test_direct_path_mirrors_underlay(self, converged):
+        overlay = OverlayNetwork(converged, members=[1, 2, 3])
+        direct = overlay.direct_path(1, 2)
+        assert direct is not None
+        assert direct.underlay_path == converged.as_path(1, 2)
+        assert direct.overlay_hops == 1
+
+    def test_one_relay_path_composes_underlay_legs(self, converged):
+        overlay = OverlayNetwork(converged, members=[1, 2, 3])
+        relayed = overlay.one_relay_paths(1, 2)
+        assert len(relayed) == 1
+        path = relayed[0]
+        assert path.relays == (1, 3, 2)
+        assert path.underlay_path[0] == 1
+        assert path.underlay_path[-1] == 2
+        assert 3 in path.underlay_path
+
+    def test_path_choice_count_exceeds_bgp(self, converged):
+        overlay = OverlayNetwork(converged, members=[1, 2, 3])
+        assert overlay.path_choice_count(1, 2) >= 2
+
+    def test_overlay_reaches_around_underlay_gaps(self, valley_network):
+        """A relay with universal connectivity heals pairs BGP cannot serve."""
+        # Remove the peering: 1 and 2 become mutually unreachable via BGP,
+        # but both still reach multihomed AS3.
+        net = Network()
+        for asn in (1, 2, 3, 10, 11):
+            net.add_as(asn)
+        net.add_as_relationship(1, 10, Relationship.CUSTOMER_PROVIDER)
+        net.add_as_relationship(2, 11, Relationship.CUSTOMER_PROVIDER)
+        net.add_as_relationship(3, 10, Relationship.CUSTOMER_PROVIDER)
+        net.add_as_relationship(3, 11, Relationship.CUSTOMER_PROVIDER)
+        proto = PathVectorRouting(net)
+        proto.converge()
+        assert not proto.reachable(1, 2)
+        overlay = OverlayNetwork(proto, members=[1, 2, 3])
+        assert overlay.direct_path(1, 2) is None
+        assert overlay.reachable_via_overlay(1, 2)
+
+    def test_uncompensated_transit_counts_middle_ases(self, converged):
+        overlay = OverlayNetwork(converged, members=[1, 2, 3])
+        distortion = overlay.uncompensated_transit(1, 2)
+        # Providers 10 and 11 carry overlay paths they were not paid for.
+        assert distortion.get(10, 0) > 0
+        assert distortion.get(11, 0) > 0
+        # Endpoints are not transit.
+        assert 1 not in distortion
+        assert 2 not in distortion
+
+    def test_members_validated(self, converged):
+        with pytest.raises(Exception):
+            OverlayNetwork(converged, members=[999])

@@ -1,0 +1,138 @@
+"""Tests for user source routing: discovery, payment, verification."""
+
+import pytest
+
+from tussle.netsim.topology import Network, Relationship
+from tussle.routing.sourcerouting import (
+    SourceRoutingSystem,
+    TransitTerms,
+    valley_free_paths,
+)
+
+
+@pytest.fixture
+def two_path_network():
+    """Stubs 1 and 2 each buy transit from providers 10 and 11."""
+    net = Network()
+    for asn in (1, 2, 10, 11):
+        net.add_as(asn)
+    net.add_as_relationship(1, 10, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(1, 11, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(2, 10, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(2, 11, Relationship.CUSTOMER_PROVIDER)
+    return net
+
+
+class TestValleyFreePaths:
+    def test_finds_both_provider_paths(self, two_path_network):
+        paths = valley_free_paths(two_path_network, 1, 2)
+        assert (1, 10, 2) in paths
+        assert (1, 11, 2) in paths
+
+    def test_no_valley_through_stub(self, two_path_network):
+        # Paths from 10 to 11 must not descend into a stub and climb out.
+        paths = valley_free_paths(two_path_network, 10, 11)
+        for path in paths:
+            assert 1 not in path[1:-1]
+            assert 2 not in path[1:-1]
+
+    def test_peer_at_top_allowed_once(self):
+        net = Network()
+        for asn in (1, 2, 10, 11):
+            net.add_as(asn)
+        net.add_as_relationship(1, 10, Relationship.CUSTOMER_PROVIDER)
+        net.add_as_relationship(2, 11, Relationship.CUSTOMER_PROVIDER)
+        net.add_as_relationship(10, 11, Relationship.PEER_PEER)
+        paths = valley_free_paths(net, 1, 2)
+        assert paths == [(1, 10, 11, 2)]
+
+    def test_paths_deterministic_order(self, two_path_network):
+        assert (valley_free_paths(two_path_network, 1, 2)
+                == valley_free_paths(two_path_network, 1, 2))
+
+
+class TestUsage:
+    def test_route_succeeds_when_transits_accept(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=True)
+        route = system.candidate_routes(1, 2)[0]
+        attempt = system.use_route(route, budget=10.0)
+        assert attempt.succeeded
+        assert attempt.verified
+
+    def test_refusal_without_payment(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=False)
+        for asn in (10, 11):
+            system.set_terms(asn, TransitTerms(accepts_source_routes=False))
+        route = system.candidate_routes(1, 2)[0]
+        attempt = system.use_route(route)
+        assert not attempt.succeeded
+        assert attempt.refused_by in (10, 11)
+
+    def test_attested_path_truncated_at_refusal(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=False)
+        system.set_terms(10, TransitTerms(accepts_source_routes=False))
+        route = [r for r in system.candidate_routes(1, 2)
+                 if r.path == (1, 10, 2)][0]
+        attempt = system.use_route(route)
+        assert attempt.attested_path == (1,)
+
+    def test_payment_flows_to_transit(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=True)
+        system.set_terms(10, TransitTerms(accepts_source_routes=False, price=2.5))
+        route = [r for r in system.candidate_routes(1, 2)
+                 if r.path == (1, 10, 2)][0]
+        attempt = system.use_route(route, budget=5.0)
+        assert attempt.succeeded
+        assert attempt.total_price == 2.5
+        assert system.revenue[10] == 2.5
+
+    def test_budget_limits_route(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=True)
+        system.set_terms(10, TransitTerms(price=5.0))
+        system.set_terms(11, TransitTerms(price=5.0))
+        route = system.candidate_routes(1, 2)[0]
+        attempt = system.use_route(route, budget=1.0)
+        assert not attempt.succeeded
+
+    def test_altruistic_free_transit_works_without_payment(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=False)
+        system.set_terms(10, TransitTerms(accepts_source_routes=True, price=0.0))
+        route = [r for r in system.candidate_routes(1, 2)
+                 if r.path == (1, 10, 2)][0]
+        assert system.use_route(route).succeeded
+
+    def test_best_affordable_route_picks_cheapest(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=True)
+        system.set_terms(10, TransitTerms(price=5.0))
+        system.set_terms(11, TransitTerms(price=1.0))
+        attempt = system.best_affordable_route(1, 2, budget=100.0)
+        assert attempt.path == (1, 11, 2)
+
+    def test_path_diversity_counts_usable_paths(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=True)
+        assert system.path_diversity(1, 2, budget=100.0) == 2
+        system.set_terms(10, TransitTerms(price=1000.0))
+        assert system.path_diversity(1, 2, budget=10.0) == 1
+
+    def test_path_diversity_has_no_side_effects(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=True)
+        system.path_diversity(1, 2, budget=100.0)
+        assert system.revenue == {}
+        assert system.attempts == []
+
+    def test_success_rate(self, two_path_network):
+        system = SourceRoutingSystem(two_path_network, payment_enabled=True)
+        route = system.candidate_routes(1, 2)[0]
+        system.use_route(route, budget=100.0)
+        system.use_route(route, budget=0.0)
+        assert system.success_rate() == pytest.approx(0.5)
+
+    def test_unwilling_free_as_still_refuses(self, two_path_network):
+        """An AS that rejects source routes and charges nothing is NOT a
+        free ride — only actual compensation changes its mind."""
+        system = SourceRoutingSystem(two_path_network, payment_enabled=True)
+        system.set_terms(10, TransitTerms(accepts_source_routes=False,
+                                          price=0.0))
+        route = [r for r in system.candidate_routes(1, 2)
+                 if r.path == (1, 10, 2)][0]
+        assert not system.use_route(route, budget=100.0).succeeded

@@ -1,0 +1,85 @@
+"""Tests for the visibility analysis (§IV-C)."""
+
+import pytest
+
+from tussle.netsim.topology import Network, Relationship, line_topology
+from tussle.routing.linkstate import LinkStateRouting
+from tussle.routing.pathvector import PathVectorRouting
+from tussle.routing.visibility import (
+    TUSSLE_INTERFACE_PROPERTIES,
+    ChoiceVisibilityReport,
+    linkstate_visibility,
+    pathvector_visibility,
+)
+
+
+def bgp_chain():
+    net = Network()
+    for asn in (1, 2, 3):
+        net.add_as(asn)
+    net.add_as_relationship(1, 2, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(2, 3, Relationship.CUSTOMER_PROVIDER)
+    proto = PathVectorRouting(net)
+    proto.converge()
+    return proto
+
+
+class TestVisibilityMeasures:
+    def test_linkstate_full_visibility(self):
+        proto = LinkStateRouting(line_topology(4))
+        proto.converge()
+        assert linkstate_visibility(proto, "n0") == 1.0
+        assert linkstate_visibility(proto, "n3") == 1.0
+
+    def test_linkstate_empty_database(self):
+        net = Network()
+        net.add_node("a")
+        proto = LinkStateRouting(net)
+        proto.converge()
+        assert linkstate_visibility(proto, "a") == 0.0
+
+    def test_pathvector_partial_visibility(self):
+        proto = bgp_chain()
+        # AS3 (provider) sees only what customer AS2 announces to it:
+        # customer routes, not AS2's route toward AS3 itself.
+        visibility = pathvector_visibility(proto, observer=3, subject=2)
+        assert 0.0 < visibility < 1.0
+
+    def test_pathvector_nonadjacent_sees_nothing(self):
+        proto = bgp_chain()
+        assert pathvector_visibility(proto, observer=3, subject=1) <= 0.5
+        # Not adjacent: AS1 announces nothing directly to AS3.
+        assert proto.announced_routes(1, 3) == {}
+
+    def test_linkstate_more_visible_than_pathvector(self):
+        """The paper's §IV-C contrast, as numbers."""
+        ls = LinkStateRouting(line_topology(4))
+        ls.converge()
+        pv = bgp_chain()
+        assert (linkstate_visibility(ls, "n0")
+                > pathvector_visibility(pv, observer=3, subject=2))
+
+
+class TestScorecards:
+    def test_property_names_fixed(self):
+        assert len(TUSSLE_INTERFACE_PROPERTIES) == 4
+
+    def test_score_bounds_enforced(self):
+        report = ChoiceVisibilityReport("x")
+        with pytest.raises(ValueError):
+            report.set_score("visible_exchange_of_value", 1.5)
+        with pytest.raises(ValueError):
+            report.set_score("nonsense", 0.5)
+
+    def test_overall_averages_over_all_properties(self):
+        report = ChoiceVisibilityReport("x")
+        report.set_score("visible_exchange_of_value", 1.0)
+        assert report.overall() == pytest.approx(0.25)
+
+    def test_canonical_ranking(self):
+        """Payment-aware source routing is the most tussle-ready interface."""
+        linkstate = ChoiceVisibilityReport.for_linkstate().overall()
+        pathvector = ChoiceVisibilityReport.for_pathvector().overall()
+        source_routing = (ChoiceVisibilityReport
+                          .for_source_routing_with_payment().overall())
+        assert source_routing > linkstate > pathvector

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m tussle`` command-line interface."""
+
+import pytest
+
+from tussle.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_list_shows_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for identifier in ("E01", "E12", "X01", "X05"):
+            assert identifier in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E07"]) == 0
+        out = capsys.readouterr().out
+        assert "E07" in out
+        assert "HOLDS" in out
+        assert "FAILS" not in out
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "e07"]) == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E99"])
+
+    def test_summary_runs_everything(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("HOLDS") == 19
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "E01", "E02"])
+        assert args.command == "run"
+        assert args.experiments == ["E01", "E02"]

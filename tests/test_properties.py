@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tussle.core.outcomes import outcome_diversity, pareto_dominates
+from tussle.econ.competition import herfindahl_index
+from tussle.econ.payments import AGGREGATOR, CREDIT_CARD, MICROPAYMENT, ValueFlowLedger
+from tussle.errors import MarketError
+from tussle.gametheory.games import NormalFormGame
+from tussle.gametheory.zerosum import solve_zero_sum
+from tussle.netsim.engine import Simulator
+from tussle.netsim.metrics import summarize
+from tussle.netsim.transport import fairness_index
+from tussle.trust.trustgraph import TrustGraph
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+small_floats = st.floats(min_value=-10.0, max_value=10.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=30))
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired_times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired_times.append(sim.now))
+        sim.run()
+        assert fired_times == sorted(fired_times)
+        assert len(fired_times) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=19))
+    def test_cancellation_removes_exactly_one_event(self, delays, cancel_index):
+        sim = Simulator()
+        handles = [sim.schedule(d, lambda: None) for d in delays]
+        victim = handles[cancel_index % len(handles)]
+        victim.cancel()
+        assert sim.run() == len(delays) - 1
+
+
+class TestFairnessProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=20))
+    def test_fairness_bounded(self, allocations):
+        index = fairness_index(allocations)
+        assert 0.0 <= index <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+           st.integers(min_value=1, max_value=20))
+    def test_equal_allocations_perfectly_fair(self, value, count):
+        assert fairness_index([value] * count) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=20),
+           st.floats(min_value=0.1, max_value=100.0))
+    def test_fairness_scale_invariant(self, allocations, scale):
+        original = fairness_index(allocations)
+        scaled = fairness_index([a * scale for a in allocations])
+        assert original == pytest.approx(scaled, abs=1e-9)
+
+
+class TestHhiProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0,
+                              allow_nan=False), min_size=1, max_size=15))
+    def test_hhi_bounds(self, shares):
+        hhi = herfindahl_index(shares)
+        assert 1.0 / len(shares) - 1e-9 <= hhi <= 1.0 + 1e-9
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_symmetric_market_hhi(self, n):
+        assert herfindahl_index([1.0 / n] * n) == pytest.approx(1.0 / n)
+
+
+class TestLedgerProperties:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d"]),
+                  st.sampled_from(["a", "b", "c", "d"]),
+                  st.floats(min_value=1.0, max_value=1000.0,
+                            allow_nan=False)),
+        max_size=25))
+    def test_value_is_conserved(self, transfers):
+        ledger = ValueFlowLedger()
+        for payer, payee, amount in transfers:
+            if payer == payee:
+                continue
+            ledger.transfer(payer, payee, amount, CREDIT_CARD)
+        assert ledger.total() == pytest.approx(0.0, abs=1e-6)
+
+    @given(st.floats(min_value=0.001, max_value=1e5, allow_nan=False))
+    def test_fees_never_negative(self, amount):
+        for mechanism in (MICROPAYMENT, CREDIT_CARD, AGGREGATOR):
+            assert mechanism.fee(amount) >= 0.0
+            assert mechanism.net(amount) <= amount
+
+
+class TestTrustProperties:
+    @given(st.lists(
+        st.tuples(st.sampled_from("abcde"), st.sampled_from("abcde"),
+                  st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+        max_size=20))
+    def test_trust_bounded_and_self_trust_one(self, edges):
+        graph = TrustGraph()
+        for truster, trustee, score in edges:
+            if truster != trustee:
+                graph.set_trust(truster, trustee, score)
+        for party in "abcde":
+            assert graph.trust(party, party) == 1.0
+            for other in "abcde":
+                assert 0.0 <= graph.trust(party, other) <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_indirect_trust_never_exceeds_weakest_link(self, s1, s2):
+        graph = TrustGraph(decay=1.0)
+        graph.set_trust("a", "b", s1)
+        graph.set_trust("b", "c", s2)
+        assert graph.trust("a", "c") <= min(s1, s2) + 1e-9
+
+
+class TestZeroSumProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(small_floats, min_size=2, max_size=4),
+                    min_size=2, max_size=4).filter(
+                        lambda rows: len({len(r) for r in rows}) == 1))
+    def test_minimax_strategies_guarantee_the_value(self, rows):
+        matrix = np.array(rows)
+        game = NormalFormGame([matrix, -matrix])
+        solution = solve_zero_sum(game)
+        # Row strategy guarantees >= value against every column.
+        guarantees = solution.row_strategy @ matrix
+        assert np.all(guarantees >= solution.value - 1e-6)
+        # Column strategy holds the row player to <= value.
+        exposures = matrix @ solution.col_strategy
+        assert np.all(exposures <= solution.value + 1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(small_floats, min_size=2, max_size=3),
+                    min_size=2, max_size=3).filter(
+                        lambda rows: len({len(r) for r in rows}) == 1))
+    def test_strategies_are_distributions(self, rows):
+        matrix = np.array(rows)
+        solution = solve_zero_sum(NormalFormGame([matrix, -matrix]))
+        for strategy in (solution.row_strategy, solution.col_strategy):
+            assert strategy.sum() == pytest.approx(1.0, abs=1e-6)
+            assert np.all(strategy >= -1e-12)
+
+
+class TestOutcomeProperties:
+    @given(st.dictionaries(st.sampled_from("abc"), finite_floats,
+                           min_size=1, max_size=3))
+    def test_pareto_dominance_irreflexive(self, profile):
+        assert not pareto_dominates(profile, profile)
+
+    @given(st.lists(st.dictionaries(st.sampled_from("xy"),
+                                    st.floats(min_value=0.0, max_value=1.0,
+                                              allow_nan=False),
+                                    min_size=1, max_size=2),
+                    min_size=2, max_size=8))
+    def test_diversity_nonnegative(self, states):
+        assert outcome_diversity(states) >= 0.0
+
+
+class TestSummaryProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_summary_invariants(self, values):
+        summary = summarize(values)
+        # The mean of n identical floats can land 1 ulp outside [min, max].
+        tolerance = 1e-9 * max(1.0, abs(summary.mean))
+        assert summary.count == len(values)
+        assert summary.minimum - tolerance <= summary.mean \
+            <= summary.maximum + tolerance
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.stdev >= 0.0

@@ -1,0 +1,177 @@
+"""Domain-level property tests: routing, markets, and the simulator.
+
+These complement tests/test_properties.py (data-structure invariants)
+with properties of the *modeled systems*: valley-freedom of discovered
+paths, Gao-Rexford convergence, market value conservation, and integrity
+monotonicity in the tussle simulator.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tussle.core.mechanisms import Mechanism
+from tussle.core.simulator import TussleSimulator
+from tussle.core.stakeholders import Stakeholder, StakeholderKind
+from tussle.core.tussle import TussleSpace
+from tussle.econ.agents import Consumer, Provider
+from tussle.econ.market import Market
+from tussle.netsim.topology import random_as_graph
+from tussle.routing.pathvector import PathVectorRouting
+from tussle.routing.policies import NeighborClass, classify_neighbor
+from tussle.routing.sourcerouting import valley_free_paths
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _is_valley_free(network, path):
+    """Independent checker: up* peer? down* with at most one peer edge."""
+    state = "up"
+    for current, nxt in zip(path, path[1:]):
+        relation = classify_neighbor(network, current, nxt)
+        if relation is NeighborClass.PROVIDER:      # climbing
+            if state != "up":
+                return False
+        elif relation is NeighborClass.PEER:
+            if state != "up":
+                return False
+            state = "peered"
+        elif relation is NeighborClass.CUSTOMER:    # descending
+            state = "down"
+        else:
+            return False
+    return True
+
+
+class TestRoutingProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seeds)
+    def test_discovered_paths_are_valley_free(self, seed):
+        network = random_as_graph(n_tier1=2, n_tier2=3, n_tier3=5,
+                                  rng=random.Random(seed))
+        stubs = [a.asn for a in network.ases if a.tier == 3]
+        for src in stubs[:2]:
+            for dst in stubs[2:4]:
+                if src == dst:
+                    continue
+                for path in valley_free_paths(network, src, dst,
+                                              max_length=6):
+                    assert _is_valley_free(network, path), path
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seeds)
+    def test_pathvector_always_converges_on_gao_rexford(self, seed):
+        network = random_as_graph(n_tier1=2, n_tier2=4, n_tier3=6,
+                                  rng=random.Random(seed))
+        routing = PathVectorRouting(network)
+        iterations = routing.converge()
+        assert iterations < routing.max_iterations
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seeds)
+    def test_selected_bgp_paths_are_valley_free(self, seed):
+        network = random_as_graph(n_tier1=2, n_tier2=3, n_tier3=4,
+                                  rng=random.Random(seed))
+        routing = PathVectorRouting(network)
+        routing.converge()
+        for autonomous_system in network.ases:
+            for route in routing.routes(autonomous_system.asn).values():
+                if route.length >= 1:
+                    assert _is_valley_free(network, route.path), route.path
+
+
+class TestMarketProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=30),
+           seeds)
+    def test_revenue_equals_subscriber_payments(self, n_providers,
+                                                n_consumers, seed):
+        """Value conservation: provider revenue comes only from prices
+        actually charged to subscribed consumers."""
+        rng = random.Random(seed)
+        providers = [
+            Provider(name=f"p{i}", price=rng.uniform(5, 30), unit_cost=2.0)
+            for i in range(n_providers)
+        ]
+        consumers = [
+            Consumer(name=f"c{i}", wtp=rng.uniform(1, 60),
+                     switching_cost=rng.uniform(0, 5))
+            for i in range(n_consumers)
+        ]
+        market = Market(providers=providers, consumers=consumers, seed=seed)
+        market.step()
+        for provider in market.providers.values():
+            revenue = provider.revenue_history[-1]
+            expected = provider.price * len(provider.subscribers)
+            assert revenue == pytest.approx(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds)
+    def test_subscribed_consumers_never_have_negative_surplus_offers(self, seed):
+        rng = random.Random(seed)
+        providers = [Provider(name="p", price=rng.uniform(10, 80))]
+        consumers = [Consumer(name=f"c{i}", wtp=rng.uniform(1, 100))
+                     for i in range(20)]
+        market = Market(providers=providers, consumers=consumers, seed=seed)
+        market.step()
+        for consumer in market.consumers:
+            if consumer.provider is not None:
+                assert consumer.wtp >= providers[0].price - 1e-9
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.floats(min_value=0.01, max_value=0.2, allow_nan=False))
+    def test_integrity_never_increases(self, target_a, target_b, damage):
+        space = TussleSpace("arena", initial_state={"x": 0.5})
+        space.add_mechanism(Mechanism(name="knob", variable="x",
+                                      allowed_range=(0.5, 0.5)))
+        a = Stakeholder("a", StakeholderKind.USER, workaround_cost=0.01)
+        a.add_interest("x", target=target_a)
+        b = Stakeholder("b", StakeholderKind.COMMERCIAL_ISP,
+                        workaround_cost=0.01)
+        b.add_interest("x", target=target_b)
+        space.add_stakeholder(a)
+        space.add_stakeholder(b)
+        simulator = TussleSimulator(space, workaround_damage=damage)
+        outcome = simulator.run(15)
+        integrities = [record.integrity for record in outcome.history]
+        assert all(x >= y - 1e-12 for x, y in zip(integrities, integrities[1:]))
+        assert all(0.0 <= value <= 1.0 for value in integrities)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_uncontested_space_settles_at_the_target(self, target):
+        space = TussleSpace("calm", initial_state={"x": 0.5})
+        space.add_mechanism(Mechanism(name="knob", variable="x"))
+        solo = Stakeholder("solo", StakeholderKind.USER)
+        solo.add_interest("x", target=target)
+        space.add_stakeholder(solo)
+        outcome = TussleSimulator(space).run(10)
+        assert outcome.settled
+        assert space.state["x"] == pytest.approx(target)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.45, allow_nan=False),
+           st.floats(min_value=0.55, max_value=1.0, allow_nan=False))
+    def test_flexible_design_never_takes_damage(self, low_target, high_target):
+        space = TussleSpace("arena", initial_state={"x": 0.5})
+        space.add_mechanism(Mechanism(name="knob", variable="x"))
+        a = Stakeholder("a", StakeholderKind.USER, workaround_cost=0.01)
+        a.add_interest("x", target=high_target)
+        b = Stakeholder("b", StakeholderKind.COMMERCIAL_ISP,
+                        workaround_cost=0.01)
+        b.add_interest("x", target=low_target)
+        space.add_stakeholder(a)
+        space.add_stakeholder(b)
+        outcome = TussleSimulator(space).run(20)
+        assert outcome.final_integrity == 1.0
+        assert outcome.total_workarounds == 0

@@ -1,0 +1,139 @@
+"""Tests for the trust-aware firewall and control channel."""
+
+import pytest
+
+from tussle.netsim.middlebox import Action
+from tussle.netsim.packets import make_packet
+from tussle.trust.firewall import (
+    ControlChannel,
+    PolicyAuthority,
+    TrustAwareFirewall,
+)
+from tussle.trust.identity import IdentityFramework, IdentityScheme, Principal
+from tussle.trust.trustgraph import TrustGraph
+
+
+@pytest.fixture
+def trust_graph():
+    graph = TrustGraph()
+    graph.set_trust("me", "friend", 0.9)
+    graph.set_trust("me", "acquaintance", 0.3)
+    return graph
+
+
+@pytest.fixture
+def firewall(trust_graph):
+    return TrustAwareFirewall("fw", protected="me", trust_graph=trust_graph,
+                              trust_threshold=0.5)
+
+
+class TestPacketDecisions:
+    def test_trusted_sender_passes_any_application(self, firewall):
+        packet = make_packet("friend", "me", application="novel-app")
+        assert firewall.process(packet).action is Action.FORWARD
+
+    def test_untrusted_sender_dropped_even_on_http(self, firewall):
+        packet = make_packet("stranger", "me", application="http")
+        verdict = firewall.process(packet)
+        assert verdict.action is Action.DROP
+        assert "trust" in verdict.reason
+
+    def test_low_trust_below_threshold_dropped(self, firewall):
+        packet = make_packet("acquaintance", "me")
+        assert firewall.process(packet).action is Action.DROP
+
+    def test_transit_traffic_forwarded(self, firewall):
+        packet = make_packet("x", "y")
+        assert firewall.process(packet).action is Action.FORWARD
+
+    def test_outbound_traffic_checked_against_destination(self, firewall):
+        outbound = make_packet("me", "friend")
+        assert firewall.process(outbound).action is Action.FORWARD
+        risky = make_packet("me", "stranger")
+        assert firewall.process(risky).action is Action.DROP
+
+    def test_pinhole_bypasses_trust_check(self, firewall):
+        firewall.pinholes.add(("stranger", "me"))
+        packet = make_packet("stranger", "me")
+        assert firewall.process(packet).action is Action.FORWARD
+
+    def test_blocklist_beats_everything(self, firewall):
+        firewall.blocklist.add("friend")
+        packet = make_packet("friend", "me")
+        assert firewall.process(packet).action is Action.DROP
+
+    def test_accountability_floor_refuses_anonymous(self, trust_graph):
+        identities = IdentityFramework(seed=0)
+        identities.register(Principal("anon", IdentityScheme.ANONYMOUS))
+        trust_graph.set_trust("me", "anon", 0.9)  # trusted but anonymous
+        firewall = TrustAwareFirewall(
+            "fw", protected="me", trust_graph=trust_graph,
+            identities=identities, accountability_floor=0.3)
+        packet = make_packet("anon", "me")
+        verdict = firewall.process(packet)
+        assert verdict.action is Action.DROP
+        assert "accountability" in verdict.reason
+
+    def test_unregistered_counterparty_treated_as_unaccountable(self, trust_graph):
+        identities = IdentityFramework(seed=0)
+        firewall = TrustAwareFirewall(
+            "fw", protected="me", trust_graph=trust_graph,
+            identities=identities, accountability_floor=0.3)
+        packet = make_packet("friend", "me")  # trusted but unregistered
+        assert firewall.process(packet).action is Action.DROP
+
+
+class TestRuleVisibility:
+    def test_visible_rules_downloadable_by_user(self, firewall):
+        rules = firewall.download_rules("me")
+        assert any("trust" in rule for rule in rules)
+
+    def test_admin_authority_hides_rules_from_user(self, trust_graph):
+        firewall = TrustAwareFirewall(
+            "fw", protected="me", trust_graph=trust_graph,
+            authority=PolicyAuthority.ADMINISTRATOR, rules_visible=False)
+        assert firewall.download_rules("me") == []
+        assert firewall.download_rules("admin")  # admin still sees them
+
+
+class TestControlChannel:
+    def test_end_user_authority(self, firewall):
+        channel = ControlChannel(firewall)
+        granted = channel.request_pinhole("me", "stranger", "me")
+        denied = channel.request_pinhole("admin", "x", "me")
+        assert granted.granted
+        assert not denied.granted
+        assert ("stranger", "me") in firewall.pinholes
+
+    def test_administrator_authority(self, trust_graph):
+        firewall = TrustAwareFirewall(
+            "fw", protected="me", trust_graph=trust_graph,
+            authority=PolicyAuthority.ADMINISTRATOR)
+        channel = ControlChannel(firewall, administrator="admin")
+        assert not channel.request_pinhole("me", "x", "me").granted
+        assert channel.request_pinhole("admin", "x", "me").granted
+
+    def test_negotiated_authority_needs_both(self, trust_graph):
+        firewall = TrustAwareFirewall(
+            "fw", protected="me", trust_graph=trust_graph,
+            authority=PolicyAuthority.NEGOTIATED)
+        channel = ControlChannel(firewall, administrator="admin")
+        first = channel.request_pinhole("me", "x", "me", "app")
+        assert not first.granted
+        second = channel.request_pinhole("admin", "x", "me", "app")
+        assert second.granted
+
+    def test_negotiated_ignores_third_parties(self, trust_graph):
+        firewall = TrustAwareFirewall(
+            "fw", protected="me", trust_graph=trust_graph,
+            authority=PolicyAuthority.NEGOTIATED)
+        channel = ControlChannel(firewall, administrator="admin")
+        channel.request_pinhole("rando", "x", "me", "app")
+        channel.request_pinhole("rando2", "x", "me", "app")
+        assert ("x", "me") not in firewall.pinholes
+
+    def test_grant_rate(self, firewall):
+        channel = ControlChannel(firewall)
+        channel.request_pinhole("me", "a", "me")
+        channel.request_pinhole("intruder", "b", "me")
+        assert channel.grant_rate() == pytest.approx(0.5)

@@ -1,0 +1,107 @@
+"""Tests for the identity framework."""
+
+import pytest
+
+from tussle.errors import TrustError
+from tussle.trust.identity import IdentityFramework, IdentityScheme, Principal
+
+
+class TestPrincipal:
+    def test_certificate_needs_voucher(self):
+        with pytest.raises(TrustError):
+            Principal("x", IdentityScheme.CERTIFICATE)
+
+    def test_only_anonymous_can_disguise(self):
+        with pytest.raises(TrustError):
+            Principal("x", IdentityScheme.PSEUDONYM,
+                      disguised_as=IdentityScheme.REAL_NAME)
+
+    def test_claimed_scheme(self):
+        shady = Principal("x", IdentityScheme.ANONYMOUS,
+                          disguised_as=IdentityScheme.PSEUDONYM)
+        assert shady.claimed_scheme is IdentityScheme.PSEUDONYM
+        honest = Principal("y", IdentityScheme.ANONYMOUS)
+        assert honest.claimed_scheme is IdentityScheme.ANONYMOUS
+
+    def test_accountable_schemes(self):
+        assert IdentityScheme.REAL_NAME.accountable
+        assert IdentityScheme.CERTIFICATE.accountable
+        assert not IdentityScheme.ANONYMOUS.accountable
+        assert not IdentityScheme.PSEUDONYM.accountable
+
+
+class TestFramework:
+    def test_register_and_lookup(self):
+        framework = IdentityFramework()
+        principal = framework.register(Principal("a", IdentityScheme.REAL_NAME))
+        assert framework.principal("a") is principal
+
+    def test_duplicate_registration_rejected(self):
+        framework = IdentityFramework()
+        framework.register(Principal("a", IdentityScheme.REAL_NAME))
+        with pytest.raises(TrustError):
+            framework.register(Principal("a", IdentityScheme.PSEUDONYM))
+
+    def test_unknown_principal_raises(self):
+        with pytest.raises(TrustError):
+            IdentityFramework().principal("ghost")
+
+    def test_detection_rate_validated(self):
+        with pytest.raises(TrustError):
+            IdentityFramework(disguise_detection_rate=1.5)
+
+    def test_undisguised_scheme_always_apparent(self):
+        framework = IdentityFramework(seed=0)
+        framework.register(Principal("a", IdentityScheme.ROLE, roles={"ops"}))
+        for _ in range(20):
+            assert framework.apparent_scheme("a") is IdentityScheme.ROLE
+
+    def test_perfect_detection_always_unmasks(self):
+        framework = IdentityFramework(disguise_detection_rate=1.0, seed=0)
+        framework.register(Principal("x", IdentityScheme.ANONYMOUS,
+                                     disguised_as=IdentityScheme.REAL_NAME))
+        for _ in range(20):
+            assert framework.apparent_scheme("x") is IdentityScheme.ANONYMOUS
+
+    def test_zero_detection_never_unmasks(self):
+        framework = IdentityFramework(disguise_detection_rate=0.0, seed=0)
+        framework.register(Principal("x", IdentityScheme.ANONYMOUS,
+                                     disguised_as=IdentityScheme.PSEUDONYM))
+        for _ in range(20):
+            assert framework.apparent_scheme("x") is IdentityScheme.PSEUDONYM
+
+
+class TestAccountability:
+    def test_ordering_of_schemes(self):
+        framework = IdentityFramework(seed=0)
+        framework.trust_voucher("good-ca")
+        framework.register(Principal("real", IdentityScheme.REAL_NAME))
+        framework.register(Principal("certified", IdentityScheme.CERTIFICATE,
+                                     vouched_by="good-ca"))
+        framework.register(Principal("sketchy-cert", IdentityScheme.CERTIFICATE,
+                                     vouched_by="bad-ca"))
+        framework.register(Principal("role", IdentityScheme.ROLE))
+        framework.register(Principal("pseudo", IdentityScheme.PSEUDONYM))
+        framework.register(Principal("anon", IdentityScheme.ANONYMOUS))
+        levels = {name: framework.accountability_level(name)
+                  for name in ("real", "certified", "sketchy-cert", "role",
+                               "pseudo", "anon")}
+        assert levels["real"] == levels["certified"] == 1.0
+        assert levels["certified"] > levels["sketchy-cert"] > levels["pseudo"]
+        assert levels["role"] > levels["pseudo"]
+        assert levels["anon"] == 0.0
+
+    def test_trusting_voucher_upgrades_certificate(self):
+        framework = IdentityFramework(seed=0)
+        framework.register(Principal("c", IdentityScheme.CERTIFICATE,
+                                     vouched_by="new-ca"))
+        before = framework.accountability_level("c")
+        framework.trust_voucher("new-ca")
+        after = framework.accountability_level("c")
+        assert after > before
+
+    def test_principals_sorted(self):
+        framework = IdentityFramework()
+        framework.register(Principal("b", IdentityScheme.REAL_NAME))
+        framework.register(Principal("a", IdentityScheme.REAL_NAME))
+        assert [p.name for p in framework.principals()] == ["a", "b"]

@@ -1,0 +1,123 @@
+"""Tests for third-party trust mediators."""
+
+import pytest
+
+from tussle.errors import TrustError
+from tussle.trust.thirdparty import (
+    CertificateAuthority,
+    LiabilityShield,
+    MediatedInteraction,
+    ReputationService,
+)
+
+
+class TestCertificateAuthority:
+    def test_certification_reduces_failure(self):
+        ca = CertificateAuthority(impostor_fraction=0.5)
+        ca.certify("shop")
+        probability, loss = ca.mediate("shop", 0.6, 10.0)
+        assert probability == pytest.approx(0.8)
+        assert loss == 10.0
+
+    def test_uncertified_unchanged(self):
+        ca = CertificateAuthority()
+        assert ca.mediate("shop", 0.6, 10.0) == (0.6, 10.0)
+
+    def test_impostor_fraction_validated(self):
+        with pytest.raises(TrustError):
+            CertificateAuthority(impostor_fraction=2.0)
+
+
+class TestReputationService:
+    def test_score_aggregates_reports(self):
+        service = ReputationService()
+        service.report("shop", True)
+        service.report("shop", True)
+        service.report("shop", False)
+        assert service.score("shop") == pytest.approx(2 / 3)
+
+    def test_no_reports_no_score(self):
+        service = ReputationService()
+        assert service.score("shop") is None
+        assert not service.warns_about("shop")
+
+    def test_warning_threshold(self):
+        service = ReputationService(warn_threshold=0.5)
+        service.report("scam", False)
+        service.report("scam", False)
+        service.report("scam", True)
+        assert service.warns_about("scam")
+
+    def test_mediation_snaps_expectation_to_observed(self):
+        service = ReputationService()
+        for outcome in (False, False, True, False):
+            service.report("scam", outcome)
+        probability, _ = service.mediate("scam", 0.9, 5.0)
+        assert probability == pytest.approx(0.25)
+
+
+class TestLiabilityShield:
+    def test_caps_loss(self):
+        shield = LiabilityShield(cap=0.5)
+        _, loss = shield.mediate("anyone", 0.9, 100.0)
+        assert loss == 0.5
+
+    def test_small_loss_unchanged(self):
+        shield = LiabilityShield(cap=50.0)
+        _, loss = shield.mediate("anyone", 0.9, 10.0)
+        assert loss == 10.0
+
+    def test_cap_validated(self):
+        with pytest.raises(TrustError):
+            LiabilityShield(cap=-1.0)
+
+
+class TestMediatedInteraction:
+    def test_unmediated_risky_deal_not_worth_doing(self):
+        deal = MediatedInteraction("scam-shop", value=10.0,
+                                   success_probability=0.5,
+                                   loss_if_failure=30.0)
+        assert deal.expected_utility() < 0
+        assert not deal.worth_doing()
+
+    def test_liability_shield_rescues_the_deal(self):
+        """The paper's credit-card example: capping liability makes
+        commerce with imperfectly-trusted parties rational."""
+        deal = MediatedInteraction("scam-shop", value=10.0,
+                                   success_probability=0.5,
+                                   loss_if_failure=30.0,
+                                   mediators=[LiabilityShield(fee=0.3, cap=0.5)])
+        assert deal.worth_doing()
+
+    def test_mediators_compose(self):
+        ca = CertificateAuthority(fee=0.1, impostor_fraction=0.5)
+        ca.certify("shop")
+        deal = MediatedInteraction("shop", value=10.0,
+                                   success_probability=0.6,
+                                   loss_if_failure=20.0,
+                                   mediators=[ca, LiabilityShield(fee=0.3, cap=1.0)])
+        probability, loss, fees = deal.effective_profile()
+        assert probability == pytest.approx(0.8)
+        assert loss == 1.0
+        assert fees == pytest.approx(0.4)
+
+    def test_choosing_mediators_beats_forced_none(self):
+        """Design-for-choice in the trust space: the chosen bundle
+        dominates the bare interaction."""
+        bare = MediatedInteraction("shop", value=10.0,
+                                   success_probability=0.5,
+                                   loss_if_failure=30.0)
+        shielded = MediatedInteraction("shop", value=10.0,
+                                       success_probability=0.5,
+                                       loss_if_failure=30.0,
+                                       mediators=[LiabilityShield(fee=0.3,
+                                                                  cap=0.5)])
+        assert shielded.expected_utility() > bare.expected_utility()
+
+    def test_validation(self):
+        with pytest.raises(TrustError):
+            MediatedInteraction("x", value=1.0, success_probability=1.5,
+                                loss_if_failure=0.0)
+        with pytest.raises(TrustError):
+            MediatedInteraction("x", value=1.0, success_probability=0.5,
+                                loss_if_failure=-1.0)

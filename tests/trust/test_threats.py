@@ -1,0 +1,87 @@
+"""Tests for attackers and threat campaigns."""
+
+import pytest
+
+from tussle.netsim import (
+    BlanketFirewall,
+    ForwardingEngine,
+    Network,
+    NodeKind,
+)
+from tussle.trust.threats import AttackKind, Attacker, ThreatCampaign
+
+
+def small_network():
+    net = Network()
+    net.add_node("victim")
+    net.add_node("gw", kind=NodeKind.MIDDLEBOX)
+    net.add_node("net", kind=NodeKind.ROUTER)
+    for name in ("good", "bad"):
+        net.add_node(name)
+        net.add_link(name, "net")
+    net.add_link("net", "gw")
+    net.add_link("gw", "victim")
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    return engine
+
+
+class TestAttacker:
+    def test_generates_requested_count(self):
+        attacker = Attacker("bad", kind=AttackKind.SCAN, seed=0)
+        packets = attacker.generate("victim", 7)
+        assert len(packets) == 7
+        assert all(p.header.dst == "victim" for p in packets)
+
+    def test_payload_carries_ground_truth(self):
+        attacker = Attacker("bad", kind=AttackKind.DOS_FLOOD, seed=0)
+        packet = attacker.generate("victim", 1)[0]
+        assert packet.payload == {"attack": "dos-flood"}
+
+    def test_deterministic_under_seed(self):
+        apps = lambda seed: [p.application for p in
+                             Attacker("bad", AttackKind.SCAN, seed).generate("v", 10)]
+        assert apps(3) == apps(3)
+
+    def test_penetration_targets_services(self):
+        attacker = Attacker("bad", kind=AttackKind.PENETRATION, seed=1)
+        apps = {p.application for p in attacker.generate("v", 20)}
+        assert apps <= {"http", "smtp"}
+
+
+class TestCampaign:
+    def test_open_network_admits_everything(self):
+        engine = small_network()
+        campaign = ThreatCampaign(
+            engine, victim="victim",
+            attackers=[Attacker("bad", AttackKind.PENETRATION, seed=0)],
+            legit_senders=[("good", "http")],
+            new_app_senders=[("good", "shiny-new")],
+        )
+        mix = campaign.run(5)
+        assert mix.attack_admission_rate == 1.0
+        assert mix.legit_success_rate == 1.0
+        assert mix.new_app_success_rate == 1.0
+
+    def test_blanket_firewall_blocks_new_apps_and_scans(self):
+        engine = small_network()
+        engine.attach_middlebox("gw", BlanketFirewall(
+            "fw", allowed_applications={"http"}))
+        campaign = ThreatCampaign(
+            engine, victim="victim",
+            attackers=[Attacker("bad", AttackKind.DOS_FLOOD, seed=0)],
+            legit_senders=[("good", "http")],
+            new_app_senders=[("good", "shiny-new")],
+        )
+        mix = campaign.run(5)
+        assert mix.attack_admission_rate == 0.0  # floods use 'generic'
+        assert mix.legit_success_rate == 1.0
+        assert mix.new_app_success_rate == 0.0
+
+    def test_rates_zero_when_nothing_sent(self):
+        engine = small_network()
+        campaign = ThreatCampaign(engine, victim="victim", attackers=[],
+                                  legit_senders=[])
+        mix = campaign.run(5)
+        assert mix.attack_admission_rate == 0.0
+        assert mix.legit_success_rate == 0.0
