@@ -100,14 +100,17 @@ class Actor:
         rng: Optional[np.random.Generator] = None,
         inertia: Optional[float] = None,
         expresses_intention_of: Optional[str] = None,
+        seed: int = 0,
     ) -> "Actor":
         """Create an actor with sensible defaults.
 
-        Random values are drawn uniformly on [-1, 1]^k when not given.
-        Technology/standard actors default to high inertia (0.85).
+        Random values are drawn uniformly on [-1, 1]^k when not given,
+        from ``rng`` when provided, else from a generator built from the
+        explicit ``seed``.  Technology/standard actors default to high
+        inertia (0.85).
         """
         if values is None:
-            generator = rng or np.random.default_rng(0)
+            generator = rng if rng is not None else np.random.default_rng(seed)
             values = generator.uniform(-1.0, 1.0, size=DEFAULT_VALUE_DIMS)
         if inertia is None:
             inertia = 0.85 if not kind.human else 0.1

@@ -33,13 +33,17 @@ def seed_internet_network(
     n_users: int = 6,
     n_isps: int = 3,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
 ) -> ActorNetwork:
     """A small stylized Internet actor network to start simulations from.
 
     Users and ISPs commit to a central technology actor ("the protocols")
-    and to each other (customers to their ISP).
+    and to each other (customers to their ISP).  Actor values are drawn
+    from ``rng`` when provided, else from a generator built from the
+    explicit ``seed``.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     network = ActorNetwork()
     protocols = Actor.make("internet-protocols", ActorKind.TECHNOLOGY,
                            values=rng.uniform(-0.2, 0.2, DEFAULT_VALUE_DIMS),

@@ -100,7 +100,7 @@ class MultiSpaceSimulator:
         self.workaround_damage = workaround_damage
         self.integrity_floor = integrity_floor
         self.module_integrity: Dict[str, float] = {
-            module: 1.0 for module in set(self.placement.values())
+            module: 1.0 for module in sorted(set(self.placement.values()))
         }
         self._simulators: Dict[str, TussleSimulator] = {
             name: TussleSimulator(space, workaround_damage=0.0,

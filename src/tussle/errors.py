@@ -62,3 +62,23 @@ class DesignError(TussleError):
 
 class ExperimentError(TussleError):
     """An experiment harness was configured inconsistently."""
+
+
+class MetricsError(SimulationError, ValueError):
+    """A metrics counter or time series was used inconsistently.
+
+    Also a :class:`ValueError` so callers that predate the taxonomy keep
+    working.
+    """
+
+
+class VisibilityError(RoutingError, ValueError):
+    """A tussle-visibility score was out of range or unknown.
+
+    Also a :class:`ValueError` so callers that predate the taxonomy keep
+    working.
+    """
+
+
+class LintError(TussleError):
+    """The static analyzer was misconfigured or given unreadable input."""

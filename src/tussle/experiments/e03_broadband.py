@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 from ..econ import herfindahl_index
 from ..econ.accesstech import AccessRegime, Facility, build_access_market
+from ..errors import ExperimentError
 from .common import ExperimentResult, Table
 
 __all__ = ["run_e03"]
@@ -42,7 +43,7 @@ def _scenario_facilities(kind: str) -> List[Facility]:
             Facility("cable", wholesale_fee=8.0),
             Facility("muni-fiber", wholesale_fee=5.0, neutral=True),
         ]
-    raise ValueError(f"unknown scenario {kind!r}")
+    raise ExperimentError(f"unknown scenario {kind!r}")
 
 
 def run_e03(n_consumers: int = 200, rounds: int = 30, seed: int = 3) -> ExperimentResult:

@@ -19,6 +19,7 @@ source routing with payment; overlay over BGP.
 
 from __future__ import annotations
 
+import random
 from typing import List, Tuple
 
 from ..netsim.topology import Network, random_as_graph
@@ -46,7 +47,6 @@ def _stub_pairs(network: Network, count: int) -> List[Tuple[int, int]]:
 
 
 def run_e04(n_pairs: int = 8, seed: int = 5) -> ExperimentResult:
-    import random
     network = random_as_graph(n_tier1=3, n_tier2=6, n_tier3=12,
                               rng=random.Random(seed))
     bgp = PathVectorRouting(network)

@@ -51,10 +51,10 @@ def _engine() -> ForwardingEngine:
     return engine
 
 
-def _campaign(engine: ForwardingEngine) -> ThreatCampaign:
+def _campaign(engine: ForwardingEngine, seed: int = 0) -> ThreatCampaign:
     attackers = [
-        Attacker("badguy0", kind=AttackKind.PENETRATION, seed=0),
-        Attacker("badguy1", kind=AttackKind.SCAN, seed=1),
+        Attacker("badguy0", kind=AttackKind.PENETRATION, seed=seed),
+        Attacker("badguy1", kind=AttackKind.SCAN, seed=seed + 1),
     ]
     legit = [("friend", "http"), ("colleague", "smtp")]
     new_apps = [("friend", "holo-conference"), ("colleague", "mesh-sync")]
@@ -62,7 +62,7 @@ def _campaign(engine: ForwardingEngine) -> ThreatCampaign:
                           legit_senders=legit, new_app_senders=new_apps)
 
 
-def run_e05(packets_per_source: int = 10) -> ExperimentResult:
+def run_e05(packets_per_source: int = 10, seed: int = 0) -> ExperimentResult:
     table = Table(
         "E05: firewall design vs protection and innovation",
         ["deployment", "attack_admission", "legit_success", "new_app_success"],
@@ -70,7 +70,7 @@ def run_e05(packets_per_source: int = 10) -> ExperimentResult:
 
     # --- No firewall: full transparency.
     engine = _engine()
-    mix = _campaign(engine).run(packets_per_source)
+    mix = _campaign(engine, seed).run(packets_per_source)
     table.add_row(deployment="none",
                   attack_admission=mix.attack_admission_rate,
                   legit_success=mix.legit_success_rate,
@@ -80,7 +80,7 @@ def run_e05(packets_per_source: int = 10) -> ExperimentResult:
     engine = _engine()
     engine.attach_middlebox("gw", PortFilterFirewall(
         "gw-portfilter", blocked_applications={"smtp"}, blocked_ports=set()))
-    mix = _campaign(engine).run(packets_per_source)
+    mix = _campaign(engine, seed).run(packets_per_source)
     table.add_row(deployment="port-filter",
                   attack_admission=mix.attack_admission_rate,
                   legit_success=mix.legit_success_rate,
@@ -90,7 +90,7 @@ def run_e05(packets_per_source: int = 10) -> ExperimentResult:
     engine = _engine()
     engine.attach_middlebox("gw", BlanketFirewall(
         "gw-blanket", allowed_applications={"http", "smtp"}))
-    mix = _campaign(engine).run(packets_per_source)
+    mix = _campaign(engine, seed).run(packets_per_source)
     table.add_row(deployment="blanket",
                   attack_admission=mix.attack_admission_rate,
                   legit_success=mix.legit_success_rate,
@@ -104,7 +104,7 @@ def run_e05(packets_per_source: int = 10) -> ExperimentResult:
     trust.set_trust("victim", "stranger", 0.2)
     engine.attach_middlebox("gw", TrustAwareFirewall(
         "gw-trust", protected="victim", trust_graph=trust, trust_threshold=0.5))
-    mix = _campaign(engine).run(packets_per_source)
+    mix = _campaign(engine, seed).run(packets_per_source)
     table.add_row(deployment="trust-aware",
                   attack_admission=mix.attack_admission_rate,
                   legit_success=mix.legit_success_rate,

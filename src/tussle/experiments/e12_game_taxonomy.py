@@ -40,7 +40,9 @@ from .common import ExperimentResult, Table
 __all__ = ["run_e12"]
 
 
-def run_e12() -> ExperimentResult:
+def run_e12(seed: int = 0) -> ExperimentResult:
+    # `seed` satisfies the uniform run(seed=...) harness contract; the
+    # game taxonomy is solved in closed form.
     taxonomy = Table(
         "E12a: canonical tussle games classified and solved",
         ["game", "class", "pure_equilibria", "solution_note"],

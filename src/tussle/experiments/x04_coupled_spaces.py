@@ -66,7 +66,9 @@ def _layout(separated: bool) -> Tuple[Design, Dict[str, str]]:
     return design, placement
 
 
-def run_x04(rounds: int = 30) -> ExperimentResult:
+def run_x04(rounds: int = 30, seed: int = 0) -> ExperimentResult:
+    # `seed` satisfies the uniform run(seed=...) harness contract; the
+    # coupled-space simulation is fully deterministic.
     table = Table(
         "X04: modular layout vs collateral damage from a hot tussle",
         ["layout", "space", "own_workarounds", "final_integrity", "broken"],

@@ -81,9 +81,9 @@ def build_telephone_side(seed: int = 1) -> ActorNetwork:
     return network
 
 
-def run_x05(settle_rounds: int = 60) -> ExperimentResult:
-    internet = build_internet_side()
-    telephone = build_telephone_side()
+def run_x05(settle_rounds: int = 60, seed: int = 0) -> ExperimentResult:
+    internet = build_internet_side(seed)
+    telephone = build_telephone_side(seed + 1)
     durability_internet = durability(internet)
     durability_telephone = durability(telephone)
     changeability_telephone_before = changeability(telephone)
@@ -91,7 +91,7 @@ def run_x05(settle_rounds: int = 60) -> ExperimentResult:
     bridges = [("voip-app", "carrier"), ("voip-app", "regulator"),
                ("netizen0", "subscriber0")]
     # The immediate aftermath: a few alignment rounds after the bridges land.
-    _, early = collide(build_internet_side(), build_telephone_side(),
+    _, early = collide(build_internet_side(seed), build_telephone_side(seed + 1),
                        bridges=bridges, bridge_strength=0.4, settle_rounds=5)
     merged, collision = collide(
         internet, telephone,

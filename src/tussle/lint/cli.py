@@ -1,0 +1,168 @@
+"""Command line for the static analyzer: ``python -m tussle.lint``.
+
+Exit codes follow the usual linter convention: 0 clean, 1 findings,
+2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..errors import LintError
+from . import api, conformance, determinism  # noqa: F401  (register rules)
+from .baseline import Baseline, load_baseline, write_baseline
+from .engine import LintReport, find_repo_root, run_lint
+from .findings import RULE_REGISTRY, rule_ids
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tussle-lint",
+        description=("AST-based determinism and simulation-invariant "
+                     "analyzer for the tussle package."),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to scan (default: the installed "
+             "tussle package source)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default text)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list every rule id with its summary and exit")
+    parser.add_argument("--select", metavar="PREFIXES",
+                        help="comma-separated rule-id prefixes to keep "
+                             "(e.g. 'D' or 'D106,X')")
+    parser.add_argument("--baseline", metavar="FILE", type=Path, default=None,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {_DEFAULT_BASELINE_NAME} at the "
+                             "repo root, when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed/baselined findings")
+    parser.add_argument("--seedcheck", action="store_true",
+                        help="additionally double-run every registered "
+                             "experiment and assert identical results")
+    return parser
+
+
+def _default_paths() -> List[Path]:
+    package_dir = Path(__file__).resolve().parent.parent
+    return [package_dir]
+
+
+def _resolve_baseline_path(args: argparse.Namespace,
+                           scan_paths: Sequence[Path]) -> Optional[Path]:
+    if args.baseline is not None:
+        return args.baseline
+    repo_root = find_repo_root(Path(scan_paths[0]))
+    if repo_root is None:
+        return None
+    candidate = repo_root / _DEFAULT_BASELINE_NAME
+    return candidate if (candidate.is_file() or args.write_baseline) else None
+
+
+def _list_rules(fmt: str) -> int:
+    if fmt == "json":
+        payload = [
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "summary": rule.summary,
+                "rationale": rule.rationale,
+            }
+            for rule in (RULE_REGISTRY[i] for i in rule_ids())
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for identifier in rule_ids():
+        rule = RULE_REGISTRY[identifier]
+        print(f"{rule.rule_id}  {rule.name}")
+        print(f"      {rule.summary}")
+    print(f"\n{len(RULE_REGISTRY)} rules "
+          "(D: determinism, E: experiment conformance, X: API surface)")
+    return 0
+
+
+def _print_text_report(report: LintReport, show_suppressed: bool) -> None:
+    for finding in report.active:
+        print(finding.format())
+    if show_suppressed:
+        for finding in report.suppressed:
+            print(f"{finding.format()} (suppressed: "
+                  f"{finding.suppression_source})")
+    suppressed_note = (
+        f", {len(report.suppressed)} suppressed" if report.suppressed else ""
+    )
+    print(f"{report.files_scanned} files scanned, "
+          f"{len(report.active)} findings{suppressed_note}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules(args.format)
+
+    scan_paths = [Path(p) for p in args.paths] or _default_paths()
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select else None
+    )
+    baseline_path = _resolve_baseline_path(args, scan_paths)
+
+    try:
+        baseline = None
+        if baseline_path is not None and baseline_path.is_file() \
+                and not args.write_baseline:
+            baseline = load_baseline(baseline_path)
+        report = run_lint(scan_paths, select=select, baseline=baseline)
+        if args.write_baseline:
+            if baseline_path is None:
+                raise LintError(
+                    "cannot locate a repo root for the baseline; pass "
+                    "--baseline FILE explicitly"
+                )
+            written = write_baseline(baseline_path, report.findings)
+            print(f"wrote {sum(written.budgets.values())} grandfathered "
+                  f"findings to {baseline_path}")
+            return 0
+    except LintError as exc:
+        print(f"tussle-lint: {exc}", file=sys.stderr)
+        return 2
+
+    seedcheck_ok = True
+    seedcheck_payload = None
+    if args.seedcheck:
+        from .seedcheck import format_outcomes, run_seedcheck
+        outcomes = run_seedcheck()
+        seedcheck_ok = all(o.ok for o in outcomes)
+        if args.format == "json":
+            seedcheck_payload = [o.to_dict() for o in outcomes]
+        else:
+            print(format_outcomes(outcomes))
+
+    if args.format == "json":
+        payload = report.to_dict()
+        if seedcheck_payload is not None:
+            payload["seedcheck"] = seedcheck_payload
+        print(json.dumps(payload, indent=2))
+    else:
+        _print_text_report(report, args.show_suppressed)
+
+    return 0 if report.clean and seedcheck_ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..errors import MetricsError
+
 __all__ = ["Counter", "TimeSeries", "Summary", "summarize", "MetricRegistry"]
 
 
@@ -23,7 +25,7 @@ class Counter:
 
     def increment(self, amount: int = 1) -> None:
         if amount < 0:
-            raise ValueError("counters only go up; use a TimeSeries for signed data")
+            raise MetricsError("counters only go up; use a TimeSeries for signed data")
         self.value += amount
 
     def __int__(self) -> int:
@@ -43,7 +45,7 @@ class TimeSeries:
 
     def record(self, time: float, value: float) -> None:
         if self.times and time < self.times[-1]:
-            raise ValueError(f"time went backwards in series {self.name!r}")
+            raise MetricsError(f"time went backwards in series {self.name!r}")
         self.times.append(time)
         self.values.append(value)
 

@@ -463,14 +463,17 @@ def random_as_graph(
     n_tier2: int = 6,
     n_tier3: int = 12,
     rng: Optional[random.Random] = None,
+    seed: int = 0,
 ) -> Network:
     """A hierarchical AS-level graph with Gao–Rexford relationships.
 
     Tier-1 ASes form a full peer mesh; each tier-2 AS buys transit from one
     or two tier-1s and may peer with another tier-2; each tier-3 (stub) AS
-    buys transit from one or two tier-2s (multihoming).
+    buys transit from one or two tier-2s (multihoming).  Wiring randomness
+    comes from ``rng`` when provided, else from the explicit ``seed``.
     """
-    rng = rng or random.Random(0)
+    if rng is None:
+        rng = random.Random(seed)
     if n_tier1 < 1:
         raise TopologyError("need at least one tier-1 AS")
     net = Network()

@@ -35,7 +35,7 @@ __all__ = ["Decision", "evaluate_expression", "evaluate_policy"]
 Value = Union[bool, float, str]
 
 
-class _Missing(Exception):
+class _Missing(PolicyError):
     """Internal: an attribute referenced by the expression is absent."""
 
     def __init__(self, name: str):

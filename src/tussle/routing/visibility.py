@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from ..errors import VisibilityError
 from .linkstate import LinkStateRouting
 from .pathvector import PathVectorRouting
 
@@ -86,9 +87,9 @@ class ChoiceVisibilityReport:
 
     def set_score(self, prop: str, value: float) -> None:
         if prop not in TUSSLE_INTERFACE_PROPERTIES:
-            raise ValueError(f"unknown interface property {prop!r}")
+            raise VisibilityError(f"unknown interface property {prop!r}")
         if not 0.0 <= value <= 1.0:
-            raise ValueError(f"score must be in [0,1], got {value}")
+            raise VisibilityError(f"score must be in [0,1], got {value}")
         self.scores[prop] = value
 
     def overall(self) -> float:

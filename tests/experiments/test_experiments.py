@@ -7,8 +7,10 @@ must hold.
 
 import pytest
 
+from tussle.errors import ExperimentError
 from tussle.experiments import ALL_EXPERIMENTS
-from tussle.experiments.common import ExperimentResult, Table
+from tussle.experiments.common import ExperimentResult, ShapeCheck, Table
+from tussle.lint.seedcheck import fingerprint
 
 
 @pytest.fixture(scope="module")
@@ -60,11 +62,61 @@ def test_experiments_deterministic():
     assert first.tables[0].rows == second.tables[0].rows
 
 
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_double_run_bit_identical(results, experiment_id):
+    """Determinism contract: same seed, bit-identical result (all tables,
+    every cell, every shape-check verdict)."""
+    rerun = ALL_EXPERIMENTS[experiment_id]()
+    assert fingerprint(results[experiment_id]) == fingerprint(rerun)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_entry_point_accepts_seed(experiment_id):
+    """Every registered experiment exposes the run(seed=...) contract."""
+    import inspect
+
+    signature = inspect.signature(ALL_EXPERIMENTS[experiment_id])
+    assert "seed" in signature.parameters
+
+
 class TestTableHarness:
     def test_unknown_column_rejected(self):
         table = Table("t", ["a"])
         with pytest.raises(Exception):
             table.add_row(b=1)
+
+    def test_unknown_column_is_experiment_error_naming_columns(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ExperimentError) as excinfo:
+            table.add_row(b=1, c=2)
+        assert "['b', 'c']" in str(excinfo.value)
+
+    def test_unknown_column_extraction_is_experiment_error(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ExperimentError) as excinfo:
+            table.column("missing")
+        assert "missing" in str(excinfo.value)
+
+    def test_empty_table_column_extraction(self):
+        table = Table("t", ["a"])
+        assert table.column("a") == []
+        assert len(table) == 0
+
+    def test_empty_table_still_formats_header(self):
+        table = Table("empty", ["col_a", "col_b"])
+        text = table.format()
+        assert "empty" in text
+        assert "col_a" in text
+
+    def test_cell_formatting_conventions(self):
+        table = Table("t", ["v"])
+        table.add_row(v=True)
+        table.add_row(v=None)
+        table.add_row(v=0.12345)
+        text = table.format()
+        assert "yes" in text
+        assert "-" in text
+        assert "0.123" in text
 
     def test_column_extraction(self):
         table = Table("t", ["a", "b"])
@@ -115,3 +167,22 @@ class TestMonotoneHelpers:
         text = result.format()
         assert "[HOLDS] passes" in text
         assert "[FAILS] fails" in text
+
+    def test_failing_check_detail_is_rendered(self):
+        result = ExperimentResult(experiment_id="T00", title="t",
+                                  paper_claim="c")
+        result.add_check("claim", False, detail="expected up, measured down")
+        text = result.format()
+        assert "[FAILS] claim" in text
+        assert "expected up, measured down" in text
+
+    def test_empty_result_shape_holds_vacuously(self):
+        result = ExperimentResult(experiment_id="T00", title="t",
+                                  paper_claim="c")
+        assert result.shape_holds
+        assert result.checks == []
+
+    def test_shape_check_dataclass_fields(self):
+        check = ShapeCheck(claim="c", holds=False)
+        assert check.detail == ""
+        assert not check.holds

@@ -1,0 +1,356 @@
+"""Rule-level tests: each lint rule fires on the idiom it guards and
+stays quiet on the blessed replacement."""
+
+import textwrap
+
+import pytest
+
+from tussle.lint import run_lint
+
+
+def lint_source(tmp_path, source, filename="mod.py"):
+    """Write one module into a scratch package and lint it."""
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return run_lint([path])
+
+
+def rule_ids_found(report):
+    return sorted({f.rule_id for f in report.active})
+
+
+class TestD101GlobalRandom:
+    def test_fires_on_module_level_random(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+            value = random.random()
+        """)
+        assert "D101" in rule_ids_found(report)
+
+    def test_fires_through_alias(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random as rnd
+            value = rnd.choice([1, 2])
+        """)
+        assert "D101" in rule_ids_found(report)
+
+    def test_quiet_on_instance_methods(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+            rng = random.Random(7)
+            value = rng.random()
+        """)
+        assert rule_ids_found(report) == []
+
+
+class TestD102LegacyNumpyRandom:
+    def test_fires_on_legacy_api(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import numpy as np
+            values = np.random.rand(3)
+        """)
+        assert "D102" in rule_ids_found(report)
+
+    def test_quiet_on_default_rng(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import numpy as np
+            rng = np.random.default_rng(3)
+            values = rng.uniform(size=3)
+        """)
+        assert rule_ids_found(report) == []
+
+
+class TestD103UnseededConstructor:
+    def test_fires_on_unseeded_random(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+            rng = random.Random()
+        """)
+        assert "D103" in rule_ids_found(report)
+
+    def test_fires_on_unseeded_default_rng_imported_name(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from numpy.random import default_rng
+            rng = default_rng()
+        """)
+        assert "D103" in rule_ids_found(report)
+
+    def test_fires_on_system_random(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+            rng = random.SystemRandom(3)
+        """)
+        assert "D103" in rule_ids_found(report)
+
+    def test_quiet_when_seeded(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+            from numpy.random import default_rng
+
+            def build(seed):
+                return random.Random(seed), default_rng(seed)
+        """)
+        assert rule_ids_found(report) == []
+
+
+class TestD104WallClock:
+    def test_fires_on_time_time(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time
+            stamp = time.time()
+        """)
+        assert "D104" in rule_ids_found(report)
+
+    def test_fires_on_datetime_now(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from datetime import datetime
+            stamp = datetime.now()
+        """)
+        assert "D104" in rule_ids_found(report)
+
+
+class TestD105Environ:
+    def test_fires_on_environ_and_getenv(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import os
+            a = os.environ["HOME"]
+            b = os.getenv("DEBUG")
+        """)
+        findings = [f for f in report.active if f.rule_id == "D105"]
+        assert len(findings) == 2
+
+
+class TestD106SetOrder:
+    def test_fires_on_list_of_set(self, tmp_path):
+        report = lint_source(tmp_path, """
+            items = list(set([3, 1, 2]))
+        """)
+        assert "D106" in rule_ids_found(report)
+
+    def test_fires_on_for_over_set_literal(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def walk():
+                for item in {"b", "a"}:
+                    print(item)
+        """)
+        assert "D106" in rule_ids_found(report)
+
+    def test_fires_on_choice_over_set(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+            rng = random.Random(0)
+            pick = rng.choice(set([1, 2, 3]))
+        """)
+        assert "D106" in rule_ids_found(report)
+
+    def test_fires_on_dict_comprehension_over_set(self, tmp_path):
+        report = lint_source(tmp_path, """
+            table = {k: 0 for k in set(["b", "a"])}
+        """)
+        assert "D106" in rule_ids_found(report)
+
+    def test_quiet_on_sorted_set(self, tmp_path):
+        report = lint_source(tmp_path, """
+            items = sorted(set([3, 1, 2]))
+            table = {k: 0 for k in sorted({"b", "a"})}
+            total = sum({1, 2, 3})
+        """)
+        assert rule_ids_found(report) == []
+
+
+class TestD107RngFallback:
+    def test_fires_on_or_fallback(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+
+            def build(rng=None):
+                return rng or random.Random(0)
+        """)
+        assert "D107" in rule_ids_found(report)
+
+    def test_fires_on_conditional_constant_fallback(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from numpy.random import default_rng
+
+            def build(rng=None):
+                return rng if rng is not None else default_rng(0)
+        """)
+        assert "D107" in rule_ids_found(report)
+
+    def test_quiet_on_threaded_seed(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+
+            def build(rng=None, seed=0):
+                if rng is None:
+                    rng = random.Random(seed)
+                return rng
+        """)
+        assert rule_ids_found(report) == []
+
+
+class TestD108FunctionScopeImport:
+    def test_fires_on_function_body_import(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def run(seed=0):
+                import random
+                return random.Random(seed)
+        """)
+        assert "D108" in rule_ids_found(report)
+
+    def test_quiet_on_module_level_import(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import random
+
+            def run(seed=0):
+                return random.Random(seed)
+        """)
+        assert rule_ids_found(report) == []
+
+
+class TestX301ExceptionTaxonomy:
+    def test_fires_on_builtin_raise(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def check(x):
+                if x < 0:
+                    raise ValueError("negative")
+        """)
+        assert "X301" in rule_ids_found(report)
+
+    def test_fires_on_foreign_local_class(self, tmp_path):
+        report = lint_source(tmp_path, """
+            class LocalError(Exception):
+                pass
+
+            def check():
+                raise LocalError("nope")
+        """)
+        assert "X301" in rule_ids_found(report)
+
+    def test_quiet_on_taxonomy_and_control_flow(self, tmp_path):
+        report = lint_source(tmp_path, """
+            class TussleError(Exception):
+                pass
+
+            class SubError(TussleError):
+                pass
+
+            def check(kind):
+                if kind == "abstract":
+                    raise NotImplementedError
+                raise SubError("framework failure")
+        """)
+        assert rule_ids_found(report) == []
+
+
+class TestX302DunderAll:
+    def test_fires_on_phantom_export(self, tmp_path):
+        report = lint_source(tmp_path, """
+            __all__ = ["exists", "phantom"]
+
+            def exists():
+                return 1
+        """)
+        findings = [f for f in report.active if f.rule_id == "X302"]
+        assert len(findings) == 1
+        assert "phantom" in findings[0].message
+
+    def test_quiet_on_accurate_all_with_extension(self, tmp_path):
+        report = lint_source(tmp_path, """
+            __all__ = ["first"]
+
+            def first():
+                return 1
+
+            def second():
+                return 2
+
+            __all__ += ["second"]
+        """)
+        assert rule_ids_found(report) == []
+
+
+def write_fake_repo(tmp_path, *, run_src=None, register=True, bench=True,
+                    tests_reference=True):
+    """A minimal repo with one experiment module, for E-series tests."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='fake'\n")
+    pkg = tmp_path / "src" / "pkg"
+    experiments = pkg / "experiments"
+    experiments.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    if run_src is None:
+        run_src = (
+            "def run_e01(seed: int = 0) -> 'ExperimentResult':\n"
+            "    return None\n"
+        )
+    (experiments / "e01_sample.py").write_text(run_src)
+    registry = (
+        "from .e01_sample import run_e01\n"
+        "ALL_EXPERIMENTS = {'E01': run_e01}\n" if register else
+        "ALL_EXPERIMENTS = {}\n"
+    )
+    (experiments / "__init__.py").write_text(registry)
+    benchmarks = tmp_path / "benchmarks"
+    benchmarks.mkdir()
+    if bench:
+        (benchmarks / "bench_e01_sample.py").write_text("# bench\n")
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    if tests_reference:
+        (tests / "test_experiments.py").write_text(
+            "from pkg.experiments import ALL_EXPERIMENTS\n"
+        )
+    else:
+        (tests / "test_other.py").write_text("def test_nothing(): pass\n")
+    return pkg
+
+
+class TestESeriesConformance:
+    def test_clean_fake_repo(self, tmp_path):
+        pkg = write_fake_repo(tmp_path)
+        report = run_lint([pkg])
+        assert rule_ids_found(report) == []
+
+    def test_missing_seed_parameter(self, tmp_path):
+        pkg = write_fake_repo(tmp_path, run_src=(
+            "def run_e01(rounds: int = 3) -> 'ExperimentResult':\n"
+            "    return None\n"
+        ))
+        report = run_lint([pkg])
+        assert "E201" in rule_ids_found(report)
+
+    def test_missing_return_annotation(self, tmp_path):
+        pkg = write_fake_repo(tmp_path, run_src=(
+            "def run_e01(seed: int = 0):\n"
+            "    return None\n"
+        ))
+        report = run_lint([pkg])
+        assert "E201" in rule_ids_found(report)
+
+    def test_unregistered_experiment(self, tmp_path):
+        pkg = write_fake_repo(tmp_path, register=False)
+        report = run_lint([pkg])
+        ids = rule_ids_found(report)
+        assert "E202" in ids
+        # Not registered and not named directly in tests -> also untested.
+        assert "E204" in ids
+
+    def test_missing_benchmark(self, tmp_path):
+        pkg = write_fake_repo(tmp_path, bench=False)
+        report = run_lint([pkg])
+        assert rule_ids_found(report) == ["E203"]
+
+    def test_registry_parametrized_suite_counts_as_tested(self, tmp_path):
+        pkg = write_fake_repo(tmp_path, tests_reference=True)
+        report = run_lint([pkg])
+        assert "E204" not in rule_ids_found(report)
+
+    def test_direct_reference_counts_as_tested(self, tmp_path):
+        pkg = write_fake_repo(tmp_path, register=True, tests_reference=False)
+        tests = tmp_path / "tests"
+        (tests / "test_direct.py").write_text(
+            "from pkg.experiments.e01_sample import run_e01\n"
+        )
+        report = run_lint([pkg])
+        assert "E204" not in rule_ids_found(report)
