@@ -37,9 +37,12 @@ Subpackages
 ``tussle.experiments``
     One module per experiment E01-E12 (see DESIGN.md), each regenerating
     one of the paper's qualitative claims as a table.
+``tussle.obs``
+    Deterministic-safe observability: tracer, metrics, profiler, trace
+    report CLI and benchmark record emitter. Off by default.
 """
 
-from . import actornet, core, econ, gametheory, netsim, policy, routing, trust
+from . import actornet, core, econ, gametheory, netsim, obs, policy, routing, trust
 from .errors import (
     ActorNetworkError,
     AddressingError,
@@ -47,6 +50,7 @@ from .errors import (
     ExperimentError,
     GameError,
     MarketError,
+    ObservabilityError,
     OntologyError,
     PolicyError,
     PolicyParseError,
@@ -60,11 +64,11 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "actornet", "core", "econ", "gametheory", "netsim", "policy",
+    "actornet", "core", "econ", "gametheory", "netsim", "obs", "policy",
     "routing", "trust",
     "ActorNetworkError", "AddressingError", "DesignError", "ExperimentError",
-    "GameError", "MarketError", "OntologyError", "PolicyError",
-    "PolicyParseError", "RoutingError", "SimulationError", "TopologyError",
-    "TrustError", "TussleError",
+    "GameError", "MarketError", "ObservabilityError", "OntologyError",
+    "PolicyError", "PolicyParseError", "RoutingError", "SimulationError",
+    "TopologyError", "TrustError", "TussleError",
     "__version__",
 ]

@@ -7,6 +7,17 @@ Subcommands
 ``run E01 X03 ...``
     Run the named experiments (default: all) and print their tables and
     shape-check verdicts; exits non-zero if any shape fails.
+
+    ``--trace PATH`` records a deterministic JSONL trace of the run
+    (sim-time-stamped spans and events from every instrumented
+    subsystem); inspect it with ``python -m tussle.obs report PATH``.
+
+    ``--json`` replaces the plain-text output with a single JSON
+    document: ``{"results": [...], "failed": [...]}`` where each result
+    carries its id, title, paper claim, tables (columns + rows), shape
+    checks and a per-experiment metrics snapshot. The exit code is
+    unchanged (non-zero when any shape check fails), so ``--json`` is
+    safe to use in CI pipelines.
 ``summary``
     Run everything and print only the one-line verdicts.
 """
@@ -14,10 +25,12 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from .experiments import ALL_EXPERIMENTS
+from .obs import Metrics, Tracer, observe
 
 __all__ = ["main", "build_parser"]
 
@@ -36,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "experiments", nargs="*", metavar="ID",
         help="experiment ids (e.g. E01 X03); default: all",
+    )
+    run_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a deterministic JSONL trace of the run to PATH",
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit results as one JSON document instead of text",
     )
 
     subparsers.add_parser("summary", help="run everything, verdicts only")
@@ -67,18 +88,40 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(ids: Sequence[str]) -> int:
+def _command_run(ids: Sequence[str], trace_path: Optional[str] = None,
+                 as_json: bool = False) -> int:
+    tracer = Tracer() if trace_path else None
     failed = []
-    for identifier in _select(ids):
-        result = ALL_EXPERIMENTS[identifier]()
-        print(result.format())
-        print()
+    results = []
+    for position, identifier in enumerate(_select(ids)):
+        metrics = Metrics()
+        with observe(tracer=tracer, metrics=metrics):
+            if tracer is not None:
+                # Logical time for the run-level span is the experiment's
+                # position in the selection — deterministic, never wall clock.
+                span = tracer.begin("experiments", identifier, float(position))
+            result = ALL_EXPERIMENTS[identifier]()
+            if tracer is not None:
+                span.end(float(position + 1), shape_holds=result.shape_holds)
+        result.metrics = metrics.snapshot()
+        results.append(result)
+        if not as_json:
+            print(result.format())
+            print()
         if not result.shape_holds:
             failed.append(identifier)
-    if failed:
+    if tracer is not None:
+        tracer.write_jsonl(trace_path)
+        if not as_json:
+            print(f"trace written to {trace_path} ({len(tracer)} records)")
+    if as_json:
+        print(json.dumps(
+            {"results": [r.to_dict() for r in results], "failed": failed},
+            indent=2, sort_keys=True,
+        ))
+    elif failed:
         print(f"SHAPE FAILURES: {', '.join(failed)}")
-        return 1
-    return 0
+    return 1 if failed else 0
 
 
 def _command_summary() -> int:
@@ -98,7 +141,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "list":
         return _command_list()
     if arguments.command == "run":
-        return _command_run(arguments.experiments)
+        return _command_run(arguments.experiments, trace_path=arguments.trace,
+                            as_json=arguments.as_json)
     if arguments.command == "summary":
         return _command_summary()
     parser.print_help()

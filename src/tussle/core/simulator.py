@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.runtime import current as _obs_current
 from .mechanisms import Move, MoveKind
 from .stakeholders import Stakeholder
 from .tussle import TussleSpace
@@ -112,6 +113,19 @@ class TussleSimulator:
         self.settle_rounds = settle_rounds
         self.integrity = 1.0
         self.history: List[RoundRecord] = []
+        ctx = _obs_current()
+        self._trace = ctx.tracer if ctx.tracer.enabled else None
+        if ctx.metrics.enabled:
+            scope = ctx.metrics.scope("core.simulator")
+            self._c_rounds = scope.counter("rounds")
+            self._c_moves = scope.counter("moves")
+            self._c_workarounds = scope.counter("workarounds")
+            self._g_integrity = scope.gauge("integrity")
+        else:
+            self._c_rounds = None
+            self._c_moves = None
+            self._c_workarounds = None
+            self._g_integrity = None
 
     # ------------------------------------------------------------------
     # Move selection
@@ -186,11 +200,28 @@ class TussleSimulator:
     def step(self) -> RoundRecord:
         """One round: every stakeholder gets one adaptation opportunity."""
         index = len(self.history)
+        span = (self._trace.begin("core.simulator", "round", float(index))
+                if self._trace is not None else None)
         moves: List[Move] = []
         for stakeholder in self.space.stakeholders:
             for move in self._choose_moves(stakeholder, index):
                 self._apply(move, stakeholder)
                 moves.append(move)
+                if self._trace is not None:
+                    self._trace.event(
+                        "core.simulator", "move", float(index),
+                        actor=move.actor, variable=move.variable,
+                        kind=move.kind.name.lower(),
+                        mechanism=move.mechanism)
+        workarounds = sum(1 for m in moves if m.kind is MoveKind.WORKAROUND)
+        if self._c_rounds is not None:
+            self._c_rounds.inc()
+            self._c_moves.inc(len(moves))
+            self._c_workarounds.inc(workarounds)
+            self._g_integrity.set(self.integrity)
+        if span is not None:
+            span.end(float(index + 1), moves=len(moves),
+                     workarounds=workarounds, integrity=self.integrity)
         record = RoundRecord(
             index=index,
             moves=moves,

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import MarketError
+from ..obs.runtime import current as _obs_current
 from .agents import Consumer, Provider
 from .pricing import PricingStrategy
 
@@ -91,6 +92,19 @@ class Market:
                         -preference_noise, preference_noise
                     )
         self.history: List[MarketRound] = []
+        ctx = _obs_current()
+        self._trace = ctx.tracer if ctx.tracer.enabled else None
+        if ctx.metrics.enabled:
+            scope = ctx.metrics.scope("econ.market")
+            self._c_rounds = scope.counter("clearing_rounds")
+            self._c_switches = scope.counter("switches")
+            self._c_pricing = scope.counter("pricing_adjustments")
+            self._h_price = scope.histogram("mean_price")
+        else:
+            self._c_rounds = None
+            self._c_switches = None
+            self._c_pricing = None
+            self._h_price = None
         self._initial_assignment()
 
     # ------------------------------------------------------------------
@@ -162,16 +176,20 @@ class Market:
     def step(self) -> MarketRound:
         """Run one market round and return its record."""
         index = len(self.history)
+        span = (self._trace.begin("econ.market", "round", float(index))
+                if self._trace is not None else None)
         # 1. Providers adjust prices.
         prices = {name: p.price for name, p in self.providers.items()}
         shares = {
             name: p.market_share(len(self.consumers))
             for name, p in self.providers.items()
         }
+        pricing_moves = 0
         for name, provider in sorted(self.providers.items()):
             strategy = self.strategies.get(name)
             if strategy is not None:
                 strategy.adjust(provider, prices, shares[name])
+                pricing_moves += 1
 
         # 2. Consumers re-evaluate and possibly switch.
         switches = 0
@@ -225,6 +243,15 @@ class Market:
             },
         )
         self.history.append(record)
+        if self._c_rounds is not None:
+            self._c_rounds.inc()
+            self._c_switches.inc(switches)
+            self._c_pricing.inc(pricing_moves)
+            self._h_price.observe(record.mean_price)
+        if span is not None:
+            span.end(float(index + 1), switches=switches,
+                     tunnelling=tunnelling, pricing_moves=pricing_moves,
+                     mean_price=record.mean_price)
         return record
 
     def run(self, rounds: int) -> List[MarketRound]:

@@ -82,3 +82,7 @@ class VisibilityError(RoutingError, ValueError):
 
 class LintError(TussleError):
     """The static analyzer was misconfigured or given unreadable input."""
+
+
+class ObservabilityError(TussleError):
+    """A trace, metrics, or profiling operation was invalid."""

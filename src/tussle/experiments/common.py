@@ -10,7 +10,7 @@ table and the check verdict; tests assert the check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ExperimentError
 
@@ -64,6 +64,15 @@ class Table:
             lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form: title, columns, rows."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [{col: row.get(col) for col in self.columns}
+                     for row in self.rows],
+        }
+
     def __len__(self) -> int:
         return len(self.rows)
 
@@ -79,13 +88,20 @@ class ShapeCheck:
 
 @dataclass
 class ExperimentResult:
-    """Everything one experiment produces."""
+    """Everything one experiment produces.
+
+    ``metrics`` is an optional observability snapshot (see
+    :mod:`tussle.obs`) attached by runners that install a metrics
+    registry; it is descriptive side-channel data and deliberately not
+    part of the seedcheck fingerprint.
+    """
 
     experiment_id: str
     title: str
     paper_claim: str
     tables: List[Table] = field(default_factory=list)
     checks: List[ShapeCheck] = field(default_factory=list)
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def shape_holds(self) -> bool:
@@ -107,6 +123,23 @@ class ExperimentResult:
             if check.detail:
                 lines.append(f"         {check.detail}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form, including metrics when attached."""
+        payload: Dict[str, Any] = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "shape_holds": self.shape_holds,
+            "tables": [table.to_dict() for table in self.tables],
+            "checks": [
+                {"claim": c.claim, "holds": c.holds, "detail": c.detail}
+                for c in self.checks
+            ],
+        }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     def print(self) -> None:  # pragma: no cover - console convenience
         print(self.format())

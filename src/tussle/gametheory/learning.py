@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import GameError
+from ..obs.runtime import current as _obs_current
 from .games import NormalFormGame
 from .nash import best_response
 
@@ -57,6 +58,21 @@ def _check_two_player(game: NormalFormGame) -> Tuple[np.ndarray, np.ndarray]:
     return np.asarray(game.payoffs[0], float), np.asarray(game.payoffs[1], float)
 
 
+def _observe_run(dynamics: str, result: LearningResult) -> LearningResult:
+    """Record one learning run (span over iterations) and pass it through."""
+    ctx = _obs_current()
+    if ctx.tracer.enabled:
+        span = ctx.tracer.begin("gametheory.learning", dynamics, 0.0)
+        span.end(float(result.iterations), iterations=result.iterations,
+                 converged=result.converged)
+    if ctx.metrics.enabled:
+        scope = ctx.metrics.scope("gametheory.learning")
+        scope.counter("runs").inc()
+        scope.counter("iterations").inc(result.iterations)
+        scope.counter("converged_runs").inc(1 if result.converged else 0)
+    return result
+
+
 def fictitious_play(
     game: NormalFormGame,
     iterations: int = 2000,
@@ -98,12 +114,12 @@ def fictitious_play(
 
     x = counts_row / counts_row.sum()
     y = counts_col / counts_col.sum()
-    return LearningResult(
+    return _observe_run("fictitious_play", LearningResult(
         strategies=(x, y),
         converged=converged,
         iterations=iterations_used,
         trajectory=trajectory,
-    )
+    ))
 
 
 def replicator_dynamics(
@@ -158,12 +174,12 @@ def replicator_dynamics(
             iterations_used = t
             break
 
-    return LearningResult(
+    return _observe_run("replicator_dynamics", LearningResult(
         strategies=(x, y),
         converged=converged,
         iterations=iterations_used,
         trajectory=trajectory,
-    )
+    ))
 
 
 def best_response_dynamics(
@@ -213,9 +229,9 @@ def best_response_dynamics(
     x[row] = 1.0
     y = np.zeros(n)
     y[col] = 1.0
-    return LearningResult(
+    return _observe_run("best_response_dynamics", LearningResult(
         strategies=(x, y),
         converged=converged,
         iterations=iterations_used,
         trajectory=trajectory,
-    )
+    ))

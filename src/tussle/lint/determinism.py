@@ -15,7 +15,8 @@ from typing import List, Optional
 from .context import ModuleInfo, dotted_name, resolve_call_name
 from .findings import Finding, Rule, register_rule
 
-__all__ = ["check_module_determinism", "DETERMINISM_RULES"]
+__all__ = ["check_module_determinism", "DETERMINISM_RULES",
+           "WALL_CLOCK_ALLOWLIST"]
 
 D101 = register_rule(Rule(
     "D101", "global-random-call",
@@ -69,8 +70,21 @@ D108 = register_rule(Rule(
     "randomness from readers and from this analyzer; import at module "
     "level so seeding discipline is visible.",
 ))
+D109 = register_rule(Rule(
+    "D109", "wall-clock-outside-profiler",
+    "direct timing call outside the sanctioned tussle.obs.profiler module",
+    "Wall-clock timing belongs to tussle.obs.profiler.Profiler, the one "
+    "allowlisted consumer; its measurements are quarantined to the "
+    "benchmark channel and never enter traces or results. Direct "
+    "time.perf_counter/time.time calls elsewhere bypass that quarantine.",
+))
 
-DETERMINISM_RULES = (D101, D102, D103, D104, D105, D106, D107, D108)
+DETERMINISM_RULES = (D101, D102, D103, D104, D105, D106, D107, D108, D109)
+
+#: Modules (path suffixes, ``/``-separated) sanctioned to read the host
+#: clock. The profiler is the only entry: it quarantines wall-clock values
+#: to the benchmark channel, so D104/D109 do not apply inside it.
+WALL_CLOCK_ALLOWLIST = ("tussle/obs/profiler.py",)
 
 #: Module-level functions of ``random`` that mutate/read the global RNG.
 _STATEFUL_RANDOM_FNS = {
@@ -100,6 +114,13 @@ _WALL_CLOCK_FNS = {
     "datetime.datetime.today", "datetime.date.today",
 }
 
+#: The subset of wall-clock reads that signal ad-hoc profiling — these
+#: additionally fire D109 pointing at the sanctioned Profiler.
+_TIMING_FNS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+}
+
 #: Instance methods whose argument order matters (sampling/selection).
 _ORDER_SENSITIVE_METHODS = {"choice", "choices", "shuffle", "sample",
                             "permutation"}
@@ -121,6 +142,10 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.info = info
         self.findings: List[Finding] = []
         self._function_depth = 0
+        posix_path = str(info.path).replace("\\", "/")
+        self._wall_clock_exempt = any(
+            posix_path.endswith(suffix) for suffix in WALL_CLOCK_ALLOWLIST
+        )
 
     # -- helpers -------------------------------------------------------
     def _add(self, rule: Rule, node: ast.AST, message: str) -> None:
@@ -194,9 +219,16 @@ class _DeterminismVisitor(ast.NodeVisitor):
                           "runs will diverge")
             return
         if canonical in _WALL_CLOCK_FNS:
+            if self._wall_clock_exempt:
+                return
             self._add(D104, node,
                       f"`{canonical}()` reads the host clock; simulated time "
                       "must come from the event loop")
+            if canonical in _TIMING_FNS:
+                self._add(D109, node,
+                          f"`{canonical}()` is ad-hoc profiling; use "
+                          "tussle.obs.profiler.Profiler, the sanctioned "
+                          "wall-clock consumer")
             return
         if canonical == "os.getenv":
             self._add(D105, node,

@@ -25,6 +25,7 @@ from enum import Enum
 from typing import Dict, List, Optional
 
 from ..errors import AddressingError
+from ..obs.runtime import current as _obs_current
 
 __all__ = [
     "AddressBlock",
@@ -110,6 +111,27 @@ class AddressRegistry:
         self._customer_blocks: Dict[str, AddressBlock] = {}
         self._pi_blocks: Dict[str, AddressBlock] = {}
         self._aggregate_cursor: Dict[int, int] = {}
+        # Logical clock for trace records: one tick per registry operation.
+        self._op_seq = 0
+        ctx = _obs_current()
+        self._trace = ctx.tracer if ctx.tracer.enabled else None
+        if ctx.metrics.enabled:
+            scope = ctx.metrics.scope("netsim.addressing")
+            self._c_assignments = scope.counter("assignments")
+            self._c_pi = scope.counter("pi_assignments")
+        else:
+            self._c_assignments = None
+            self._c_pi = None
+
+    def _note_op(self, name: str, owner: str, pi: bool) -> None:
+        self._op_seq += 1
+        if self._c_assignments is not None:
+            self._c_assignments.inc()
+            if pi:
+                self._c_pi.inc()
+        if self._trace is not None:
+            self._trace.event("netsim.addressing", name, float(self._op_seq),
+                              owner=owner)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -122,6 +144,7 @@ class AddressRegistry:
         block = self._carve(size, owner=f"AS{provider_asn}", provider_asn=provider_asn)
         self._aggregates[provider_asn] = block
         self._aggregate_cursor[provider_asn] = block.start
+        self._note_op("allocate_aggregate", block.owner, pi=False)
         return block
 
     def assign_customer_block(
@@ -145,6 +168,7 @@ class AddressRegistry:
         self._customer_blocks[customer] = block
         # A PA assignment supersedes a PI block for the same customer.
         self._pi_blocks.pop(customer, None)
+        self._note_op("assign_customer_block", customer, pi=False)
         return block
 
     def assign_provider_independent(self, customer: str, size: Optional[int] = None) -> AddressBlock:
@@ -153,6 +177,7 @@ class AddressRegistry:
         block = self._carve(size, owner=customer, provider_asn=None)
         self._pi_blocks[customer] = block
         self._customer_blocks.pop(customer, None)
+        self._note_op("assign_provider_independent", customer, pi=True)
         return block
 
     def _carve(self, size: int, owner: str, provider_asn: Optional[int]) -> AddressBlock:

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
+from ..obs.runtime import current as _obs_current
+from ..obs.tracer import callback_name as _callback_name
 
 __all__ = ["EventHandle", "Simulator", "Process"]
 
@@ -95,6 +97,22 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._stopped = False
+        # Observability hooks resolve once at construction; a disabled
+        # context (the default) leaves every hook None so the hot loop
+        # pays a single `is not None` test per event.
+        ctx = _obs_current()
+        self._trace = ctx.tracer if ctx.tracer.enabled else None
+        if ctx.metrics.enabled:
+            scope = ctx.metrics.scope("netsim.engine")
+            self._c_scheduled = scope.counter("events_scheduled")
+            self._c_fired = scope.counter("events_fired")
+            self._c_cancelled = scope.counter("events_cancelled")
+            self._g_depth = scope.gauge("peak_queue_depth")
+        else:
+            self._c_scheduled = None
+            self._c_fired = None
+            self._c_cancelled = None
+            self._g_depth = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -147,6 +165,13 @@ class Simulator:
             )
         handle = EventHandle(time, callback, args)
         heapq.heappush(self._queue, _Entry(time, priority, next(self._seq), handle))
+        if self._c_scheduled is not None:
+            self._c_scheduled.inc()
+            self._g_depth.set_max(len(self._queue))
+        if self._trace is not None:
+            self._trace.event("netsim.engine", "schedule", self._now,
+                              at=time, priority=priority,
+                              callback=_callback_name(callback))
         return handle
 
     # ------------------------------------------------------------------
@@ -162,13 +187,30 @@ class Simulator:
             entry = heapq.heappop(self._queue)
             handle = entry.handle
             if handle.cancelled:
+                self._note_cancelled(handle)
                 continue
             self._now = entry.time
             handle.fired = True
             self._events_processed += 1
+            if self._c_fired is not None:
+                self._c_fired.inc()
+            if self._trace is not None:
+                self._trace.event("netsim.engine", "fire", entry.time,
+                                  priority=entry.priority,
+                                  queue_depth=len(self._queue),
+                                  callback=_callback_name(handle.callback))
             handle.callback(*handle.args)
             return True
         return False
+
+    def _note_cancelled(self, handle: EventHandle) -> None:
+        """Record a lazily-deleted (cancelled) entry at pop time."""
+        if self._c_cancelled is not None:
+            self._c_cancelled.inc()
+        if self._trace is not None:
+            self._trace.event("netsim.engine", "cancel", self._now,
+                              at=handle.time,
+                              callback=_callback_name(handle.callback))
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the calendar drains, ``until`` is reached, or
@@ -190,6 +232,7 @@ class Simulator:
                 next_entry = self._queue[0]
                 if next_entry.handle.cancelled:
                     heapq.heappop(self._queue)
+                    self._note_cancelled(next_entry.handle)
                     continue
                 if until is not None and next_entry.time > until:
                     break

@@ -1,0 +1,62 @@
+"""Command-line interface: ``python -m tussle.obs``.
+
+Subcommands
+-----------
+``report <trace.jsonl>``
+    Aggregate a JSONL trace (written by ``python -m tussle run --trace``
+    or ``Tracer.write_jsonl``) into a per-subsystem time breakdown, an
+    event-rate table, and the top-N hottest engine callbacks.
+    ``--format json`` emits the same aggregates machine-readably.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..errors import ObservabilityError
+from .report import build_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tussle.obs",
+        description="Analyze tussle observability traces.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    report_parser = subparsers.add_parser(
+        "report", help="summarize a JSONL trace file")
+    report_parser.add_argument("trace", metavar="TRACE.JSONL",
+                               help="trace file to analyze")
+    report_parser.add_argument("--top", type=int, default=10,
+                               help="callbacks to list (default 10)")
+    report_parser.add_argument("--format", choices=("text", "json"),
+                               default="text")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command != "report":
+        parser.print_help()
+        return 0
+    try:
+        report = build_report(args.trace)
+    except ObservabilityError as exc:
+        print(f"tussle.obs: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(args.top), indent=2, sort_keys=True))
+    else:
+        print(report.format(args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

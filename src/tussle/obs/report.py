@@ -1,0 +1,192 @@
+"""Trace analysis: turn a JSONL trace into per-subsystem breakdowns.
+
+Drives ``python -m tussle.obs report <trace.jsonl>``.  The report has
+three sections, all computed from logical (simulated) time:
+
+* **subsystems** — per-scope span counts, total span time, and event
+  counts: where sim time goes;
+* **event rates** — per (scope, name) record counts and rates over the
+  scope's observed time span;
+* **hottest callbacks** — the top-N most-fired engine callbacks.
+
+This module deliberately avoids importing the experiment harness (the
+instrumented subsystems import :mod:`tussle.obs` at module load, so
+anything here that imported them back would be a cycle); it renders its
+own plain-text tables.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from ..errors import ObservabilityError
+
+__all__ = ["load_trace", "TraceReport", "build_report"]
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse one JSONL trace file into a list of record dicts."""
+    source = Path(path)
+    try:
+        text = source.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace {source}: {exc}") from exc
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{source}:{lineno}: not valid JSON: {exc}") from exc
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ObservabilityError(
+                f"{source}:{lineno}: not a trace record (missing 'kind')")
+        records.append(record)
+    return records
+
+
+def _format_table(title: str, columns: Sequence[str],
+                  rows: Sequence[Sequence[Any]]) -> str:
+    body = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in body)) if body
+        else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class TraceReport:
+    """Aggregated view over one trace's records."""
+
+    def __init__(self, records: Sequence[Dict[str, Any]]):
+        self.records = list(records)
+        self.spans = [r for r in self.records if r.get("kind") == "span"]
+        self.events = [r for r in self.records if r.get("kind") == "event"]
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def subsystem_breakdown(self) -> List[Dict[str, Any]]:
+        """Per-scope span/event totals, sorted by total span time."""
+        scopes: Dict[str, Dict[str, Any]] = {}
+        for record in self.records:
+            scope = scopes.setdefault(record.get("scope", "?"), {
+                "spans": 0, "span_time": 0.0, "events": 0,
+                "t_min": None, "t_max": None,
+            })
+            if record["kind"] == "span":
+                scope["spans"] += 1
+                scope["span_time"] += record["t1"] - record["t0"]
+                lo, hi = record["t0"], record["t1"]
+            else:
+                scope["events"] += 1
+                lo = hi = record["t"]
+            if scope["t_min"] is None or lo < scope["t_min"]:
+                scope["t_min"] = lo
+            if scope["t_max"] is None or hi > scope["t_max"]:
+                scope["t_max"] = hi
+        rows = [
+            {"scope": name, **data} for name, data in scopes.items()
+        ]
+        rows.sort(key=lambda r: (-r["span_time"], r["scope"]))
+        return rows
+
+    def event_rates(self) -> List[Dict[str, Any]]:
+        """Per (scope, name) counts and rates over the scope's time span."""
+        tally: _TallyCounter = _TallyCounter()
+        for record in self.records:
+            tally[(record.get("scope", "?"), record.get("name", "?"))] += 1
+        spans = {row["scope"]: row for row in self.subsystem_breakdown()}
+        rows = []
+        for (scope, name), count in tally.items():
+            info = spans.get(scope, {})
+            t_min, t_max = info.get("t_min"), info.get("t_max")
+            duration = (t_max - t_min) if (t_min is not None
+                                           and t_max is not None) else 0.0
+            rows.append({
+                "scope": scope,
+                "name": name,
+                "count": count,
+                "rate": count / duration if duration > 0 else 0.0,
+            })
+        rows.sort(key=lambda r: (-r["count"], r["scope"], r["name"]))
+        return rows
+
+    def hottest_callbacks(self, top: int = 10) -> List[Tuple[str, int]]:
+        """Most frequently fired callbacks (engine ``fire`` events)."""
+        tally: _TallyCounter = _TallyCounter()
+        for record in self.events:
+            if record.get("name") != "fire":
+                continue
+            callback = record.get("fields", {}).get("callback")
+            if callback is not None:
+                tally[callback] += 1
+        return tally.most_common(top)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def format(self, top: int = 10) -> str:
+        sections = [
+            f"trace: {len(self.records)} records "
+            f"({len(self.spans)} spans, {len(self.events)} events)",
+            "",
+            _format_table(
+                "Per-subsystem breakdown (logical time)",
+                ["scope", "spans", "span_time", "events", "t_min", "t_max"],
+                [[r["scope"], r["spans"], r["span_time"], r["events"],
+                  r["t_min"] if r["t_min"] is not None else "-",
+                  r["t_max"] if r["t_max"] is not None else "-"]
+                 for r in self.subsystem_breakdown()],
+            ),
+            "",
+            _format_table(
+                "Event rates (per scope/name)",
+                ["scope", "name", "count", "rate"],
+                [[r["scope"], r["name"], r["count"], r["rate"]]
+                 for r in self.event_rates()],
+            ),
+        ]
+        callbacks = self.hottest_callbacks(top)
+        if callbacks:
+            sections += ["", _format_table(
+                f"Top-{min(top, len(callbacks))} hottest callbacks",
+                ["callback", "fires"],
+                [[name, count] for name, count in callbacks],
+            )]
+        return "\n".join(sections)
+
+    def to_dict(self, top: int = 10) -> Dict[str, Any]:
+        return {
+            "records": len(self.records),
+            "spans": len(self.spans),
+            "events": len(self.events),
+            "subsystems": self.subsystem_breakdown(),
+            "event_rates": self.event_rates(),
+            "hottest_callbacks": [
+                {"callback": name, "fires": count}
+                for name, count in self.hottest_callbacks(top)
+            ],
+        }
+
+
+def build_report(path: Union[str, Path]) -> TraceReport:
+    """Load ``path`` and aggregate it into a :class:`TraceReport`."""
+    return TraceReport(load_trace(path))

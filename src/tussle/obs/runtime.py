@@ -1,0 +1,82 @@
+"""The active observability context and its installation machinery.
+
+Instrumented subsystems ask :func:`current` for the active
+:class:`ObsContext` when they are constructed (or, for free functions,
+when they are called) and cache ``None`` for every disabled facility, so
+a run without :func:`observe` pays a single ``is not None`` test per
+hook.  The default context is fully disabled: a :class:`NullTracer`, a
+:class:`NullMetrics` and a :class:`NullProfiler`.
+
+The context is process-global and not thread-safe — the simulation
+stack is single-threaded by design (see DESIGN.md, "No hidden
+globals": *observation* is the one sanctioned global because it must
+reach code the caller does not construct directly, and it can never
+influence results).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import Metrics, NullMetrics
+from .profiler import NullProfiler, Profiler
+from .tracer import NullTracer, Tracer
+
+__all__ = ["ObsContext", "current", "observe"]
+
+
+class ObsContext:
+    """One installed (tracer, metrics, profiler) triple."""
+
+    __slots__ = ("tracer", "metrics", "profiler")
+
+    def __init__(self, tracer: Tracer, metrics: Metrics, profiler: Profiler):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
+
+    @property
+    def active(self) -> bool:
+        """True when any facility is enabled."""
+        return (self.tracer.enabled or self.metrics.enabled
+                or self.profiler.enabled)
+
+
+_DISABLED = ObsContext(NullTracer(), NullMetrics(), NullProfiler())
+_current = _DISABLED
+
+
+def current() -> ObsContext:
+    """The active context (the disabled default unless inside observe())."""
+    return _current
+
+
+@contextmanager
+def observe(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
+    profiler: Optional[Profiler] = None,
+) -> Iterator[ObsContext]:
+    """Install an observability context for the enclosed block.
+
+    Omitted facilities stay disabled.  Objects built *inside* the block
+    pick the context up at construction time; the previous context is
+    restored on exit, even on error.
+
+    >>> from tussle.obs import Tracer, observe
+    >>> with observe(tracer=Tracer()) as ctx:
+    ...     pass  # build and run simulations here
+    """
+    global _current
+    context = ObsContext(
+        tracer if tracer is not None else _DISABLED.tracer,
+        metrics if metrics is not None else _DISABLED.metrics,
+        profiler if profiler is not None else _DISABLED.profiler,
+    )
+    previous = _current
+    _current = context
+    try:
+        yield context
+    finally:
+        _current = previous

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import RoutingError
 from ..netsim.topology import Network
+from ..obs.runtime import current as _obs_current
 
 __all__ = ["LinkStateDatabase", "LinkStateRouting"]
 
@@ -94,6 +95,10 @@ class LinkStateRouting:
         Link-state convergence is a single flood + local SPF, so this
         always "converges" in one iteration.
         """
+        ctx = _obs_current()
+        trace = ctx.tracer if ctx.tracer.enabled else None
+        span = (trace.begin("routing.linkstate", "converge", 0.0)
+                if trace is not None else None)
         self.database = LinkStateDatabase()
         for link in self.network.links:
             if link.up:
@@ -102,6 +107,14 @@ class LinkStateRouting:
         for node in self.network.node_names():
             self._tables[node] = self._spf(node)
         self._converged = True
+        if ctx.metrics.enabled:
+            scope = ctx.metrics.scope("routing.linkstate")
+            scope.counter("floods").inc()
+            scope.counter("spf_runs").inc(len(self._tables))
+            scope.counter("lsas_announced").inc(len(self.database))
+        if span is not None:
+            span.end(1.0, lsas=len(self.database),
+                     spf_runs=len(self._tables))
         return 1
 
     def _spf(self, source: str) -> Dict[str, str]:

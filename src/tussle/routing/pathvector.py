@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple
 
 from ..errors import RoutingError
 from ..netsim.topology import Network
+from ..obs.runtime import current as _obs_current
 from .base import ControlPoint, Route, RoutingProtocol
 from .policies import GaoRexfordPolicy, RoutingPolicy
 
@@ -67,6 +68,14 @@ class PathVectorRouting(RoutingProtocol):
         asns = [a.asn for a in self.network.ases]
         self._rib = {asn: {asn: Route(destination=asn, path=(asn,))} for asn in asns}
         self.announcements = {}
+        ctx = _obs_current()
+        trace = ctx.tracer if ctx.tracer.enabled else None
+        metrics = (ctx.metrics.scope("routing.pathvector")
+                   if ctx.metrics.enabled else None)
+        span = (trace.begin("routing.pathvector", "converge", 0.0,
+                            ases=len(asns))
+                if trace is not None else None)
+        total_announced = 0
 
         for iteration in range(1, self.max_iterations + 1):
             changed = False
@@ -106,10 +115,26 @@ class PathVectorRouting(RoutingProtocol):
                     changed = True
                 self._rib[asn] = new_rib
             self.announcements = round_announcements
+            announced = sum(len(routes)
+                            for routes in round_announcements.values())
+            total_announced += announced
+            if trace is not None:
+                trace.event("routing.pathvector", "iteration",
+                            float(iteration), announcements=announced,
+                            changed=changed)
+            if metrics is not None:
+                metrics.counter("iterations").inc()
+                metrics.counter("announcements").inc(announced)
             if not changed:
                 self._converged = True
                 self.iterations_used = iteration
+                if span is not None:
+                    span.end(float(iteration), iterations=iteration,
+                             announcements=total_announced)
                 return iteration
+        if span is not None:
+            span.end(float(self.max_iterations), converged=False,
+                     announcements=total_announced)
         raise RoutingError(
             f"path-vector routing failed to converge in {self.max_iterations} iterations"
         )

@@ -110,6 +110,46 @@ class TestD104WallClock:
         assert "D104" in rule_ids_found(report)
 
 
+class TestD109WallClockOutsideProfiler:
+    def test_fires_alongside_d104_on_timing_calls(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time
+            start = time.perf_counter()
+        """)
+        ids = rule_ids_found(report)
+        assert "D104" in ids and "D109" in ids
+
+    def test_fires_on_time_time(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time
+            stamp = time.time()
+        """)
+        assert "D109" in rule_ids_found(report)
+
+    def test_quiet_on_datetime_now(self, tmp_path):
+        # datetime reads are D104-only: they are not profiling idioms.
+        report = lint_source(tmp_path, """
+            from datetime import datetime
+            stamp = datetime.now()
+        """)
+        assert "D109" not in rule_ids_found(report)
+
+    def test_allowlisted_profiler_module_is_exempt(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time
+            start = time.perf_counter()
+        """, filename="tussle/obs/profiler.py")
+        ids = rule_ids_found(report)
+        assert "D104" not in ids and "D109" not in ids
+
+    def test_other_obs_modules_not_exempt(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time
+            start = time.perf_counter()
+        """, filename="tussle/obs/tracer.py")
+        assert "D109" in rule_ids_found(report)
+
+
 class TestD105Environ:
     def test_fires_on_environ_and_getenv(self, tmp_path):
         report = lint_source(tmp_path, """

@@ -1,0 +1,160 @@
+"""Edge cases of the discrete-event engine: cancellation after firing,
+zero-delay self-rescheduling, tie-break ordering, and mid-run process
+termination."""
+
+import pytest
+
+from tussle.errors import SimulationError
+from tussle.netsim.engine import Process, Simulator
+
+
+class TestCancelAfterFire:
+    def test_cancelling_a_fired_handle_is_a_noop(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("fired"))
+        sim.run()
+        assert seen == ["fired"]
+        handle.cancel()  # must not raise or un-fire anything
+        assert handle.fired is True
+        assert handle.active is False
+        assert sim.events_processed == 1
+
+    def test_cancel_after_fire_does_not_affect_later_events(self):
+        sim = Simulator()
+        seen = []
+        first = sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(2.0, lambda: seen.append("b"))
+        assert sim.step() is True
+        first.cancel()
+        sim.run()
+        assert seen == ["a", "b"]
+
+
+class TestZeroDelaySelfReschedule:
+    def test_zero_delay_events_advance_seq_not_time(self):
+        """An event rescheduling itself at delay 0 runs at the same
+        instant, strictly after the current event (FIFO on seq)."""
+        sim = Simulator()
+        seen = []
+
+        def reschedule(depth):
+            seen.append((sim.now, depth))
+            if depth < 3:
+                sim.schedule(0.0, reschedule, depth + 1)
+
+        sim.schedule(1.0, reschedule, 0)
+        fired = sim.run()
+        assert fired == 4
+        assert seen == [(1.0, 0), (1.0, 1), (1.0, 2), (1.0, 3)]
+
+    def test_zero_delay_chain_respects_until_bound(self):
+        sim = Simulator()
+        count = []
+
+        def forever():
+            count.append(sim.now)
+            sim.schedule(0.0, forever)
+
+        sim.schedule(1.0, forever)
+        # max_events bounds an otherwise infinite zero-delay chain.
+        fired = sim.run(max_events=10)
+        assert fired == 10
+        assert all(t == 1.0 for t in count)
+
+    def test_interleaves_with_later_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: (order.append("t1"),
+                                   sim.schedule(0.0, lambda: order.append("t1+0"))))
+        sim.schedule(2.0, lambda: order.append("t2"))
+        sim.run()
+        assert order == ["t1", "t1+0", "t2"]
+
+
+class TestTieBreakOrdering:
+    def test_fifo_under_identical_time_and_priority(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(1.0, order.append, label, priority=5)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_priority_beats_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "late", priority=1)
+        sim.schedule(1.0, order.append, "early", priority=0)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_time_beats_priority(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "later", priority=-10)
+        sim.schedule(1.0, order.append, "sooner", priority=10)
+        sim.run()
+        assert order == ["sooner", "later"]
+
+    def test_tie_break_is_reproducible(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for i in range(20):
+                sim.schedule(1.0, order.append, i, priority=i % 3)
+            sim.run()
+            return order
+        assert run_once() == run_once()
+
+
+class TestProcessTerminationMidRun:
+    def test_stop_from_inside_a_callback(self):
+        sim = Simulator()
+        ticks = []
+        process = Process(sim, interval=1.0,
+                          callback=lambda: ticks.append(sim.now))
+
+        def halt():
+            process.stop()
+
+        process.start()
+        sim.schedule(2.5, halt)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert process.running is False
+
+    def test_callback_returning_false_terminates(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            return None if len(ticks) < 3 else False
+
+        process = Process(sim, interval=1.0, callback=tick)
+        process.start()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert process.running is False
+
+    def test_stopped_process_can_restart(self):
+        sim = Simulator()
+        ticks = []
+        process = Process(sim, interval=1.0,
+                          callback=lambda: ticks.append(sim.now))
+        process.start()
+        sim.run(until=1.5)
+        process.stop()
+        sim.run(until=3.5)
+        assert ticks == [1.0]
+        process.start()
+        sim.run(until=5.5)
+        assert ticks == [1.0, 4.5, 5.5]
+
+    def test_double_start_raises(self):
+        sim = Simulator()
+        process = Process(sim, interval=1.0, callback=lambda: None)
+        process.start()
+        with pytest.raises(SimulationError, match="already started"):
+            process.start()

@@ -1,0 +1,1 @@
+"""Tests for tussle.obs: deterministic-safe observability."""

@@ -1,0 +1,68 @@
+"""Profiler: the quarantined wall-clock channel."""
+
+from tussle.obs import Metrics, NullProfiler, Profiler, Tracer, observe
+
+
+class TestProfiler:
+    def test_time_accumulates_per_key(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.time("work"):
+                pass
+        snapshot = profiler.snapshot()["work"]
+        assert snapshot["calls"] == 3
+        assert snapshot["total_seconds"] >= 0.0
+        assert snapshot["min_seconds"] <= snapshot["max_seconds"]
+
+    def test_record_folds_external_measurements(self):
+        profiler = Profiler()
+        profiler.record("ext", 0.5)
+        profiler.record("ext", 0.25)
+        assert profiler.total_seconds("ext") == 0.75
+        assert profiler.min_seconds("ext") == 0.25
+
+    def test_keys_sorted(self):
+        profiler = Profiler()
+        profiler.record("b", 0.1)
+        profiler.record("a", 0.1)
+        assert profiler.keys() == ["a", "b"]
+
+    def test_unknown_key_defaults(self):
+        profiler = Profiler()
+        assert profiler.total_seconds("missing") == 0.0
+        assert profiler.min_seconds("missing") is None
+
+    def test_time_records_on_exception(self):
+        profiler = Profiler()
+        try:
+            with profiler.time("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert profiler.snapshot()["failing"]["calls"] == 1
+
+
+class TestQuarantine:
+    def test_wall_clock_never_enters_trace_or_metrics(self):
+        """The quarantine rule: profiling a block must leave the
+        deterministic channels (trace, metrics) untouched."""
+        tracer, metrics, profiler = Tracer(), Metrics(), Profiler()
+        with observe(tracer=tracer, metrics=metrics, profiler=profiler):
+            with profiler.time("quarantined"):
+                pass
+        assert len(tracer) == 0
+        assert metrics.snapshot() == {}
+        assert "quarantined" in profiler.snapshot()
+
+
+class TestNullProfiler:
+    def test_disabled_flag(self):
+        assert NullProfiler().enabled is False
+        assert Profiler().enabled is True
+
+    def test_records_nothing(self):
+        profiler = NullProfiler()
+        with profiler.time("work"):
+            pass
+        profiler.record("work", 1.0)
+        assert profiler.snapshot() == {}

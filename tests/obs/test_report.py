@@ -1,0 +1,116 @@
+"""Trace report: aggregation and the ``python -m tussle.obs`` CLI."""
+
+import json
+
+import pytest
+
+from tussle.errors import ObservabilityError
+from tussle.obs import Tracer
+from tussle.obs.__main__ import main as obs_main
+from tussle.obs.report import TraceReport, build_report, load_trace
+
+
+def synthetic_trace(tmp_path):
+    """Two scopes: an engine firing three callbacks and one market span."""
+    tracer = Tracer()
+    span = tracer.begin("econ.market", "round", 0.0)
+    for t, callback in ((0.0, "Process._tick"), (1.0, "Process._tick"),
+                        (2.0, "Market.step")):
+        tracer.event("netsim.engine", "fire", t, callback=callback)
+    tracer.event("netsim.engine", "schedule", 0.0, callback="Market.step")
+    span.end(2.0, switches=1)
+    return tracer.write_jsonl(tmp_path / "trace.jsonl")
+
+
+class TestLoadTrace:
+    def test_round_trips_records(self, tmp_path):
+        path = synthetic_trace(tmp_path)
+        records = load_trace(path)
+        assert len(records) == 5
+        assert {r["kind"] for r in records} == {"span", "event"}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"event"}\nnot json\n')
+        with pytest.raises(ObservabilityError, match="bad.jsonl:2"):
+            load_trace(path)
+
+    def test_non_record_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no_kind": 1}\n')
+        with pytest.raises(ObservabilityError, match="missing 'kind'"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gappy.jsonl"
+        path.write_text('{"kind":"event","scope":"s","name":"n","t":0.0}\n\n')
+        assert len(load_trace(path)) == 1
+
+
+class TestTraceReport:
+    def test_subsystem_breakdown(self, tmp_path):
+        report = build_report(synthetic_trace(tmp_path))
+        rows = {r["scope"]: r for r in report.subsystem_breakdown()}
+        market = rows["econ.market"]
+        assert market["spans"] == 1 and market["span_time"] == 2.0
+        engine = rows["netsim.engine"]
+        assert engine["events"] == 4
+        assert engine["t_min"] == 0.0 and engine["t_max"] == 2.0
+        # Sorted by span time: the market span ranks first.
+        assert report.subsystem_breakdown()[0]["scope"] == "econ.market"
+
+    def test_event_rates(self, tmp_path):
+        report = build_report(synthetic_trace(tmp_path))
+        rates = {(r["scope"], r["name"]): r for r in report.event_rates()}
+        fire = rates[("netsim.engine", "fire")]
+        assert fire["count"] == 3
+        assert fire["rate"] == pytest.approx(1.5)  # 3 events over t∈[0,2]
+
+    def test_hottest_callbacks(self, tmp_path):
+        report = build_report(synthetic_trace(tmp_path))
+        assert report.hottest_callbacks(top=1) == [("Process._tick", 2)]
+        # Schedule events don't count as fires.
+        assert dict(report.hottest_callbacks())["Market.step"] == 1
+
+    def test_format_contains_all_sections(self, tmp_path):
+        text = build_report(synthetic_trace(tmp_path)).format()
+        assert "Per-subsystem breakdown" in text
+        assert "Event rates" in text
+        assert "hottest callbacks" in text
+
+    def test_to_dict_is_json_ready(self, tmp_path):
+        payload = build_report(synthetic_trace(tmp_path)).to_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["records"] == 5
+
+    def test_empty_trace_report(self):
+        report = TraceReport([])
+        assert report.subsystem_breakdown() == []
+        assert report.hottest_callbacks() == []
+        assert "0 records" in report.format()
+
+
+class TestCli:
+    def test_report_text(self, tmp_path, capsys):
+        path = synthetic_trace(tmp_path)
+        assert obs_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "econ.market" in out and "netsim.engine" in out
+
+    def test_report_json(self, tmp_path, capsys):
+        path = synthetic_trace(tmp_path)
+        assert obs_main(["report", str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] == 1 and payload["events"] == 4
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "tussle.obs:" in capsys.readouterr().err
+
+    def test_no_subcommand_prints_help(self, capsys):
+        assert obs_main([]) == 0
+        assert "usage" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""The ambient observability context: disabled default, install/restore."""
+
+import pytest
+
+from tussle.obs import (
+    Metrics,
+    NullMetrics,
+    NullProfiler,
+    NullTracer,
+    ObsContext,
+    Profiler,
+    Tracer,
+    current,
+    observe,
+)
+
+
+class TestDefaultContext:
+    def test_fully_disabled(self):
+        context = current()
+        assert isinstance(context.tracer, NullTracer)
+        assert isinstance(context.metrics, NullMetrics)
+        assert isinstance(context.profiler, NullProfiler)
+        assert context.active is False
+
+
+class TestObserve:
+    def test_installs_and_restores(self):
+        tracer = Tracer()
+        before = current()
+        with observe(tracer=tracer) as context:
+            assert current() is context
+            assert context.tracer is tracer
+            assert context.active is True
+        assert current() is before
+
+    def test_omitted_facilities_stay_disabled(self):
+        with observe(metrics=Metrics()) as context:
+            assert context.tracer.enabled is False
+            assert context.profiler.enabled is False
+            assert context.metrics.enabled is True
+
+    def test_restores_on_error(self):
+        before = current()
+        with pytest.raises(RuntimeError):
+            with observe(tracer=Tracer()):
+                raise RuntimeError("boom")
+        assert current() is before
+
+    def test_nesting_restores_outer(self):
+        outer_metrics = Metrics()
+        with observe(metrics=outer_metrics):
+            with observe(profiler=Profiler()) as inner:
+                # Inner context replaces wholesale: metrics fall back to
+                # the disabled default unless re-passed.
+                assert inner.metrics.enabled is False
+            assert current().metrics is outer_metrics
+
+
+class TestObsContext:
+    def test_active_when_any_enabled(self):
+        disabled = ObsContext(NullTracer(), NullMetrics(), NullProfiler())
+        assert disabled.active is False
+        assert ObsContext(Tracer(), NullMetrics(), NullProfiler()).active
+        assert ObsContext(NullTracer(), Metrics(), NullProfiler()).active
+        assert ObsContext(NullTracer(), NullMetrics(), Profiler()).active

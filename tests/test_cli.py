@@ -1,5 +1,7 @@
 """Tests for the ``python -m tussle`` command-line interface."""
 
+import json
+
 import pytest
 
 from tussle.__main__ import build_parser, main
@@ -40,3 +42,44 @@ class TestCli:
         args = parser.parse_args(["run", "E01", "E02"])
         assert args.command == "run"
         assert args.experiments == ["E01", "E02"]
+        assert args.trace is None
+        assert args.as_json is False
+
+
+class TestRunTraceAndJson:
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "E01", "--trace", str(trace)]) == 0
+        assert "trace written to" in capsys.readouterr().out
+        lines = trace.read_text().splitlines()
+        assert lines
+        scopes = {json.loads(line)["scope"] for line in lines}
+        assert {"experiments", "econ.market", "netsim.addressing"} <= scopes
+
+    def test_trace_is_byte_identical_across_runs(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(["run", "E01", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["run", "E07", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == []
+        (result,) = payload["results"]
+        assert result["experiment_id"] == "E07"
+        assert result["shape_holds"] is True
+        assert result["tables"] and result["tables"][0]["rows"]
+        assert all(check["holds"] for check in result["checks"])
+
+    def test_json_includes_metrics_snapshot(self, capsys):
+        assert main(["run", "E01", "--json"]) == 0
+        (result,) = json.loads(capsys.readouterr().out)["results"]
+        assert "econ.market" in result["metrics"]
+
+    def test_json_and_trace_compose(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "E07", "--json", "--trace", str(trace)]) == 0
+        json.loads(capsys.readouterr().out)  # stdout stays pure JSON
+        assert trace.exists()
