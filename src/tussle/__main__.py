@@ -20,6 +20,18 @@ Subcommands
     safe to use in CI pipelines.
 ``summary``
     Run everything and print only the one-line verdicts.
+``sweep E01 X03 ...``
+    Run a multi-seed / parameter-grid matrix through the parallel sweep
+    engine (default: all experiments): ``--seeds N`` sweeps base seeds
+    ``0..N-1`` (each cell runs at a seed *derived* from its identity, so
+    no two cells share RNG state), ``--grid key=v1,v2`` adds a parameter
+    axis (repeatable; values are swept as a cartesian product),
+    ``--jobs N`` fans cells out over a process pool, and ``--cache-dir``
+    makes re-runs incremental (completed cells are keyed by experiment,
+    params, seed, and a code fingerprint, so any source change
+    invalidates them).  ``--json`` emits the aggregated robustness
+    document; the bytes are identical whatever ``--jobs`` is.  Exits
+    non-zero unless every shape check holds on every seed.
 """
 
 from __future__ import annotations
@@ -60,6 +72,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("summary", help="run everything, verdicts only")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a multi-seed/parameter matrix in parallel")
+    sweep_parser.add_argument(
+        "experiments", nargs="*", metavar="ID",
+        help="experiment ids (e.g. E01 X03); default: all",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=int, default=5, metavar="N",
+        help="sweep base seeds 0..N-1 (default 5)",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: in-process executor)",
+    )
+    sweep_parser.add_argument(
+        "--grid", action="append", default=[], metavar="KEY=V1,V2",
+        help="parameter axis passed to every experiment as a keyword "
+             "argument; repeat for a cartesian product",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache completed cells under PATH for incremental re-runs",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the aggregated robustness document as JSON",
+    )
     return parser
 
 
@@ -124,6 +164,85 @@ def _command_run(ids: Sequence[str], trace_path: Optional[str] = None,
     return 1 if failed else 0
 
 
+def _parse_grid_value(text: str):
+    """CLI grid literal: int, then float, then bool, else string."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _parse_grid(entries: Sequence[str]) -> dict:
+    grid: dict = {}
+    for entry in entries:
+        key, separator, values = entry.partition("=")
+        if not separator or not key or not values:
+            raise SystemExit(
+                f"bad --grid entry {entry!r}; expected KEY=V1,V2,...")
+        grid[key] = [_parse_grid_value(v) for v in values.split(",")]
+    return grid
+
+
+def _command_sweep(ids: Sequence[str], seeds: int, jobs: int,
+                   grid_entries: Sequence[str],
+                   cache_dir: Optional[str] = None,
+                   as_json: bool = False) -> int:
+    from .obs import Profiler
+    from .sweep import (InProcessExecutor, ProcessPoolExecutor, ResultCache,
+                        SweepSpec, aggregate, run_sweep)
+
+    if seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
+    spec = SweepSpec(
+        experiment_ids=_select(ids),
+        seeds=list(range(seeds)),
+        grid=_parse_grid(grid_entries),
+    )
+    executor = (ProcessPoolExecutor(jobs) if jobs > 1
+                else InProcessExecutor())
+    cache = ResultCache(cache_dir) if cache_dir else None
+    metrics = Metrics()
+    profiler = Profiler()
+    with observe(metrics=metrics, profiler=profiler):
+        report = run_sweep(spec, executor=executor, cache=cache)
+    aggregated = aggregate(report.cells)
+
+    if as_json:
+        # Deterministic channel only: byte-identical whatever --jobs is.
+        print(json.dumps(
+            {"stats": report.stats, "aggregate": aggregated},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for verdict in aggregated["verdicts"]:
+            print(verdict)
+        for cell in report.failed:
+            error = cell["error"] or {}
+            print(f"FAILED {cell['experiment_id']} seed={cell['base_seed']} "
+                  f"params={cell['params']}: {error.get('type')}: "
+                  f"{error.get('message')}")
+        stats = report.stats
+        print(f"{stats['cells_total']} cells: "
+              f"{stats['cells_cached']} cached, "
+              f"{stats['cells_dispatched']} dispatched, "
+              f"{stats['cells_failed']} failed")
+        utilization = profiler.snapshot()
+        workers = [k for k in utilization if k.startswith("worker.")]
+        if workers:
+            busy = sum(utilization[k]["total_seconds"] for k in workers)
+            print(f"worker utilization ({len(workers)} workers, "
+                  f"{busy:.2f}s busy):")
+            for key in workers:
+                stat = utilization[key]
+                print(f"  {key[len('worker.'):]}: {stat['calls']} cells, "
+                      f"{stat['total_seconds']:.2f}s")
+    return 0 if (report.ok and aggregated["robust"]) else 1
+
+
 def _command_summary() -> int:
     exit_code = 0
     for identifier in sorted(ALL_EXPERIMENTS):
@@ -145,6 +264,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             as_json=arguments.as_json)
     if arguments.command == "summary":
         return _command_summary()
+    if arguments.command == "sweep":
+        return _command_sweep(arguments.experiments, seeds=arguments.seeds,
+                              jobs=arguments.jobs, grid_entries=arguments.grid,
+                              cache_dir=arguments.cache_dir,
+                              as_json=arguments.as_json)
     parser.print_help()
     return 0
 

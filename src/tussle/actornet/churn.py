@@ -90,12 +90,14 @@ class ChurnSimulation:
     network:
         Starting actor network (mutated in place).
     arrival_rate:
-        Expected entrants per round (Bernoulli/binomial thinning of an
-        integer cap for determinism under seeding).
+        Expected entrants per round.  Arrival *counts* follow a
+        deterministic error-diffusion schedule (see
+        :meth:`_sample_arrivals`); the seed drives entrant values and
+        attachment choices.
     alignment_steps_per_round:
         How many alignment steps run between arrival opportunities.
     seed:
-        Seeds arrivals and entrant values.
+        Seeds entrant values and partner selection.
     """
 
     def __init__(
@@ -116,15 +118,28 @@ class ChurnSimulation:
         self.np_rng = np.random.default_rng(seed)
         self.history: List[ChurnRecord] = []
         self._entrant_counter = 0
+        self._arrival_debt = 0.0
 
     # ------------------------------------------------------------------
     # Arrivals
     # ------------------------------------------------------------------
     def _sample_arrivals(self) -> int:
-        """Integer arrivals with mean ``arrival_rate`` (deterministic seed)."""
-        base = int(self.arrival_rate)
-        fractional = self.arrival_rate - base
-        return base + (1 if self.rng.random() < fractional else 0)
+        """Integer arrivals with mean ``arrival_rate`` (error diffusion).
+
+        An accumulator carries the fractional part forward, so over any
+        window the realized count tracks ``rate * rounds`` exactly and a
+        positive rate can never produce an arrival drought longer than
+        ``ceil(1/rate) - 1`` rounds.  (The previous Bernoulli thinning
+        made "healthy churn" rates freeze on unlucky seeds: at rate 0.5
+        a five-round drought — the freeze window — occurs with
+        probability ~1/32 per window, so a multi-seed matrix was bound
+        to hit one.  Arrival counts are climate, not weather; only the
+        entrant *composition* stays stochastic.)
+        """
+        self._arrival_debt += self.arrival_rate
+        arrivals = int(self._arrival_debt)
+        self._arrival_debt -= arrivals
+        return arrivals
 
     def _spawn_entrant(self) -> Actor:
         """A new application + its user community joining the network.

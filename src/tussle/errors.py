@@ -84,5 +84,9 @@ class LintError(TussleError):
     """The static analyzer was misconfigured or given unreadable input."""
 
 
+class SweepError(TussleError):
+    """A sweep specification, cache, or executor was used inconsistently."""
+
+
 class ObservabilityError(TussleError):
     """A trace, metrics, or profiling operation was invalid."""

@@ -16,7 +16,7 @@ from .context import ModuleInfo, dotted_name, resolve_call_name
 from .findings import Finding, Rule, register_rule
 
 __all__ = ["check_module_determinism", "DETERMINISM_RULES",
-           "WALL_CLOCK_ALLOWLIST"]
+           "WALL_CLOCK_ALLOWLIST", "PARALLELISM_ALLOWLIST"]
 
 D101 = register_rule(Rule(
     "D101", "global-random-call",
@@ -79,12 +79,29 @@ D109 = register_rule(Rule(
     "time.perf_counter/time.time calls elsewhere bypass that quarantine.",
 ))
 
-DETERMINISM_RULES = (D101, D102, D103, D104, D105, D106, D107, D108, D109)
+D110 = register_rule(Rule(
+    "D110", "parallelism-outside-executor",
+    "worker pool / thread construction outside tussle.sweep.executors",
+    "Parallel fan-out must go through the sweep executors, the one "
+    "sanctioned parallelism site: their workers run each cell at a seed "
+    "derived from the cell's identity (never shared RNG state) and the "
+    "scheduler merges results in deterministic order. An ad-hoc pool or "
+    "thread elsewhere reintroduces completion-order and RNG-sharing "
+    "nondeterminism.",
+))
+
+DETERMINISM_RULES = (D101, D102, D103, D104, D105, D106, D107, D108, D109,
+                     D110)
 
 #: Modules (path suffixes, ``/``-separated) sanctioned to read the host
 #: clock. The profiler is the only entry: it quarantines wall-clock values
 #: to the benchmark channel, so D104/D109 do not apply inside it.
 WALL_CLOCK_ALLOWLIST = ("tussle/obs/profiler.py",)
+
+#: Modules sanctioned to construct worker pools/threads. The sweep
+#: executors are the only entry: they isolate per-cell RNG state and feed
+#: the scheduler's deterministic merge, so D110 does not apply inside them.
+PARALLELISM_ALLOWLIST = ("tussle/sweep/executors.py",)
 
 #: Module-level functions of ``random`` that mutate/read the global RNG.
 _STATEFUL_RANDOM_FNS = {
@@ -121,6 +138,16 @@ _TIMING_FNS = {
     "time.perf_counter", "time.perf_counter_ns",
 }
 
+#: Constructors that spawn concurrent workers (D110 sinks).
+_PARALLELISM_CTORS = {
+    "multiprocessing.Pool", "multiprocessing.Process",
+    "multiprocessing.pool.Pool", "multiprocessing.pool.ThreadPool",
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "threading.Thread",
+    "os.fork",
+}
+
 #: Instance methods whose argument order matters (sampling/selection).
 _ORDER_SENSITIVE_METHODS = {"choice", "choices", "shuffle", "sample",
                             "permutation"}
@@ -145,6 +172,9 @@ class _DeterminismVisitor(ast.NodeVisitor):
         posix_path = str(info.path).replace("\\", "/")
         self._wall_clock_exempt = any(
             posix_path.endswith(suffix) for suffix in WALL_CLOCK_ALLOWLIST
+        )
+        self._parallelism_exempt = any(
+            posix_path.endswith(suffix) for suffix in PARALLELISM_ALLOWLIST
         )
 
     # -- helpers -------------------------------------------------------
@@ -234,6 +264,13 @@ class _DeterminismVisitor(ast.NodeVisitor):
             self._add(D105, node,
                       "`os.getenv()` makes results depend on the host "
                       "environment; pass configuration explicitly")
+            return
+        if canonical in _PARALLELISM_CTORS and not self._parallelism_exempt:
+            self._add(D110, node,
+                      f"`{canonical}()` spawns concurrent workers; parallel "
+                      "fan-out belongs in tussle.sweep.executors, the "
+                      "sanctioned site with per-cell seed isolation and a "
+                      "deterministic merge")
 
     def _check_order_sensitive_call(self, node: ast.Call) -> None:
         # list(set(...)) / tuple(set(...)) — order-dependent materialization.

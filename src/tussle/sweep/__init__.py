@@ -1,0 +1,50 @@
+"""tussle.sweep: parallel multi-seed / parameter sweep engine.
+
+The ROADMAP's north star asks the framework to validate the paper's
+qualitative claims over "as many scenarios as you can imagine", as fast
+as the hardware allows.  This package fans ``(experiment, params, seed)``
+cells out across a process pool while keeping the output byte-
+reproducible:
+
+:mod:`~tussle.sweep.cells`
+    The cell model — canonical parameter JSON, grid expansion, and the
+    SHA-256 seed derivation that keeps every cell's RNG stream
+    independent of every other's.
+:mod:`~tussle.sweep.executors`
+    The sanctioned parallelism site (lint rule D110): a
+    ``multiprocessing`` pool plus an in-process fallback for debugging,
+    both returning identical payloads.
+:mod:`~tussle.sweep.scheduler`
+    Cache-aware dispatch and the deterministic merge: output is sorted
+    by cell identity, never by completion order.
+:mod:`~tussle.sweep.cache`
+    On-disk completed-cell cache keyed by (experiment, params, seed,
+    code fingerprint) — re-runs and CI are incremental.
+:mod:`~tussle.sweep.aggregate`
+    Collapses the seed axis into per-metric summaries and robustness
+    verdicts ("E01 shape holds on 50/50 seeds").
+
+Quickstart::
+
+    from tussle.sweep import SweepSpec, ProcessPoolExecutor, run_sweep, aggregate
+
+    spec = SweepSpec(experiment_ids=["E01"], seeds=list(range(20)), grid={})
+    report = run_sweep(spec, executor=ProcessPoolExecutor(jobs=4))
+    print(aggregate(report.cells)["verdicts"])
+
+or from the command line: ``python -m tussle sweep E01 --seeds 20 --jobs 4``.
+"""
+
+from .aggregate import aggregate
+from .cache import ResultCache, code_fingerprint
+from .cells import Cell, SweepSpec, canonical_params, derive_seed, expand_grid
+from .executors import InProcessExecutor, ProcessPoolExecutor, run_cell
+from .scheduler import SweepReport, run_sweep
+
+__all__ = [
+    "aggregate",
+    "ResultCache", "code_fingerprint",
+    "Cell", "SweepSpec", "canonical_params", "derive_seed", "expand_grid",
+    "InProcessExecutor", "ProcessPoolExecutor", "run_cell",
+    "SweepReport", "run_sweep",
+]

@@ -1,0 +1,120 @@
+"""Sweep executors: the one sanctioned parallelism site in the package.
+
+Everything else in the simulation stack is single-threaded by design
+(lint rule D110 enforces it); fan-out happens only here, where the three
+hazards of parallel simulation are contained:
+
+* **RNG isolation** — a worker runs a cell at its *derived* seed
+  (:func:`tussle.sweep.cells.derive_seed`), a pure function of the
+  cell's identity, so no two cells share RNG state and results do not
+  depend on worker assignment.
+* **Completion order** — both executors return payloads in whatever
+  order cells finish; the scheduler re-sorts by cell identity before
+  merging, so the merged output is order-independent by construction.
+* **Failure isolation** — :func:`run_cell` converts any exception into
+  an error payload for that cell alone; one diverging cell never takes
+  down the pool or its siblings.
+
+Workers communicate in JSON-safe dicts (the ``ExperimentResult.to_dict``
+form), so payloads cross process boundaries and the result cache without
+a separate serialisation step.  Wall-clock per cell is measured with the
+sanctioned :class:`~tussle.obs.profiler.Profiler` and travels in a
+side channel that the scheduler quarantines from the deterministic
+merge.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from typing import Any, Dict, List
+
+from ..errors import SweepError
+from ..obs import Profiler
+from .cells import Cell
+
+__all__ = ["InProcessExecutor", "ProcessPoolExecutor", "run_cell",
+           "cell_task"]
+
+
+def cell_task(cell: Cell) -> Dict[str, Any]:
+    """The picklable work order handed to a worker for one cell."""
+    return {
+        "experiment_id": cell.experiment_id,
+        "params_json": cell.params_json,
+        "base_seed": cell.base_seed,
+        "seed": cell.seed,
+    }
+
+
+def run_cell(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one cell, never raise.
+
+    Returns ``{"payload": ..., "profile": ...}`` where ``payload`` is
+    the deterministic channel (identity, status, result dict or error)
+    and ``profile`` is the quarantined wall-clock channel (worker name,
+    seconds).
+    """
+    from ..experiments import ALL_EXPERIMENTS
+
+    profiler = Profiler()
+    payload: Dict[str, Any] = {
+        "experiment_id": task["experiment_id"],
+        "params": json.loads(task["params_json"]),
+        "base_seed": task["base_seed"],
+        "seed": task["seed"],
+    }
+    try:
+        entry = ALL_EXPERIMENTS.get(task["experiment_id"])
+        if entry is None:
+            raise SweepError(f"unknown experiment {task['experiment_id']!r}")
+        with profiler.time("cell"):
+            result = entry(seed=task["seed"], **payload["params"])
+        payload.update(status="ok", result=result.to_dict(), error=None)
+    except Exception as exc:  # failure isolation: one cell, one verdict
+        payload.update(
+            status="error",
+            result=None,
+            error={"type": type(exc).__name__, "message": str(exc)},
+        )
+    return {
+        "payload": payload,
+        "profile": {
+            "worker": multiprocessing.current_process().name,
+            "seconds": profiler.total_seconds("cell"),
+        },
+    }
+
+
+class InProcessExecutor:
+    """Serial executor: runs cells in the calling process.
+
+    The debugging baseline — no pickling, no fork, breakpoints and
+    monkeypatches work — and the parity reference: its merged output
+    must be byte-identical to the pool's.
+    """
+
+    jobs = 1
+
+    def map(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return [run_cell(task) for task in tasks]
+
+
+class ProcessPoolExecutor:
+    """Parallel executor over a ``multiprocessing`` pool.
+
+    Results are collected in completion order (``imap_unordered``) —
+    deliberately, so the scheduler's deterministic merge is exercised on
+    every parallel run rather than masked by an ordered iterator.
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise SweepError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        if not tasks or self.jobs == 1:
+            return InProcessExecutor().map(tasks)
+        with multiprocessing.Pool(processes=min(self.jobs, len(tasks))) as pool:
+            return list(pool.imap_unordered(run_cell, tasks))

@@ -1,0 +1,126 @@
+"""Sweep scheduler: cache-aware dispatch with a deterministic merge.
+
+Determinism-under-parallelism rule
+----------------------------------
+The merged output of a sweep is a pure function of the
+:class:`~tussle.sweep.cells.SweepSpec` and the code fingerprint —
+independent of worker count, worker assignment, completion order, and
+of which cells were served from cache.  Three mechanisms enforce it:
+
+1. cell seeds are derived from cell identity, not dispatch order;
+2. workers return the deterministic channel (result dicts) separately
+   from the quarantined wall-clock channel (worker timings), and only
+   the former enters the merge and the cache;
+3. the merge re-sorts payloads by cell identity, so an executor may
+   hand results back in any order.
+
+Instrumentation goes through :mod:`tussle.obs`: deterministic scheduler
+counters (cells total/dispatched/cached/failed) under the
+``sweep.scheduler`` metrics scope, per-worker utilization into the
+sanctioned Profiler channel as ``worker.<name>`` keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import SweepError
+from ..obs import current
+from .cache import ResultCache
+from .cells import Cell, SweepSpec, canonical_params
+from .executors import InProcessExecutor, cell_task
+
+__all__ = ["SweepReport", "run_sweep"]
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep run produces.
+
+    ``cells`` is the merged deterministic channel, sorted by cell
+    identity; ``stats`` are the scheduler's (deterministic) counters.
+    """
+
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> List[Dict[str, Any]]:
+        return [cell for cell in self.cells if cell["status"] != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def run_sweep(
+    spec: SweepSpec,
+    executor: Optional[Any] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepReport:
+    """Run the sweep matrix; return merged, deterministic payloads.
+
+    ``executor`` is anything with a ``map(tasks) -> outputs`` method
+    (default: :class:`InProcessExecutor`); ``cache`` short-circuits
+    cells completed by earlier runs at the same code fingerprint.
+    """
+    if executor is None:
+        executor = InProcessExecutor()
+
+    cells = spec.cells()
+    keys = [cell.sort_key for cell in cells]
+    if len(set(keys)) != len(keys):
+        raise SweepError("sweep matrix contains duplicate cells")
+
+    context = current()
+    scope = (context.metrics.scope("sweep.scheduler")
+             if context.metrics.enabled else None)
+    profiler = context.profiler if context.profiler.enabled else None
+
+    merged: Dict[tuple, Dict[str, Any]] = {}
+    misses: List[Cell] = []
+    for cell in cells:
+        payload = cache.load(cell) if cache is not None else None
+        if payload is not None:
+            merged[cell.sort_key] = payload
+        else:
+            misses.append(cell)
+
+    outputs = (executor.map([cell_task(cell) for cell in misses])
+               if misses else [])
+    if len(outputs) != len(misses):
+        raise SweepError(
+            f"executor returned {len(outputs)} payloads for "
+            f"{len(misses)} dispatched cells"
+        )
+    by_identity = {cell.sort_key: cell for cell in misses}
+    for output in outputs:
+        payload = output["payload"]
+        key = (payload["experiment_id"],
+               canonical_params(payload["params"]), payload["base_seed"])
+        cell = by_identity.get(key)
+        if cell is None or key in merged:
+            raise SweepError(f"executor returned an unrequested cell {key!r}")
+        merged[key] = payload
+        if cache is not None and payload["status"] == "ok":
+            cache.store(cell, payload)
+        if profiler is not None:
+            profile = output.get("profile") or {}
+            profiler.record(f"worker.{profile.get('worker', 'unknown')}",
+                            profile.get("seconds", 0.0))
+
+    report = SweepReport(cells=[merged[key] for key in sorted(merged)])
+    failed = len(report.failed)
+    report.stats = {
+        "cells_total": len(cells),
+        "cells_cached": len(cells) - len(misses),
+        "cells_dispatched": len(misses),
+        "cells_failed": failed,
+    }
+    if scope is not None:
+        scope.counter("cells_total").inc(len(cells))
+        scope.counter("cells_cached").inc(len(cells) - len(misses))
+        scope.counter("cells_dispatched").inc(len(misses))
+        scope.counter("cells_failed").inc(failed)
+    return report

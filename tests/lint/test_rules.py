@@ -150,6 +150,57 @@ class TestD109WallClockOutsideProfiler:
         assert "D109" in rule_ids_found(report)
 
 
+class TestD110ParallelismOutsideExecutor:
+    def test_fires_on_multiprocessing_pool(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import multiprocessing
+            pool = multiprocessing.Pool(processes=4)
+        """)
+        assert "D110" in rule_ids_found(report)
+
+    def test_fires_on_concurrent_futures_pool(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import concurrent.futures
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=2)
+        """)
+        assert "D110" in rule_ids_found(report)
+
+    def test_fires_on_thread_construction(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import threading
+            worker = threading.Thread(target=print)
+        """)
+        assert "D110" in rule_ids_found(report)
+
+    def test_fires_through_from_import(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from multiprocessing.pool import ThreadPool
+            pool = ThreadPool(2)
+        """)
+        assert "D110" in rule_ids_found(report)
+
+    def test_allowlisted_executors_module_is_exempt(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import multiprocessing
+            pool = multiprocessing.Pool(processes=4)
+        """, filename="tussle/sweep/executors.py")
+        assert "D110" not in rule_ids_found(report)
+
+    def test_other_sweep_modules_not_exempt(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import multiprocessing
+            pool = multiprocessing.Pool(processes=4)
+        """, filename="tussle/sweep/scheduler.py")
+        assert "D110" in rule_ids_found(report)
+
+    def test_quiet_on_unrelated_calls(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import multiprocessing
+            count = multiprocessing.cpu_count()
+        """)
+        assert "D110" not in rule_ids_found(report)
+
+
 class TestD105Environ:
     def test_fires_on_environ_and_getenv(self, tmp_path):
         report = lint_source(tmp_path, """

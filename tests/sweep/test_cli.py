@@ -1,0 +1,100 @@
+"""CLI surface of ``python -m tussle sweep``."""
+
+import json
+
+import pytest
+
+from tussle.__main__ import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestSweepCli:
+    def test_seeds_and_json(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "E01", "--seeds", "2", "--json",
+            "--grid", "n_consumers=40", "--grid", "rounds=8",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["stats"]["cells_total"] == 2
+        [group] = document["aggregate"]["groups"]
+        assert group["experiment_id"] == "E01"
+        assert group["seeds"] == [0, 1]
+        assert group["robust"] is True
+        assert "E01 shape holds on 2/2 seeds" in document["aggregate"]["verdicts"]
+
+    def test_grid_expands_cartesian_product(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "E01", "--seeds", "1", "--json",
+            "--grid", "n_consumers=40,50", "--grid", "rounds=8,10",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["stats"]["cells_total"] == 4
+        points = [g["params"] for g in document["aggregate"]["groups"]]
+        assert {(p["n_consumers"], p["rounds"]) for p in points} == {
+            (40, 8), (40, 10), (50, 8), (50, 10)}
+
+    def test_grid_value_types(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "E01", "--seeds", "1", "--json",
+            "--grid", "n_consumers=40", "--grid", "rounds=8",
+        )
+        document = json.loads(out)
+        params = document["aggregate"]["groups"][0]["params"]
+        assert isinstance(params["n_consumers"], int)
+
+    def test_bad_grid_entry_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "E01", "--grid", "nonsense"])
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "E99"])
+
+    def test_text_mode_prints_verdicts_and_stats(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "E01", "--seeds", "2",
+            "--grid", "n_consumers=40", "--grid", "rounds=8",
+        )
+        assert code == 0
+        assert "E01 shape holds on 2/2 seeds" in out
+        assert "2 cells: 0 cached, 2 dispatched, 0 failed" in out
+        assert "worker utilization" in out
+
+    def test_failed_cell_reported_and_nonzero_exit(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "E01", "--seeds", "1",
+            "--grid", "bogus_kwarg=1",
+        )
+        assert code == 1
+        assert "FAILED E01" in out
+        assert "TypeError" in out
+
+    def test_cache_dir_makes_second_run_incremental(self, capsys, tmp_path):
+        argv = ("sweep", "E01", "--seeds", "2", "--json",
+                "--grid", "n_consumers=40", "--grid", "rounds=8",
+                "--cache-dir", str(tmp_path))
+        code_first, out_first = run_cli(capsys, *argv)
+        code_second, out_second = run_cli(capsys, *argv)
+        assert code_first == code_second == 0
+        first = json.loads(out_first)
+        second = json.loads(out_second)
+        assert first["stats"]["cells_dispatched"] == 2
+        assert second["stats"]["cells_cached"] == 2
+        assert first["aggregate"] == second["aggregate"]
+
+    def test_jobs_flag_output_identical(self, capsys, tmp_path):
+        argv = ("sweep", "E01", "E10", "--seeds", "2", "--json",
+                "--grid", "rounds=6")
+        _, serial = run_cli(capsys, *argv, "--jobs", "1")
+        _, pooled = run_cli(capsys, *argv, "--jobs", "2")
+        assert serial == pooled
+
+    def test_seeds_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "E01", "--seeds", "0"])
