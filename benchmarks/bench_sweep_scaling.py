@@ -1,6 +1,6 @@
 """Sweep engine scaling benchmark: 1/2/4-worker wall time + parity.
 
-Runs the full 19-experiment x 5-seed matrix through
+Runs the full 21-experiment x 5-seed matrix through
 :class:`tussle.sweep.ProcessPoolExecutor` at 1, 2, and 4 workers,
 records each configuration's wall time via the sanctioned Profiler
 channel into ``benchmarks/results/bench_sweep_scaling.json``, and

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E01-E12) and print the full report.
+"""Regenerate every experiment table and print the full report.
 
-This is the one-shot reproduction driver: it runs all twelve experiment
-harnesses, prints each table, and summarizes which of the paper's
-qualitative claims held.
+This is the one-shot reproduction driver: it runs all 21 experiment
+harnesses (E01-E12, the L01-L02 population-scale tiers, X01-X07),
+prints each table, and summarizes which of the paper's qualitative
+claims held.
 
 Run:  python examples/run_all_experiments.py
 """

@@ -37,6 +37,7 @@ __all__ = [
     "AccessRegime",
     "Facility",
     "build_service_providers",
+    "access_market_spec",
     "build_access_market",
 ]
 
@@ -138,15 +139,20 @@ def build_service_providers(
     return providers, strategies
 
 
-def build_access_market(
+def access_market_spec(
     facilities: Sequence[Facility],
     regime: AccessRegime,
     n_consumers: int = 200,
     isps_per_open_facility: int = 4,
     switching_cost: float = 2.0,
     seed: int = 0,
-) -> Market:
-    """Assemble the full two-layer access market for one E03 cell."""
+) -> dict:
+    """Constructor kwargs for one E03 cell (fresh objects per call).
+
+    Both the scalar :class:`~tussle.econ.market.Market` and the
+    ``tussle.scale`` vector backend accept these kwargs; the parity
+    harness builds one of each from two calls to this function.
+    """
     providers, strategies = build_service_providers(
         facilities, regime, isps_per_open_facility=isps_per_open_facility
     )
@@ -161,5 +167,21 @@ def build_access_market(
         )
         for i in range(n_consumers)
     ]
-    return Market(providers=providers, consumers=consumers,
-                  strategies=strategies, preference_noise=2.0, seed=seed)
+    return dict(providers=providers, consumers=consumers,
+                strategies=strategies, preference_noise=2.0, seed=seed)
+
+
+def build_access_market(
+    facilities: Sequence[Facility],
+    regime: AccessRegime,
+    n_consumers: int = 200,
+    isps_per_open_facility: int = 4,
+    switching_cost: float = 2.0,
+    seed: int = 0,
+) -> Market:
+    """Assemble the full two-layer access market for one E03 cell."""
+    return Market(**access_market_spec(
+        facilities, regime, n_consumers=n_consumers,
+        isps_per_open_facility=isps_per_open_facility,
+        switching_cost=switching_cost, seed=seed,
+    ))

@@ -1,0 +1,102 @@
+"""The pure consumer decision rule shared by every market backend.
+
+:class:`~tussle.econ.market.Market` (the scalar reference) and
+:class:`~tussle.scale.vmarket.VectorMarket` (the NumPy backend) must make
+*identical* choices — the parity harness in :mod:`tussle.scale.parity`
+asserts their round records match bit for bit.  That is only tractable if
+the decision rule lives in one place, as pure functions of plain floats
+with a documented operation order.  The vectorized kernels in
+:mod:`tussle.scale.kernels` mirror these functions element-wise; any
+change here must be reflected there (and the parity gate will catch a
+mismatch).
+
+Contract notes (load-bearing for bit-parity):
+
+* Option order is ``[forgo, open-tier, tunnel]`` for a tiered provider
+  under a server-prohibition policy, ``[forgo, with-server]`` otherwise;
+  ties prefer the *earlier* option (``max`` keeps the first maximum), so
+  a consumer indifferent between tunnelling and paying the tier pays the
+  tier, and one indifferent between forgoing and acting forgoes.
+* Float expressions keep Python's left-to-right association:
+  ``(wtp + server_value) - price`` etc.  Reassociating them changes the
+  low bits and breaks parity.
+* Provider preference uses a strict ``> best + TIE_EPSILON`` update while
+  scanning providers in sorted-name order, so equal-surplus ties resolve
+  to the alphabetically-first provider and sub-epsilon improvements never
+  trigger a switch.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["TIE_EPSILON", "effective_offer", "amount_paid"]
+
+#: Surplus improvements at or below this never displace the current best
+#: provider (and therefore never justify a switch).  Shared by the scalar
+#: scan in ``Market._best_offer`` and the column scan in
+#: ``tussle.scale.kernels.best_provider``.
+TIE_EPSILON = 1e-12
+
+
+def effective_offer(
+    wtp: float,
+    values_server: bool,
+    server_value: float,
+    can_tunnel: bool,
+    tunnel_cost: float,
+    price: float,
+    business_price: float,
+    tiered: bool,
+    detects_tunnels: bool,
+    server_prohibited_without_tier: bool,
+) -> Tuple[float, bool]:
+    """Net per-round surplus at a provider and whether the consumer tunnels.
+
+    A server-running consumer weighs three postures: pay the business
+    tier (run openly), tunnel (basic rate, hassle cost, works unless the
+    provider detects tunnels), or forgo the server.
+    """
+    if not values_server:
+        return wtp - price, False
+    options = [(wtp - price, False)]  # forgo the server entirely
+    if tiered and server_prohibited_without_tier:
+        # Pay the business rate and run openly.
+        options.append((wtp + server_value - business_price, False))
+        # Tunnel around the restriction at the basic rate.
+        if can_tunnel and not detects_tunnels:
+            options.append((wtp + server_value - price - tunnel_cost, True))
+    else:
+        # Servers permitted at the basic rate.
+        options.append((wtp + server_value - price, False))
+    return max(options, key=lambda o: o[0])
+
+
+def amount_paid(
+    wtp: float,
+    values_server: bool,
+    server_value: float,
+    tunnels: bool,
+    price: float,
+    business_price: float,
+    tiered: bool,
+    server_prohibited_without_tier: bool,
+) -> float:
+    """What the consumer actually pays given their (visible) behaviour.
+
+    Openly running a server on a tiered provider means paying the tier;
+    if the surplus calculus picked "forgo", they pay basic.  The choice
+    is re-derived from the same expressions ``effective_offer`` uses, so
+    the two functions never disagree about which posture won.
+    """
+    if not values_server:
+        return price
+    if tunnels:
+        return price
+    if tiered and server_prohibited_without_tier:
+        open_surplus = wtp + server_value - business_price
+        forgo_surplus = wtp - price
+        if open_surplus >= forgo_surplus:
+            return business_price
+        return price
+    return price

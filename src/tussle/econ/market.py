@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import MarketError
 from ..obs.runtime import current as _obs_current
 from .agents import Consumer, Provider
+from .decision import TIE_EPSILON, amount_paid, effective_offer
 from .pricing import PricingStrategy
 
 __all__ = ["MarketRound", "Market"]
@@ -92,6 +93,12 @@ class Market:
                         -preference_noise, preference_noise
                     )
         self.history: List[MarketRound] = []
+        # Offers depend only on static consumer attributes and the
+        # provider's pricing signature, so each provider's per-consumer
+        # offer column is cached and recomputed only when its prices (or
+        # detection posture) actually change that round.
+        self._offer_cache: Dict[str, List[Tuple[float, bool]]] = {}
+        self._offer_signatures: Dict[str, Tuple] = {}
         ctx = _obs_current()
         self._trace = ctx.tracer if ctx.tracer.enabled else None
         if ctx.metrics.enabled:
@@ -112,11 +119,11 @@ class Market:
     # ------------------------------------------------------------------
     def _initial_assignment(self) -> None:
         """Round-0 free choice: everyone picks their best offer."""
-        for consumer in self.consumers:
+        for index, consumer in enumerate(self.consumers):
             if consumer.provider is not None:
                 self.providers[consumer.provider].subscribers.add(consumer.name)
                 continue
-            best, _ = self._best_offer(consumer, free_switch=True)
+            best, _, _, _ = self._best_offer(index, consumer, free_switch=True)
             if best is not None:
                 consumer.provider = best
                 self.providers[best].subscribers.add(consumer.name)
@@ -127,48 +134,73 @@ class Market:
     def _evaluate_offer(self, consumer: Consumer, provider: Provider) -> Tuple[float, bool]:
         """Net per-round surplus at ``provider`` and whether they'd tunnel.
 
-        A business consumer weighs three postures: pay the business tier
-        (run openly), tunnel (basic rate, hassle cost, works unless the
-        provider detects tunnels), or forgo the server.
+        Delegates to the pure decision rule in :mod:`tussle.econ.decision`
+        shared with the vectorized backend.
         """
-        if not consumer.values_server():
-            return consumer.wtp - provider.price, False
-        options: List[Tuple[float, bool]] = []
-        # Forgo the server entirely.
-        options.append((consumer.wtp - provider.price, False))
-        if provider.tiered and self.server_prohibited_without_tier:
-            # Pay the business rate and run openly.
-            options.append(
-                (consumer.wtp + consumer.server_value - provider.business_price, False)  # type: ignore[operator]
-            )
-            # Tunnel around the restriction at the basic rate.
-            if consumer.can_tunnel and not provider.detects_tunnels:
-                options.append(
-                    (consumer.wtp + consumer.server_value
-                     - provider.price - consumer.tunnel_cost, True)
-                )
-        else:
-            # Servers permitted at the basic rate.
-            options.append((consumer.wtp + consumer.server_value - provider.price, False))
-        best = max(options, key=lambda o: o[0])
-        return best
+        return effective_offer(
+            wtp=consumer.wtp,
+            values_server=consumer.values_server(),
+            server_value=consumer.server_value,
+            can_tunnel=consumer.can_tunnel,
+            tunnel_cost=consumer.tunnel_cost,
+            price=provider.price,
+            business_price=provider.business_price,  # type: ignore[arg-type]
+            tiered=provider.tiered,
+            detects_tunnels=provider.detects_tunnels,
+            server_prohibited_without_tier=self.server_prohibited_without_tier,
+        )
 
-    def _best_offer(self, consumer: Consumer, free_switch: bool = False
-                    ) -> Tuple[Optional[str], float]:
-        """Best provider for this consumer net of switching cost."""
+    @staticmethod
+    def _pricing_signature(provider: Provider) -> Tuple:
+        """Everything the offer depends on that can change between rounds."""
+        return (provider.price, provider.business_price,
+                provider.detects_tunnels)
+
+    def _provider_offers(self, name: str) -> List[Tuple[float, bool]]:
+        """Per-consumer offer column for one provider, cached.
+
+        Consumer attributes entering the offer (wtp, segment, tunnel
+        repertoire) are static, so the column stays valid until the
+        provider's pricing signature changes — providers whose price did
+        not move this round cost nothing to re-evaluate.
+        """
+        provider = self.providers[name]
+        signature = self._pricing_signature(provider)
+        if self._offer_signatures.get(name) != signature:
+            self._offer_cache[name] = [
+                self._evaluate_offer(consumer, provider)
+                for consumer in self.consumers
+            ]
+            self._offer_signatures[name] = signature
+        return self._offer_cache[name]
+
+    def _best_offer(self, index: int, consumer: Consumer,
+                    free_switch: bool = False
+                    ) -> Tuple[Optional[str], float, float, bool]:
+        """Best provider for this consumer net of switching cost.
+
+        Returns ``(name, net_surplus, raw_surplus, tunnels)`` where the
+        raw surplus/tunnel flag describe the chosen provider *before*
+        taste and switching-cost adjustments — exactly what the round
+        accounting needs, so the winning offer is never recomputed.
+        """
         current = consumer.provider
         best_name: Optional[str] = None
         best_surplus = float("-inf")
+        best_raw = 0.0
+        best_tunnels = False
         for name in sorted(self.providers):
-            provider = self.providers[name]
-            surplus, _ = self._evaluate_offer(consumer, provider)
+            raw, tunnels = self._provider_offers(name)[index]
+            surplus = raw
             surplus += self._taste.get((consumer.name, name), 0.0)
             if not free_switch and current is not None and name != current:
                 surplus -= consumer.switching_cost
-            if surplus > best_surplus + 1e-12:
+            if surplus > best_surplus + TIE_EPSILON:
                 best_surplus = surplus
                 best_name = name
-        return best_name, best_surplus
+                best_raw = raw
+                best_tunnels = tunnels
+        return best_name, best_surplus, best_raw, best_tunnels
 
     # ------------------------------------------------------------------
     # Rounds
@@ -196,8 +228,9 @@ class Market:
         total_surplus = 0.0
         revenue: Dict[str, float] = {name: 0.0 for name in self.providers}
         tunnelling = 0
-        for consumer in self.consumers:
-            best_name, _ = self._best_offer(consumer)
+        for consumer_index, consumer in enumerate(self.consumers):
+            best_name, _, surplus, tunnels = self._best_offer(
+                consumer_index, consumer)
             if best_name is None:
                 continue
             if consumer.provider != best_name:
@@ -210,7 +243,6 @@ class Market:
                 consumer.provider = best_name
                 self.providers[best_name].subscribers.add(consumer.name)
             provider = self.providers[consumer.provider]
-            surplus, tunnels = self._evaluate_offer(consumer, provider)
             consumer.tunnelling = tunnels
             if tunnels:
                 tunnelling += 1
@@ -260,20 +292,16 @@ class Market:
         return self.history
 
     def _amount_paid(self, consumer: Consumer, provider: Provider, tunnels: bool) -> float:
-        if not consumer.values_server():
-            return provider.price
-        if tunnels:
-            return provider.price
-        if provider.tiered and self.server_prohibited_without_tier:
-            # Openly running a server means paying the tier; if the surplus
-            # calculus picked "forgo", they pay basic. Re-derive the choice.
-            open_surplus = (consumer.wtp + consumer.server_value
-                            - provider.business_price)  # type: ignore[operator]
-            forgo_surplus = consumer.wtp - provider.price
-            if open_surplus >= forgo_surplus:
-                return provider.business_price  # type: ignore[return-value]
-            return provider.price
-        return provider.price
+        return amount_paid(
+            wtp=consumer.wtp,
+            values_server=consumer.values_server(),
+            server_value=consumer.server_value,
+            tunnels=tunnels,
+            price=provider.price,
+            business_price=provider.business_price,  # type: ignore[arg-type]
+            tiered=provider.tiered,
+            server_prohibited_without_tier=self.server_prohibited_without_tier,
+        )
 
     # ------------------------------------------------------------------
     # Measurements

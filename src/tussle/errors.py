@@ -90,3 +90,7 @@ class SweepError(TussleError):
 
 class ObservabilityError(TussleError):
     """A trace, metrics, or profiling operation was invalid."""
+
+
+class ScaleError(TussleError):
+    """A vectorized backend was misused or failed its parity contract."""

@@ -21,7 +21,7 @@ from ..econ.demand import Segment, UniformWtp
 from ..netsim.addressing import AddressingMode, AddressRegistry, RenumberingModel
 from .common import ExperimentResult, Table
 
-__all__ = ["run_e01", "LOCKIN_SCENARIOS"]
+__all__ = ["run_e01", "LOCKIN_SCENARIOS", "lockin_market_spec"]
 
 #: (label, addressing mode or None for provider-independent space)
 LOCKIN_SCENARIOS = [
@@ -32,8 +32,15 @@ LOCKIN_SCENARIOS = [
 ]
 
 
-def _market_with_switching_cost(switching_cost: float, n_consumers: int,
-                                rounds: int, seed: int) -> Market:
+def lockin_market_spec(switching_cost: float, n_consumers: int,
+                       seed: int) -> dict:
+    """Constructor kwargs for one E01 lock-in market cell.
+
+    Returns fresh provider/consumer objects on every call so the same
+    spec can build both the scalar :class:`~tussle.econ.market.Market`
+    and the vectorized ``tussle.scale`` backend (the parity harness
+    does exactly that).
+    """
     providers = [
         Provider(name="incumbent", price=45.0, unit_cost=5.0),
         Provider(name="rival-a", price=40.0, unit_cost=5.0),
@@ -56,8 +63,13 @@ def _market_with_switching_cost(switching_cost: float, n_consumers: int,
         )
         for i in range(n_consumers)
     ]
-    market = Market(providers=providers, consumers=consumers,
-                    strategies=strategies, seed=seed)
+    return dict(providers=providers, consumers=consumers,
+                strategies=strategies, seed=seed)
+
+
+def _market_with_switching_cost(switching_cost: float, n_consumers: int,
+                                rounds: int, seed: int) -> Market:
+    market = Market(**lockin_market_spec(switching_cost, n_consumers, seed))
     market.run(rounds)
     return market
 

@@ -29,11 +29,18 @@ from ..econ import (
 from ..econ.demand import Segment, UniformWtp
 from .common import ExperimentResult, Table
 
-__all__ = ["run_e02"]
+__all__ = ["run_e02", "value_pricing_market_spec"]
 
 
-def _build_market(n_providers: int, can_tunnel: bool, detects_tunnels: bool,
-                  n_consumers: int, seed: int) -> Market:
+def value_pricing_market_spec(n_providers: int, can_tunnel: bool,
+                              detects_tunnels: bool, n_consumers: int,
+                              seed: int) -> dict:
+    """Constructor kwargs for one E02 value-pricing cell.
+
+    Fresh objects per call, so the same spec can feed both the scalar
+    market and the ``tussle.scale`` vector backend (the parity harness
+    relies on this).
+    """
     providers = []
     strategies = {}
     for i in range(n_providers):
@@ -69,8 +76,14 @@ def _build_market(n_providers: int, can_tunnel: bool, detects_tunnels: bool,
                 segment=Segment.BASIC,
                 switching_cost=2.0,
             ))
-    return Market(providers=providers, consumers=consumers,
-                  strategies=strategies, seed=seed)
+    return dict(providers=providers, consumers=consumers,
+                strategies=strategies, seed=seed)
+
+
+def _build_market(n_providers: int, can_tunnel: bool, detects_tunnels: bool,
+                  n_consumers: int, seed: int) -> Market:
+    return Market(**value_pricing_market_spec(
+        n_providers, can_tunnel, detects_tunnels, n_consumers, seed))
 
 
 def run_e02(n_consumers: int = 150, rounds: int = 25, seed: int = 11) -> ExperimentResult:

@@ -25,10 +25,10 @@ from ..econ.accesstech import AccessRegime, Facility, build_access_market
 from ..errors import ExperimentError
 from .common import ExperimentResult, Table
 
-__all__ = ["run_e03"]
+__all__ = ["run_e03", "scenario_facilities"]
 
 
-def _scenario_facilities(kind: str) -> List[Facility]:
+def scenario_facilities(kind: str) -> List[Facility]:
     if kind == "dialup-era":
         # Many facility owners (the phone network was open to any ISP).
         return [Facility(f"pop{i}", wholesale_fee=6.0) for i in range(5)]
@@ -63,7 +63,7 @@ def run_e03(n_consumers: int = 200, rounds: int = 30, seed: int = 3) -> Experime
     rows: Dict[Tuple[str, AccessRegime], Dict[str, float]] = {}
     for scenario, regime in cells:
         market = build_access_market(
-            _scenario_facilities(scenario), regime,
+            scenario_facilities(scenario), regime,
             n_consumers=n_consumers, seed=seed,
         )
         market.run(rounds)

@@ -16,7 +16,8 @@ from .context import ModuleInfo, dotted_name, resolve_call_name
 from .findings import Finding, Rule, register_rule
 
 __all__ = ["check_module_determinism", "DETERMINISM_RULES",
-           "WALL_CLOCK_ALLOWLIST", "PARALLELISM_ALLOWLIST"]
+           "WALL_CLOCK_ALLOWLIST", "PARALLELISM_ALLOWLIST",
+           "VECTORIZED_KERNEL_PATHS"]
 
 D101 = register_rule(Rule(
     "D101", "global-random-call",
@@ -90,8 +91,20 @@ D110 = register_rule(Rule(
     "nondeterminism.",
 ))
 
+D111 = register_rule(Rule(
+    "D111", "population-loop-in-kernel",
+    "Python-level loop over an agent population inside a vectorized kernel "
+    "module",
+    "Kernel modules exist to keep population work in NumPy: a Python "
+    "for-loop (or comprehension) over consumers/agents reintroduces the "
+    "O(N) interpreter cost the scale subsystem was built to remove, and it "
+    "does so silently — the code still passes parity, just 100x slower. "
+    "Loop over the handful of provider columns if you must; per-agent "
+    "logic belongs in an array expression.",
+))
+
 DETERMINISM_RULES = (D101, D102, D103, D104, D105, D106, D107, D108, D109,
-                     D110)
+                     D110, D111)
 
 #: Modules (path suffixes, ``/``-separated) sanctioned to read the host
 #: clock. The profiler is the only entry: it quarantines wall-clock values
@@ -102,6 +115,16 @@ WALL_CLOCK_ALLOWLIST = ("tussle/obs/profiler.py",)
 #: executors are the only entry: they isolate per-cell RNG state and feed
 #: the scheduler's deterministic merge, so D110 does not apply inside them.
 PARALLELISM_ALLOWLIST = ("tussle/sweep/executors.py",)
+
+#: Modules held to the vectorized-kernel discipline: D111 flags Python
+#: loops over agent populations inside these files (provider-column loops
+#: are fine; per-consumer loops are not).
+VECTORIZED_KERNEL_PATHS = ("tussle/scale/kernels.py",)
+
+#: Identifier fragments that mark an iterable as an agent population.
+#: Matching is case-insensitive over every Name/Attribute/argument
+#: identifier inside the loop's iterable expression.
+_POPULATION_TOKENS = ("consumer", "agent", "population")
 
 #: Module-level functions of ``random`` that mutate/read the global RNG.
 _STATEFUL_RANDOM_FNS = {
@@ -175,6 +198,9 @@ class _DeterminismVisitor(ast.NodeVisitor):
         )
         self._parallelism_exempt = any(
             posix_path.endswith(suffix) for suffix in PARALLELISM_ALLOWLIST
+        )
+        self._kernel_module = any(
+            posix_path.endswith(suffix) for suffix in VECTORIZED_KERNEL_PATHS
         )
 
     # -- helpers -------------------------------------------------------
@@ -296,12 +322,44 @@ class _DeterminismVisitor(ast.NodeVisitor):
                       "environment; pass configuration explicitly")
         self.generic_visit(node)
 
+    # -- population loops in kernels (D111) ----------------------------
+    def _population_reference(self, expr: ast.expr) -> Optional[str]:
+        """First identifier in ``expr`` that names an agent population."""
+        for sub in ast.walk(expr):
+            names = []
+            if isinstance(sub, ast.Name):
+                names.append(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.append(sub.attr)
+            elif isinstance(sub, ast.arg):
+                names.append(sub.arg)
+            for name in names:
+                lowered = name.lower()
+                if any(token in lowered for token in _POPULATION_TOKENS):
+                    return name
+        return None
+
+    def _check_kernel_loop(self, iterable: ast.expr, construct: str) -> None:
+        if not self._kernel_module:
+            return
+        offender = self._population_reference(iterable)
+        if offender is not None:
+            self._add(D111, iterable,
+                      f"{construct} iterates the agent population "
+                      f"(`{offender}`) in Python; kernel modules must keep "
+                      "population work in NumPy array expressions")
+
     # -- iteration over sets (D106) ------------------------------------
     def visit_For(self, node: ast.For) -> None:
         if _is_set_expr(node.iter):
             self._add(D106, node.iter,
                       "for-loop iterates a set in hash order; wrap it in "
                       "sorted(...)")
+        self._check_kernel_loop(node.iter, "for-loop")
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_kernel_loop(node.test, "while-loop")
         self.generic_visit(node)
 
     def _check_comprehension(self, node) -> None:
@@ -310,6 +368,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 self._add(D106, generator.iter,
                           "comprehension iterates a set in hash order; wrap "
                           "it in sorted(...)")
+            self._check_kernel_loop(generator.iter, "comprehension")
 
     def visit_ListComp(self, node: ast.ListComp) -> None:
         self._check_comprehension(node)

@@ -1,0 +1,28 @@
+"""``tussle.scale`` — vectorized population kernels for large markets.
+
+The scalar :class:`~tussle.econ.market.Market` is the readable
+reference; this package is the fast backend.  Consumer populations live
+in NumPy structure-of-arrays (:mod:`~tussle.scale.arrays`), each market
+round runs as whole-population kernels (:mod:`~tussle.scale.kernels`),
+and :class:`~tussle.scale.vmarket.VectorMarket` wraps them behind the
+scalar market's interface.  The two backends are held bit-for-bit equal
+by the parity harness (:mod:`~tussle.scale.parity`, also
+``python -m tussle.scale parity``).  :mod:`~tussle.scale.large` builds
+10^4–10^6-consumer scenarios and the L01/L02 at-scale experiments on
+top.
+"""
+
+from .arrays import ConsumerBatch, MarketArrays
+from .parity import ParityCase, ParityReport, parity_cases, run_parity, verify_case
+from .vmarket import VectorMarket
+
+__all__ = [
+    "ConsumerBatch",
+    "MarketArrays",
+    "VectorMarket",
+    "ParityCase",
+    "ParityReport",
+    "parity_cases",
+    "run_parity",
+    "verify_case",
+]

@@ -1,0 +1,69 @@
+"""CLI for the scale subsystem: ``python -m tussle.scale parity``.
+
+Runs the scalar-vs-vector parity harness over the E01/E02/E03
+configurations and exits non-zero on any mismatch, so CI can use it as
+a gate.  ``--json`` emits machine-readable reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .parity import PARITY_SEEDS, run_parity
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tussle.scale",
+        description="Vectorized market backend tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    parity = sub.add_parser(
+        "parity",
+        help="verify VectorMarket reproduces scalar MarketRound records",
+    )
+    parity.add_argument(
+        "--seeds", type=int, nargs="+", default=list(PARITY_SEEDS),
+        help=f"seeds to check each configuration under "
+             f"(default: {' '.join(map(str, PARITY_SEEDS))})",
+    )
+    parity.add_argument("--json", action="store_true",
+                        help="emit one JSON object per report")
+    args = parser.parse_args(argv)
+
+    reports = run_parity(seeds=args.seeds)
+    failures = [r for r in reports if not r.ok]
+    if args.json:
+        payload = [
+            {
+                "label": r.label,
+                "seed": r.seed,
+                "rounds": r.rounds,
+                "n_consumers": r.n_consumers,
+                "ok": r.ok,
+                "mismatches": r.mismatches,
+            }
+            for r in reports
+        ]
+        print(json.dumps(
+            {"seeds": args.seeds, "reports": payload, "ok": not failures},
+            indent=2))
+    else:
+        for report in reports:
+            status = "ok" if report.ok else "FAIL"
+            print(f"[{status}] {report.label} seed={report.seed} "
+                  f"rounds={report.rounds} n={report.n_consumers}")
+            for line in report.mismatches:
+                print(f"       {line}")
+        print(f"parity: {len(reports) - len(failures)}/{len(reports)} "
+              f"report(s) clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

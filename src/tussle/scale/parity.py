@@ -1,0 +1,201 @@
+"""Scalar-vs-vector parity harness.
+
+The whole ``tussle.scale`` contract is: swapping
+:class:`~tussle.econ.market.Market` for
+:class:`~tussle.scale.vmarket.VectorMarket` changes *nothing* but wall
+time.  This module enforces it: every parity case builds one market of
+each backend from two calls to the same experiment spec function
+(identical seeds, fresh objects), runs both for the experiment's round
+count, and compares
+
+* every :class:`~tussle.econ.market.MarketRound` field of every round
+  (prices, switches, surplus, profit, tunnelling, per-provider shares),
+* the final per-consumer state (provider, accumulated surplus, switch
+  count, tunnelling posture).
+
+Cases are the *actual* E01/E02/E03 cell configurations — the lock-in
+sweep's addressing-derived switching costs, all five value-pricing
+cells, all six broadband structure x regime cells — each across several
+seeds.  Exposed as ``python -m tussle.scale parity`` and as a blocking
+test in ``tests/scale/test_parity.py``.
+
+Float fields are compared with ``==`` (no tolerance): the backends are
+built to agree bit for bit, and any drift is a bug in a kernel, not
+noise to paper over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..econ.accesstech import AccessRegime, access_market_spec
+from ..econ.market import Market, MarketRound
+from ..experiments.e01_lockin import LOCKIN_SCENARIOS, lockin_market_spec
+from ..experiments.e02_value_pricing import value_pricing_market_spec
+from ..experiments.e03_broadband import scenario_facilities
+from ..netsim.addressing import AddressingMode, RenumberingModel
+from .vmarket import VectorMarket
+
+__all__ = [
+    "ParityCase",
+    "ParityReport",
+    "PARITY_SEEDS",
+    "parity_cases",
+    "verify_case",
+    "run_parity",
+]
+
+#: Seeds every case is checked under (>= 5 per the acceptance contract).
+PARITY_SEEDS = (7, 11, 3, 23, 101)
+
+#: Mismatches reported per case before truncating — one is already fatal.
+_MAX_MISMATCHES = 8
+
+_ROUND_FIELDS = ("index", "mean_price", "switches", "consumer_surplus",
+                 "provider_profit", "tunnelling_consumers", "shares")
+
+
+@dataclass
+class ParityCase:
+    """One experiment configuration to parity-check.
+
+    ``spec`` maps a seed to fresh ``Market``/``VectorMarket`` kwargs.
+    """
+
+    label: str
+    rounds: int
+    spec: Callable[[int], Dict[str, object]]
+
+
+@dataclass
+class ParityReport:
+    """Outcome of one (case, seed) comparison."""
+
+    label: str
+    seed: int
+    rounds: int
+    n_consumers: int
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def parity_cases() -> List[ParityCase]:
+    """The E01/E02/E03 cell configurations at their experiment defaults."""
+    cases: List[ParityCase] = []
+
+    model = RenumberingModel()
+    for label, mode in LOCKIN_SCENARIOS:
+        provider_independent = mode is None
+        cost = model.switching_cost(
+            20, mode or AddressingMode.STATIC,
+            provider_independent=provider_independent,
+        )
+        cases.append(ParityCase(
+            label=f"e01-{label}",
+            rounds=30,
+            spec=partial(lockin_market_spec, cost, 120),
+        ))
+
+    for label, n_providers, can_tunnel, detects in (
+        ("monopoly", 1, False, False),
+        ("monopoly+tunnels", 1, True, False),
+        ("competitive", 4, False, False),
+        ("competitive+tunnels", 4, True, False),
+        ("monopoly+dpi", 1, True, True),
+    ):
+        cases.append(ParityCase(
+            label=f"e02-{label}",
+            rounds=25,
+            spec=partial(value_pricing_market_spec, n_providers,
+                         can_tunnel, detects, 150),
+        ))
+
+    for scenario, regime in (
+        ("dialup-era", AccessRegime.OPEN_NATURAL_BOUNDARY),
+        ("duopoly", AccessRegime.CLOSED),
+        ("duopoly", AccessRegime.OPEN_WRONG_BOUNDARY),
+        ("duopoly", AccessRegime.OPEN_NATURAL_BOUNDARY),
+        ("duopoly+muni-fiber", AccessRegime.CLOSED),
+        ("duopoly+muni-fiber", AccessRegime.OPEN_NATURAL_BOUNDARY),
+    ):
+        cases.append(ParityCase(
+            label=f"e03-{scenario}-{regime.value}",
+            rounds=30,
+            spec=_access_spec_builder(scenario, regime),
+        ))
+    return cases
+
+
+def _access_spec_builder(scenario: str, regime: AccessRegime
+                         ) -> Callable[[int], Dict[str, object]]:
+    def build(seed: int) -> Dict[str, object]:
+        return access_market_spec(
+            scenario_facilities(scenario), regime, n_consumers=200, seed=seed)
+    return build
+
+
+def _compare_round(scalar: MarketRound, vector: MarketRound) -> List[str]:
+    mismatches = []
+    for name in _ROUND_FIELDS:
+        scalar_value = getattr(scalar, name)
+        vector_value = getattr(vector, name)
+        if scalar_value != vector_value:
+            mismatches.append(
+                f"round {scalar.index}: {name} scalar={scalar_value!r} "
+                f"vector={vector_value!r}")
+    return mismatches
+
+
+def verify_case(case: ParityCase, seed: int) -> ParityReport:
+    """Run both backends from one spec and compare everything."""
+    scalar = Market(**case.spec(seed))
+    vector = VectorMarket(**case.spec(seed))
+    scalar.run(case.rounds)
+    vector.run(case.rounds)
+
+    report = ParityReport(label=case.label, seed=seed, rounds=case.rounds,
+                          n_consumers=len(scalar.consumers))
+    mismatches = report.mismatches
+    if len(scalar.history) != len(vector.history):
+        mismatches.append(
+            f"history length scalar={len(scalar.history)} "
+            f"vector={len(vector.history)}")
+        return report
+    for scalar_round, vector_round in zip(scalar.history, vector.history):
+        mismatches.extend(_compare_round(scalar_round, vector_round))
+        if len(mismatches) >= _MAX_MISMATCHES:
+            return report
+
+    arrays = vector.arrays
+    for i, consumer in enumerate(scalar.consumers):
+        state = {
+            "provider": (consumer.provider, arrays.provider_of(i)),
+            "surplus": (consumer.surplus, float(arrays.surplus[i])),
+            "switches": (consumer.switches, int(arrays.switches[i])),
+            "tunnelling": (consumer.tunnelling, bool(arrays.tunnelling[i])),
+        }
+        for name, (scalar_value, vector_value) in state.items():
+            if scalar_value != vector_value:
+                mismatches.append(
+                    f"consumer {i}: {name} scalar={scalar_value!r} "
+                    f"vector={vector_value!r}")
+        if len(mismatches) >= _MAX_MISMATCHES:
+            return report
+    return report
+
+
+def run_parity(
+    cases: Optional[Sequence[ParityCase]] = None,
+    seeds: Sequence[int] = PARITY_SEEDS,
+) -> List[ParityReport]:
+    """Verify every case under every seed; returns one report per pair."""
+    reports = []
+    for case in (parity_cases() if cases is None else cases):
+        for seed in seeds:
+            reports.append(verify_case(case, seed))
+    return reports

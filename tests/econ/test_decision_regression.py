@@ -1,0 +1,43 @@
+"""Pinned outputs for the experiments the decision extraction touched.
+
+PR 4 moved the consumer choice rule out of ``Market.step`` into the pure
+functions in :mod:`tussle.econ.decision` so the vector backend could
+share it.  These hashes pin the full deterministic fingerprint (tables +
+shape checks) of E01-E03 to the pre-refactor values: any change to the
+decision rule, the RNG streams, or the market loop that moves a single
+bit of output fails here.
+
+If a *deliberate* model change invalidates a hash, recompute it with::
+
+    PYTHONPATH=src python - <<'PY'
+    import hashlib
+    from tussle.lint.seedcheck import fingerprint
+    from tussle.experiments import ALL_EXPERIMENTS
+    for eid in ("E01", "E02", "E03"):
+        fp = fingerprint(ALL_EXPERIMENTS[eid]())
+        print(eid, hashlib.sha256(repr(fp).encode()).hexdigest())
+    PY
+"""
+
+import hashlib
+
+import pytest
+
+from tussle.experiments import ALL_EXPERIMENTS
+from tussle.lint.seedcheck import fingerprint
+
+PINNED = {
+    "E01": "1888c685c7cc8f419e3bc62b562cdb3271e04ca5f4f97b26e6c22b2b9ae31942",
+    "E02": "7870bc5105941ca0b0be4248dc5bb4209ecc835a3eacac7bc22c9f31b143d4e4",
+    "E03": "ea28654d5e1eb204bde2f0872d07cb666fc954fc09ad7ed34c80555e06b5443c",
+}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(PINNED))
+def test_experiment_output_is_bit_stable(experiment_id):
+    result = ALL_EXPERIMENTS[experiment_id]()
+    digest = hashlib.sha256(
+        repr(fingerprint(result)).encode()).hexdigest()
+    assert digest == PINNED[experiment_id], (
+        f"{experiment_id} output drifted; if intentional, recompute the "
+        f"pinned hash (see module docstring)")

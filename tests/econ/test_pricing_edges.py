@@ -1,0 +1,123 @@
+"""Edge cases for pricing strategies and the consumer decision contract.
+
+Companion to ``test_pricing.py``: zero-consumer markets, floor/cap
+clamping under extreme inputs, and the equal-surplus tie contract the
+vector backend depends on.
+"""
+
+import pytest
+
+from tussle.econ.agents import Consumer, Provider
+from tussle.econ.decision import TIE_EPSILON
+from tussle.econ.market import Market
+from tussle.econ.pricing import (
+    MonopolyPricing,
+    UndercutPricing,
+    ValuePricingStrategy,
+)
+from tussle.errors import MarketError
+
+
+def provider(name="p", price=30.0, unit_cost=5.0, business_price=None):
+    return Provider(name=name, price=price, unit_cost=unit_cost,
+                    business_price=business_price)
+
+
+class TestZeroConsumers:
+    def test_market_share_with_no_consumers_is_zero(self):
+        p = provider()
+        assert p.market_share(0) == 0.0
+        assert p.market_share(-1) == 0.0
+
+    def test_empty_market_runs_and_reports_zeroes(self):
+        market = Market(providers=[provider()], consumers=[])
+        record = market.step()
+        assert record.switches == 0
+        assert record.consumer_surplus == 0.0
+        assert record.shares == {"p": 0.0}
+        assert market.subscribed_fraction() == 0.0
+        assert market.total_consumer_surplus() == 0.0
+
+    def test_monopoly_decays_when_everyone_has_left(self):
+        """Zero subscribers means share 0 < share_floor: price retreats."""
+        p = provider(price=30.0, unit_cost=5.0)
+        MonopolyPricing(creep=2.0).adjust(p, {"p": 30.0}, own_share=0.0)
+        assert p.price == 28.0
+
+    def test_monopoly_decay_bottoms_out_at_unit_cost(self):
+        p = provider(price=5.5, unit_cost=5.0)
+        strategy = MonopolyPricing(creep=2.0)
+        strategy.adjust(p, {"p": 5.5}, own_share=0.0)
+        assert p.price == 5.0
+        strategy.adjust(p, {"p": 5.0}, own_share=0.0)
+        assert p.price == 5.0
+
+
+class TestFloorAndCapClamping:
+    def test_undercut_floor_binds_against_deep_discounter(self):
+        p = provider(price=30.0, unit_cost=5.0)
+        UndercutPricing(margin_floor=0.5).adjust(
+            p, {"p": 30.0, "rival": 1.0}, own_share=0.5)
+        assert p.price == 5.5
+
+    def test_undercut_keeps_business_tier_at_least_basic(self):
+        p = provider(price=30.0, unit_cost=5.0, business_price=35.0)
+        UndercutPricing().adjust(
+            p, {"p": 30.0, "rival": 50.0}, own_share=0.5)
+        assert p.price == 49.0
+        assert p.business_price == 49.0
+
+    def test_monopoly_cap_binds(self):
+        p = provider(price=199.5, unit_cost=5.0)
+        MonopolyPricing(creep=2.0, price_cap=200.0).adjust(
+            p, {"p": 199.5}, own_share=1.0)
+        assert p.price == 200.0
+
+    def test_monopoly_lifts_business_tier_with_basic(self):
+        p = provider(price=100.0, unit_cost=5.0, business_price=100.5)
+        MonopolyPricing(creep=2.0).adjust(p, {"p": 100.0}, own_share=1.0)
+        assert p.price == 102.0
+        assert p.business_price == 102.0
+
+    def test_value_pricing_multiple_of_one_collapses_tier_to_basic(self):
+        p = provider(price=30.0)
+        ValuePricingStrategy(tier_multiple=1.0).adjust(
+            p, {"p": 30.0}, own_share=1.0)
+        assert p.business_price == 30.0
+
+    def test_value_pricing_rejects_sub_unit_multiple(self):
+        with pytest.raises(MarketError):
+            ValuePricingStrategy(tier_multiple=0.99)
+
+
+class TestEqualSurplusTies:
+    def test_identical_providers_tie_to_alphabetically_first(self):
+        market = Market(
+            providers=[provider("zeta", price=10.0),
+                       provider("alpha", price=10.0)],
+            consumers=[Consumer(name="c0", wtp=50.0)],
+        )
+        market.step()
+        assert market.consumers[0].provider == "alpha"
+
+    def test_sub_epsilon_improvement_never_triggers_a_switch(self):
+        market = Market(
+            providers=[provider("alpha", price=10.0),
+                       provider("beta", price=10.0 - TIE_EPSILON / 2)],
+            consumers=[Consumer(name="c0", wtp=50.0, provider="alpha",
+                                switching_cost=0.0)],
+        )
+        market.run(3)
+        assert market.consumers[0].provider == "alpha"
+        assert market.total_switches() == 0
+
+    def test_meaningful_improvement_does_trigger_a_switch(self):
+        market = Market(
+            providers=[provider("alpha", price=10.0),
+                       provider("beta", price=9.0)],
+            consumers=[Consumer(name="c0", wtp=50.0, provider="alpha",
+                                switching_cost=0.0)],
+        )
+        market.step()
+        assert market.consumers[0].provider == "beta"
+        assert market.total_switches() == 1

@@ -49,7 +49,11 @@ def test_format_renders(results, experiment_id):
 
 
 def test_experiment_registry_complete():
-    expected = [f"E{i:02d}" for i in range(1, 13)] + ["X01", "X02", "X03", "X04", "X05", "X06", "X07"]
+    expected = (
+        [f"E{i:02d}" for i in range(1, 13)]
+        + ["L01", "L02"]
+        + ["X01", "X02", "X03", "X04", "X05", "X06", "X07"]
+    )
     assert sorted(ALL_EXPERIMENTS) == expected
 
 

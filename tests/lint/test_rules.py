@@ -201,6 +201,63 @@ class TestD110ParallelismOutsideExecutor:
         assert "D110" not in rule_ids_found(report)
 
 
+class TestD111PopulationLoopInKernel:
+    KERNEL = "tussle/scale/kernels.py"
+
+    def test_fires_on_loop_over_consumers(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def kernel(consumers):
+                total = 0.0
+                for consumer in consumers:
+                    total += consumer.wtp
+                return total
+        """, filename=self.KERNEL)
+        assert "D111" in rule_ids_found(report)
+
+    def test_fires_on_range_over_population_count(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def kernel(n_consumers):
+                return [i * 2 for i in range(n_consumers)]
+        """, filename=self.KERNEL)
+        assert "D111" in rule_ids_found(report)
+
+    def test_fires_on_attribute_population(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def kernel(arrays):
+                out = []
+                for row in arrays.agents:
+                    out.append(row)
+                return out
+        """, filename=self.KERNEL)
+        assert "D111" in rule_ids_found(report)
+
+    def test_quiet_on_provider_column_loop(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def kernel(offer_columns):
+                best = None
+                for j in range(len(offer_columns)):
+                    best = offer_columns[j]
+                return best
+        """, filename=self.KERNEL)
+        assert "D111" not in rule_ids_found(report)
+
+    def test_quiet_outside_kernel_modules(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def builder(consumers):
+                return [c.wtp for c in consumers]
+        """, filename="tussle/scale/large.py")
+        assert "D111" not in rule_ids_found(report)
+
+    def test_the_real_kernels_module_is_loop_free(self):
+        from pathlib import Path
+
+        import tussle.scale.kernels as kernels_module
+        from tussle.lint import run_lint
+
+        report = run_lint([Path(kernels_module.__file__)])
+        assert "D111" not in rule_ids_found(report)
+
+
 class TestD105Environ:
     def test_fires_on_environ_and_getenv(self, tmp_path):
         report = lint_source(tmp_path, """

@@ -1,0 +1,84 @@
+"""Large-N builders and the L01/L02 experiments at their default tier."""
+
+import numpy as np
+
+from tussle.econ.market import Market
+from tussle.experiments import ALL_EXPERIMENTS
+from tussle.experiments.e01_lockin import lockin_market_spec
+from tussle.experiments.e02_value_pricing import value_pricing_market_spec
+from tussle.scale.large import (
+    DEFAULT_TIERS,
+    lockin_batch,
+    lockin_market_at_scale,
+    run_l01,
+    run_l02,
+    value_pricing_batch,
+    value_pricing_market_at_scale,
+)
+
+
+class TestBuilders:
+    def test_lockin_batch_matches_scalar_spec_population(self):
+        """At matching N the batch replays the E01 spec's RNG stream."""
+        n = 40
+        batch = lockin_batch(3.0, n, seed=13)
+        scalar = Market(**lockin_market_spec(3.0, n, seed=13))
+        consumers = scalar.consumers
+        assert len(consumers) == n
+        np.testing.assert_array_equal(
+            batch.wtp, [c.wtp for c in consumers])
+        assert batch.initial_provider == "incumbent"
+        assert float(batch.switching_cost[0]) == 3.0
+
+    def test_value_pricing_batch_matches_scalar_spec_population(self):
+        n = 45
+        batch = value_pricing_batch(n, can_tunnel=True, seed=17)
+        scalar = Market(
+            **value_pricing_market_spec(2, True, False, n, seed=17))
+        consumers = scalar.consumers
+        np.testing.assert_array_equal(
+            batch.wtp, [c.wtp for c in consumers])
+        np.testing.assert_array_equal(
+            batch.values_server, [c.values_server() for c in consumers])
+        np.testing.assert_array_equal(
+            batch.can_tunnel, [c.can_tunnel for c in consumers])
+
+    def test_market_builders_wire_strategies(self):
+        market = lockin_market_at_scale(2.0, 100, seed=3)
+        assert set(market.providers) == {"incumbent", "rival-a", "rival-b"}
+        assert "incumbent" in market.strategies
+        market = value_pricing_market_at_scale(
+            2, can_tunnel=True, detects_tunnels=False,
+            n_consumers=100, seed=3)
+        assert set(market.providers) == {"isp0", "isp1"}
+
+
+class TestL01:
+    def test_default_tier_claim_holds(self):
+        result = run_l01()
+        assert result.shape_holds
+        assert all(c.holds for c in result.checks)
+        table = result.tables[0]
+        assert set(table.column("n")) == set(DEFAULT_TIERS)
+        # One row per addressing scenario per tier.
+        assert len(table.rows) == 4 * len(DEFAULT_TIERS)
+
+    def test_registered_in_catalog(self):
+        assert ALL_EXPERIMENTS["L01"] is run_l01
+        assert ALL_EXPERIMENTS["L02"] is run_l02
+
+
+class TestL02:
+    def test_default_tier_claim_holds(self):
+        result = run_l02()
+        assert result.shape_holds
+        assert all(c.holds for c in result.checks)
+        table = result.tables[0]
+        assert set(table.column("n")) == set(DEFAULT_TIERS)
+        assert len(table.rows) == 5 * len(DEFAULT_TIERS)
+
+    def test_seed_changes_numbers_not_shape(self):
+        a = run_l02(seed=11)
+        b = run_l02(seed=12)
+        assert a.shape_holds and b.shape_holds
+        assert a.tables[0].column("market") == b.tables[0].column("market")

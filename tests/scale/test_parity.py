@@ -1,0 +1,59 @@
+"""Blocking scalar-vs-vector parity gate.
+
+Every experiment-derived market configuration must produce *identical*
+round records and final per-consumer state from ``Market`` and
+``VectorMarket`` — across all parity seeds.  A single mismatch here
+means the vector backend has diverged and L01/L02 results can no longer
+be trusted as restatements of E01/E02.
+"""
+
+import pytest
+
+from tussle.scale import __main__ as scale_cli
+from tussle.scale.parity import (
+    PARITY_SEEDS,
+    parity_cases,
+    run_parity,
+    verify_case,
+)
+
+
+def test_case_catalog_covers_e01_e02_e03():
+    labels = [case.label for case in parity_cases()]
+    assert len(labels) == len(set(labels))
+    assert sum(label.startswith("e01") for label in labels) == 4
+    assert sum(label.startswith("e02") for label in labels) == 5
+    assert sum(label.startswith("e03") for label in labels) == 6
+
+
+def test_parity_holds_across_all_cases_and_seeds():
+    reports = run_parity()
+    assert len(reports) == len(parity_cases()) * len(PARITY_SEEDS)
+    failures = [r for r in reports if not r.ok]
+    assert not failures, "\n".join(
+        f"{r.label} seed={r.seed}: {r.mismatches[:2]}" for r in failures)
+
+
+def test_verify_case_reports_rounds_and_population():
+    case = parity_cases()[0]
+    report = verify_case(case, seed=PARITY_SEEDS[0])
+    assert report.ok
+    assert report.rounds == case.rounds
+    assert report.n_consumers > 0
+
+
+class TestCli:
+    def test_parity_subcommand_exits_clean(self, capsys):
+        assert scale_cli.main(["parity", "--seeds", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out
+        assert "report(s) clean" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert scale_cli.main(["parity", "--seeds", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["seeds"] == [7]
+        assert all(r["ok"] for r in payload["reports"])
