@@ -1,0 +1,14 @@
+"""Benchmark: fault-blame routing under chaos (paper §VI-A).
+
+Regenerates the structural link-failure table and the seeded chaos
+probe sweep; written to benchmarks/results/ with the blame-routing
+shape asserted.
+"""
+
+from tussle.experiments import run_r01
+
+from conftest import run_and_record
+
+
+def test_r01_fault_blame(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_r01)

@@ -1,0 +1,13 @@
+"""Benchmark: retry/breaker recovery across fault regimes (paper §VI-A).
+
+Regenerates the regime x strategy recovery matrix; written to
+benchmarks/results/ with the retry-contract shape asserted.
+"""
+
+from tussle.experiments import run_r02
+
+from conftest import run_and_record
+
+
+def test_r02_retry_recovery(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, run_r02)

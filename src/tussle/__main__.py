@@ -97,6 +97,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache completed cells under PATH for incremental re-runs",
     )
     sweep_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout; enables the crash-safe "
+             "resilient executor",
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retries per cell on worker death/timeout (default 3; "
+             "enables the resilient executor)",
+    )
+    sweep_parser.add_argument(
+        "--chaos-workers", type=float, default=None, metavar="FRACTION",
+        help="sabotage this fraction of first attempts (crash or hang) "
+             "to exercise recovery; enables the resilient executor",
+    )
+    sweep_parser.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed for the deterministic worker-chaos plan (default 0)",
+    )
+    sweep_parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit the aggregated robustness document as JSON",
     )
@@ -190,10 +209,15 @@ def _parse_grid(entries: Sequence[str]) -> dict:
 def _command_sweep(ids: Sequence[str], seeds: int, jobs: int,
                    grid_entries: Sequence[str],
                    cache_dir: Optional[str] = None,
+                   timeout: Optional[float] = None,
+                   retries: Optional[int] = None,
+                   chaos_workers: Optional[float] = None,
+                   chaos_seed: int = 0,
                    as_json: bool = False) -> int:
     from .obs import Profiler
-    from .sweep import (InProcessExecutor, ProcessPoolExecutor, ResultCache,
-                        SweepSpec, aggregate, run_sweep)
+    from .sweep import (InProcessExecutor, ProcessPoolExecutor,
+                        ResilientExecutor, ResultCache, SweepSpec, aggregate,
+                        run_sweep)
 
     if seeds < 1:
         raise SystemExit("--seeds must be >= 1")
@@ -202,8 +226,21 @@ def _command_sweep(ids: Sequence[str], seeds: int, jobs: int,
         seeds=list(range(seeds)),
         grid=_parse_grid(grid_entries),
     )
-    executor = (ProcessPoolExecutor(jobs) if jobs > 1
-                else InProcessExecutor())
+    resilient = (timeout is not None or retries is not None
+                 or chaos_workers is not None)
+    if resilient:
+        from .resil import WorkerChaos
+        chaos = (WorkerChaos(seed=chaos_seed, fraction=chaos_workers)
+                 if chaos_workers else None)
+        executor: object = ResilientExecutor(
+            jobs=jobs,
+            timeout=timeout if timeout is not None else 30.0,
+            retries=retries if retries is not None else 3,
+            chaos=chaos,
+        )
+    else:
+        executor = (ProcessPoolExecutor(jobs) if jobs > 1
+                    else InProcessExecutor())
     cache = ResultCache(cache_dir) if cache_dir else None
     metrics = Metrics()
     profiler = Profiler()
@@ -222,14 +259,23 @@ def _command_sweep(ids: Sequence[str], seeds: int, jobs: int,
             print(verdict)
         for cell in report.failed:
             error = cell["error"] or {}
+            detail = (", ".join(error.get("reasons", []))
+                      if cell["status"] == "failed"
+                      else error.get("message"))
             print(f"FAILED {cell['experiment_id']} seed={cell['base_seed']} "
-                  f"params={cell['params']}: {error.get('type')}: "
-                  f"{error.get('message')}")
+                  f"params={cell['params']}: {error.get('type')}: {detail}")
         stats = report.stats
         print(f"{stats['cells_total']} cells: "
               f"{stats['cells_cached']} cached, "
               f"{stats['cells_dispatched']} dispatched, "
               f"{stats['cells_failed']} failed")
+        if report.recovery:
+            recovery = report.recovery
+            print(f"recovery: {recovery['retries']} retries "
+                  f"({recovery['worker_deaths']} worker deaths, "
+                  f"{recovery['timeouts']} timeouts), "
+                  f"{recovery['recovered_cells']} cells recovered, "
+                  f"{recovery['failed_cells']} cells abandoned")
         utilization = profiler.snapshot()
         workers = [k for k in utilization if k.startswith("worker.")]
         if workers:
@@ -268,6 +314,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_sweep(arguments.experiments, seeds=arguments.seeds,
                               jobs=arguments.jobs, grid_entries=arguments.grid,
                               cache_dir=arguments.cache_dir,
+                              timeout=arguments.timeout,
+                              retries=arguments.retries,
+                              chaos_workers=arguments.chaos_workers,
+                              chaos_seed=arguments.chaos_seed,
                               as_json=arguments.as_json)
     parser.print_help()
     return 0

@@ -1,0 +1,33 @@
+"""Canonical JSON: the package's one bit-stable serialisation.
+
+Lives at the package root with no dependencies beyond :mod:`tussle.errors`
+so that leaf subsystems (``resil``, ``sweep``, ``experiments``) can all
+share the same bytes without importing each other.
+:mod:`tussle.experiments.common` re-exports :func:`canonical_json` for
+backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .errors import ExperimentError
+
+__all__ = ["canonical_json"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Bit-stable canonical JSON: sorted keys, compact separators.
+
+    Floats are emitted via ``repr`` (Python's shortest round-trip decimal
+    form), so the exact IEEE-754 value survives a dump/load cycle and the
+    same payload always yields the same bytes.  NaN/inf are rejected —
+    they would not round-trip through strict JSON parsers.
+    """
+    try:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          ensure_ascii=True, allow_nan=False)
+    except ValueError as exc:
+        raise ExperimentError(
+            f"payload is not canonically serialisable: {exc}") from exc

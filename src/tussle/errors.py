@@ -92,5 +92,9 @@ class ObservabilityError(TussleError):
     """A trace, metrics, or profiling operation was invalid."""
 
 
+class ResilienceError(TussleError):
+    """A fault plan, retry schedule, or breaker was used inconsistently."""
+
+
 class ScaleError(TussleError):
     """A vectorized backend was misused or failed its parity contract."""

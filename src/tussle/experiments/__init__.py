@@ -25,13 +25,16 @@ from .x04_coupled_spaces import run_x04
 from .x05_collision import run_x05
 from .x06_qos_binding import run_x06
 from .x07_transparency_failures import run_x07
+from .r01_fault_blame import run_r01
+from .r02_retry_recovery import run_r02
 from ..scale.large import run_l01, run_l02
 
 #: The twelve paper-claim experiments plus extension experiments
 #: (X01 multicast exercise, X02 policy-authority ablation, X03 mail
 #: choice + guidelines audit, X04 dynamic isolation, X05 network collision, X06 QoS binding, X07 transparency failures)
-#: and the at-scale re-runs (L01 lock-in, L02 value pricing) on the
-#: vectorized ``tussle.scale`` backend.
+#: the at-scale re-runs (L01 lock-in, L02 value pricing) on the
+#: vectorized ``tussle.scale`` backend, and the resilience experiments
+#: (R01 fault-blame routing, R02 retry/breaker recovery).
 ALL_EXPERIMENTS = {
     "E01": run_e01,
     "E02": run_e02,
@@ -54,6 +57,8 @@ ALL_EXPERIMENTS = {
     "X07": run_x07,
     "L01": run_l01,
     "L02": run_l02,
+    "R01": run_r01,
+    "R02": run_r02,
 }
 
 __all__ = [
@@ -62,4 +67,5 @@ __all__ = [
     "run_e07", "run_e08", "run_e09", "run_e10", "run_e11", "run_e12",
     "run_x01", "run_x02", "run_x03", "run_x04", "run_x05", "run_x06", "run_x07",
     "run_l01", "run_l02",
+    "run_r01", "run_r02",
 ]

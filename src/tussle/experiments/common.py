@@ -13,25 +13,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..canon import canonical_json
 from ..errors import ExperimentError
 
 __all__ = ["Table", "ShapeCheck", "ExperimentResult", "canonical_json"]
-
-
-def canonical_json(payload: Any) -> str:
-    """Bit-stable canonical JSON: sorted keys, compact separators.
-
-    Floats are emitted via ``repr`` (Python's shortest round-trip decimal
-    form), so the exact IEEE-754 value survives a dump/load cycle and the
-    same payload always yields the same bytes.  NaN/inf are rejected —
-    they would not round-trip through strict JSON parsers.
-    """
-    try:
-        return json.dumps(payload, sort_keys=True, separators=(",", ":"),
-                          ensure_ascii=True, allow_nan=False)
-    except ValueError as exc:
-        raise ExperimentError(
-            f"payload is not canonically serialisable: {exc}") from exc
 
 
 class Table:

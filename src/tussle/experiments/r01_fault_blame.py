@@ -1,0 +1,182 @@
+"""R01 — Fault reporting routes blame to the actor who can act (§VI-A).
+
+Paper claims:
+
+* "failures of transparency will occur ... design what happens then":
+  when delivery fails, the system should say *why* and *to whom* —
+  "the hard challenge is not so much to find the fault but to report
+  the problem to the right person in the right language";
+* the right person depends on where the fault sits: a fault inside the
+  provider's network is the **operator's** to fix, while a fault at the
+  user's edge leaves the user with the remedy the paper keeps
+  returning to — *choice* of another path or provider.
+
+Workload: a multihomed user ``u`` reaching ``dst`` through two
+providers — A (``aE``–``aC``, the shorter, primary path) and B
+(``bE``–``bX``–``bC``, the standby).  A structural table fails every
+link in turn (stale tables, so the fault is observed rather than routed
+around) and routes the resulting report with
+:meth:`~tussle.netsim.faults.FaultReporter.route`; re-convergence via
+:class:`~tussle.routing.RouteRecovery` then measures whether
+multihoming actually delivers the user's remedy.  A second table drives
+a seeded :class:`~tussle.resil.ChaosSchedule` against the same network
+and checks that blame routing stays consistent under random faults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..netsim.faults import Audience, FaultReporter
+from ..netsim.forwarding import ForwardingEngine
+from ..netsim.packets import make_packet
+from ..netsim.topology import Network
+from ..resil import ChaosInjector, ChaosSchedule
+from ..routing import RouteRecovery
+from .common import ExperimentResult, Table
+
+__all__ = ["run_r01"]
+
+#: Nodes inside either provider's network — the operator's domain.
+_PROVIDER_NODES = ("aE", "aC", "bE", "bX", "bC")
+#: Links on the primary (provider-A) path, in canonical key order.
+_PRIMARY_LINKS = (("aC", "aE"), ("aC", "dst"), ("aE", "u"))
+
+
+def _build_network() -> Network:
+    net = Network()
+    for name in ("u", "aE", "aC", "bE", "bX", "bC", "dst"):
+        net.add_node(name)
+    # Provider A: 3-hop path (primary under shortest-path routing).
+    net.add_link("u", "aE")
+    net.add_link("aE", "aC")
+    net.add_link("aC", "dst")
+    # Provider B: 4-hop standby path.
+    net.add_link("u", "bE")
+    net.add_link("bE", "bX")
+    net.add_link("bX", "bC")
+    net.add_link("bC", "dst")
+    return net
+
+
+def _engine() -> ForwardingEngine:
+    engine = ForwardingEngine(_build_network())
+    engine.install_shortest_path_tables()
+    return engine
+
+
+def _structural_table() -> Tuple[Table, List[str]]:
+    """Fail every link in turn and route the blame."""
+    reporter = FaultReporter()
+    table = Table(
+        "R01: single-link faults, blame routing, and recovery",
+        ["link", "on_primary", "delivered", "audience", "actionable",
+         "recovered"],
+    )
+    failures: List[str] = []
+    links = sorted(_build_network().links, key=lambda l: l.key())
+    for link in links:
+        engine = _engine()
+        engine.network.fail_link(link.a, link.b)
+        receipt = engine.send(make_packet("u", "dst"))
+        on_primary = link.key() in _PRIMARY_LINKS
+        audience = None
+        actionable = None
+        if not receipt.delivered:
+            report = reporter.route(receipt, _PROVIDER_NODES)
+            audience = report.audience.value
+            actionable = report.actionable
+            failures.append(audience)
+        recovered = RouteRecovery(engine).reconverge(1.0, probe=("u", "dst"))
+        table.add_row(link="-".join(link.key()), on_primary=on_primary,
+                      delivered=receipt.delivered, audience=audience,
+                      actionable=actionable, recovered=recovered)
+    return table, failures
+
+
+def _chaos_table(seed: int, probes: int) -> Table:
+    """Probe under a seeded fault process; blame must stay consistent."""
+    reporter = FaultReporter()
+    schedule = ChaosSchedule(seed=seed, horizon=float(probes),
+                             link_failure_rate=0.4, link_repair=(0.5, 2.0))
+    engine = _engine()
+    injector = ChaosInjector(engine, schedule.plan(engine.network))
+    table = Table(
+        "R01: seeded chaos probes",
+        ["time", "delivered", "location", "audience", "consistent"],
+    )
+    for i in range(probes):
+        now = i + 0.5
+        injector.advance(now)
+        receipt = engine.send(make_packet("u", "dst"))
+        location = None
+        audience = None
+        consistent = True
+        if not receipt.delivered:
+            report = reporter.route(receipt, _PROVIDER_NODES)
+            location = report.location
+            audience = report.audience.value
+            blamed_provider = location in _PROVIDER_NODES
+            consistent = (
+                (audience == Audience.OPERATOR.value) == blamed_provider
+                and report.actionable
+            )
+        table.add_row(time=now, delivered=receipt.delivered,
+                      location=location, audience=audience,
+                      consistent=consistent)
+    return table
+
+
+def run_r01(probes: int = 12, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="R01",
+        title="Fault blame routes to the actor who can act",
+        paper_claim=("§VI-A: report the problem to the right person in the "
+                     "right language — the operator for faults inside the "
+                     "provider, the user (whose remedy is choice) at the "
+                     "edge."),
+    )
+    structural, _ = _structural_table()
+    result.tables.append(structural)
+    chaos = _chaos_table(seed, probes)
+    result.tables.append(chaos)
+
+    rows = structural.rows
+    primary = [r for r in rows if r["on_primary"]]
+    provider_internal = [r for r in primary if r["link"] != "aE-u"]
+    access = [r for r in primary if r["link"] == "aE-u"]
+    off_path = [r for r in rows if not r["on_primary"]]
+
+    result.add_check(
+        "faults inside the provider's network are reported to the operator, "
+        "actionably",
+        all(r["audience"] == Audience.OPERATOR.value and r["actionable"]
+            for r in provider_internal),
+        f"{len(provider_internal)} provider-internal faults",
+    )
+    result.add_check(
+        "a fault at the user's access link is reported to the end user, "
+        "whose remedy is choice",
+        all(r["audience"] == Audience.END_USER.value and r["actionable"]
+            for r in access),
+        f"{len(access)} access-link faults",
+    )
+    result.add_check(
+        "re-convergence recovers every primary-path fault via the second "
+        "provider",
+        all(r["recovered"] for r in primary),
+        f"{len(primary)} primary-path faults re-converged",
+    )
+    result.add_check(
+        "off-path faults do not disturb delivery",
+        all(r["delivered"] for r in off_path),
+        f"{len(off_path)} standby-path faults",
+    )
+    result.add_check(
+        "under seeded chaos, blame routing stays consistent: operator iff "
+        "the fault sits in the provider's network",
+        all(r["consistent"] for r in chaos.rows),
+        f"{sum(1 for r in chaos.rows if not r['delivered'])} faulty probes "
+        f"of {len(chaos.rows)}",
+    )
+    return result

@@ -49,8 +49,9 @@ E204 = register_rule(Rule(
 
 CONFORMANCE_RULES = (E201, E202, E203, E204)
 
-#: Experiment modules look like ``e04_routing_control.py`` / ``x03_mail_choice.py``.
-_EXPERIMENT_MODULE_RE = re.compile(r"^[ex]\d{2}_\w+$")
+#: Experiment modules look like ``e04_routing_control.py`` /
+#: ``x03_mail_choice.py`` / ``r01_fault_blame.py``.
+_EXPERIMENT_MODULE_RE = re.compile(r"^[exlr]\d{2}_\w+$")
 
 
 def _experiment_modules(context: ProjectContext) -> List[ModuleInfo]:

@@ -17,7 +17,7 @@ from .findings import Finding, Rule, register_rule
 
 __all__ = ["check_module_determinism", "DETERMINISM_RULES",
            "WALL_CLOCK_ALLOWLIST", "PARALLELISM_ALLOWLIST",
-           "VECTORIZED_KERNEL_PATHS"]
+           "RETRY_SLEEP_ALLOWLIST", "VECTORIZED_KERNEL_PATHS"]
 
 D101 = register_rule(Rule(
     "D101", "global-random-call",
@@ -103,18 +103,38 @@ D111 = register_rule(Rule(
     "logic belongs in an array expression.",
 ))
 
+D112 = register_rule(Rule(
+    "D112", "sleep-outside-retry-site",
+    "time.sleep call outside the sanctioned sweep-executor retry site",
+    "A real sleep stalls the process on wall-clock time: inside the "
+    "simulation it would couple results to host scheduling, and anywhere "
+    "else it hides latency the profiler cannot attribute. The one "
+    "sanctioned site is the resilient sweep executor's supervision loop, "
+    "whose waits are quarantined from the deterministic merge. Simulated "
+    "waits belong on the event loop / Backoff schedule instead.",
+))
+
 DETERMINISM_RULES = (D101, D102, D103, D104, D105, D106, D107, D108, D109,
-                     D110, D111)
+                     D110, D111, D112)
 
 #: Modules (path suffixes, ``/``-separated) sanctioned to read the host
-#: clock. The profiler is the only entry: it quarantines wall-clock values
-#: to the benchmark channel, so D104/D109 do not apply inside it.
-WALL_CLOCK_ALLOWLIST = ("tussle/obs/profiler.py",)
+#: clock. The profiler quarantines wall-clock values to the benchmark
+#: channel; the sweep executors use the monotonic clock solely for worker
+#: timeout/backoff supervision, likewise quarantined from the
+#: deterministic merge. D104/D109 do not apply inside them.
+WALL_CLOCK_ALLOWLIST = ("tussle/obs/profiler.py",
+                        "tussle/sweep/executors.py")
 
 #: Modules sanctioned to construct worker pools/threads. The sweep
 #: executors are the only entry: they isolate per-cell RNG state and feed
 #: the scheduler's deterministic merge, so D110 does not apply inside them.
 PARALLELISM_ALLOWLIST = ("tussle/sweep/executors.py",)
+
+#: Modules sanctioned to call time.sleep. The resilient executor's
+#: supervision/poll loop is the only entry (rule D112): its waits pace
+#: worker monitoring and retry backoff on the quarantined wall clock and
+#: never influence cell payloads.
+RETRY_SLEEP_ALLOWLIST = ("tussle/sweep/executors.py",)
 
 #: Modules held to the vectorized-kernel discipline: D111 flags Python
 #: loops over agent populations inside these files (provider-column loops
@@ -198,6 +218,9 @@ class _DeterminismVisitor(ast.NodeVisitor):
         )
         self._parallelism_exempt = any(
             posix_path.endswith(suffix) for suffix in PARALLELISM_ALLOWLIST
+        )
+        self._retry_sleep_exempt = any(
+            posix_path.endswith(suffix) for suffix in RETRY_SLEEP_ALLOWLIST
         )
         self._kernel_module = any(
             posix_path.endswith(suffix) for suffix in VECTORIZED_KERNEL_PATHS
@@ -290,6 +313,12 @@ class _DeterminismVisitor(ast.NodeVisitor):
             self._add(D105, node,
                       "`os.getenv()` makes results depend on the host "
                       "environment; pass configuration explicitly")
+            return
+        if canonical == "time.sleep" and not self._retry_sleep_exempt:
+            self._add(D112, node,
+                      "`time.sleep()` stalls on the host clock; real waits "
+                      "belong in the resilient sweep executor's sanctioned "
+                      "retry site, simulated waits on the event loop")
             return
         if canonical in _PARALLELISM_CTORS and not self._parallelism_exempt:
             self._add(D110, node,

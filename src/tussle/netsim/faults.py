@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from .forwarding import DeliveryReceipt, DeliveryStatus, ForwardingEngine
 from .packets import make_packet
@@ -65,7 +65,6 @@ class FaultReporter:
     """Turns delivery receipts into audience-appropriate reports."""
 
     def report(self, receipt: DeliveryReceipt, audience: Audience) -> FaultReport:
-        status = receipt.status
         if receipt.delivered:
             return FaultReport(audience, "delivered", receipt.delivered_to, False, receipt)
         location = receipt.interfering_node or (receipt.path[-1] if receipt.path else None)
@@ -91,6 +90,25 @@ class FaultReporter:
             return FaultReport(Audience.END_USER, summary, location, True, receipt)
         summary = f"Delivery failed ({status.value})."
         return FaultReport(Audience.END_USER, summary, location, False, receipt)
+
+    def route(self, receipt: DeliveryReceipt,
+              provider_nodes: Iterable[str]) -> FaultReport:
+        """Address the report to the actor who can act on it (§VI-A).
+
+        The paper's "right person": a failure localized *inside the
+        provider's network* is the operator's to fix, so the report is
+        written for :attr:`Audience.OPERATOR`; a failure at the edge, at
+        an unknown location, or outside the provider is routed to the
+        end user, whose remedy is to choose differently.
+        """
+        providers = set(provider_nodes)
+        if receipt.delivered:
+            return self.report(receipt, Audience.END_USER)
+        location = receipt.interfering_node or (
+            receipt.path[-1] if receipt.path else None)
+        if location is not None and location in providers:
+            return self.report(receipt, Audience.OPERATOR)
+        return self.report(receipt, Audience.END_USER)
 
     def _operator_report(self, receipt: DeliveryReceipt, location: Optional[str]) -> FaultReport:
         status = receipt.status
@@ -126,12 +144,16 @@ class FaultInjector:
     """Scripted failures against a forwarding engine's network.
 
     Useful both in tests (failure injection) and in the E05/E09 stress
-    experiments. All randomness is seeded.
+    experiments. All randomness is seeded: pass either an explicit
+    ``seed`` or an already-seeded ``rng`` (an injected stream lets a
+    caller share one master ``random.Random`` across several injectors
+    without seed collisions).
     """
 
-    def __init__(self, engine: ForwardingEngine, seed: int = 0):
+    def __init__(self, engine: ForwardingEngine, seed: int = 0,
+                 rng: Optional[random.Random] = None):
         self.engine = engine
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
         self.failed_links: List[Tuple[str, str]] = []
 
     def fail_random_link(self) -> Optional[Tuple[str, str]]:

@@ -1,0 +1,51 @@
+"""Deterministic resilience layer: chaos plans, retries, crash-safe sweeps.
+
+The paper's §VI-A — "failures of transparency will occur … design what
+happens then" — makes faults a tussle space of their own.  This package
+gives the reproduction a single vocabulary for them:
+
+- :mod:`tussle.resil.chaos` — seeded :class:`ChaosSchedule` /
+  :class:`FaultPlan` fault processes (link flaps, node crashes,
+  loss/delay spikes, middlebox insertion) applied to a
+  :class:`~tussle.netsim.forwarding.ForwardingEngine` by a
+  :class:`ChaosInjector`.
+- :mod:`tussle.resil.backoff` — :class:`Backoff` (seeded jitter),
+  :class:`Deadline` (caller-supplied clock), :class:`CircuitBreaker`.
+- :mod:`tussle.resil.workerchaos` — :class:`WorkerChaos`, deterministic
+  sabotage planning for sweep workers (the chaos gate).
+- :mod:`tussle.resil.failures` — :class:`FailedCell`, the structured
+  record a crash-safe sweep emits instead of aborting.
+
+Everything is a pure function of explicit seeds; no module here reads a
+wall clock or an unseeded RNG.
+"""
+
+from .backoff import Backoff, BreakerState, CircuitBreaker, Deadline
+from .chaos import (
+    ChaosInjector,
+    ChaosSchedule,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    link_target,
+    parse_link_target,
+)
+from .failures import FailedCell
+from .workerchaos import CHAOS_MODES, WorkerChaos
+
+__all__ = [
+    "Backoff",
+    "BreakerState",
+    "CHAOS_MODES",
+    "ChaosInjector",
+    "ChaosSchedule",
+    "CircuitBreaker",
+    "Deadline",
+    "FailedCell",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "WorkerChaos",
+    "link_target",
+    "parse_link_target",
+]

@@ -24,6 +24,7 @@ from .sourcerouting import (
     valley_free_paths,
 )
 from .overlay import OverlayNetwork, OverlayPath
+from .recovery import RouteRecovery
 from .visibility import (
     TUSSLE_INTERFACE_PROPERTIES,
     ChoiceVisibilityReport,
@@ -39,6 +40,7 @@ __all__ = [
     "PathVectorRouting",
     "RouteAttempt", "SourceRoutingSystem", "TransitTerms", "valley_free_paths",
     "OverlayNetwork", "OverlayPath",
+    "RouteRecovery",
     "TUSSLE_INTERFACE_PROPERTIES", "ChoiceVisibilityReport",
     "linkstate_visibility", "pathvector_visibility",
 ]

@@ -1,0 +1,84 @@
+"""Route re-convergence guarded by a circuit breaker.
+
+When a link flaps, recomputing forwarding tables on every transition is
+its own failure mode: a rapidly flapping link can make the control plane
+burn all its effort re-converging (the BGP route-flap damping problem).
+:class:`RouteRecovery` wraps the engine's table recomputation in a
+:class:`~tussle.resil.CircuitBreaker` on simulated time — repeated
+re-convergence *failures* (the destination still unreachable afterwards)
+open the circuit and suppress further recomputation until the damping
+window passes.
+
+Events are counted under the ``resil`` obs metrics scope
+(``reconvergences``, ``reconvergence_failures``,
+``reconvergence_suppressed``) so experiments can report how much control
+-plane work a fault process induced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netsim.forwarding import ForwardingEngine
+from ..netsim.packets import make_packet
+from ..obs import current
+from ..resil.backoff import CircuitBreaker
+
+__all__ = ["RouteRecovery"]
+
+
+class RouteRecovery:
+    """Re-converge forwarding tables after topology faults, with damping.
+
+    Parameters
+    ----------
+    engine:
+        The forwarding engine whose tables are recomputed.
+    breaker:
+        Circuit breaker on simulated time; defaults to 3 consecutive
+        failed re-convergences opening a 5-simulated-second window.
+    """
+
+    def __init__(self, engine: ForwardingEngine,
+                 breaker: Optional[CircuitBreaker] = None):
+        self.engine = engine
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=3, reset_timeout=5.0)
+        self.reconvergences = 0
+        self.suppressed = 0
+        self.failures = 0
+
+    def _scope(self):
+        context = current()
+        return (context.metrics.scope("resil")
+                if context.metrics.enabled else None)
+
+    def reconverge(self, now: float, probe: Optional[tuple] = None) -> bool:
+        """Recompute shortest-path tables at simulated time ``now``.
+
+        ``probe`` is an optional ``(src, dst)`` pair checked after
+        recomputation; an undeliverable probe counts as a failed
+        re-convergence and feeds the breaker.  Returns ``True`` if the
+        recomputation ran (and the probe, if any, succeeded).
+        """
+        scope = self._scope()
+        if not self.breaker.allow(now):
+            self.suppressed += 1
+            if scope is not None:
+                scope.counter("reconvergence_suppressed").inc()
+            return False
+        self.engine.install_shortest_path_tables()
+        self.reconvergences += 1
+        if scope is not None:
+            scope.counter("reconvergences").inc()
+        if probe is not None:
+            src, dst = probe
+            receipt = self.engine.send(make_packet(src, dst))
+            if not receipt.delivered:
+                self.failures += 1
+                self.breaker.record_failure(now)
+                if scope is not None:
+                    scope.counter("reconvergence_failures").inc()
+                return False
+        self.breaker.record_success()
+        return True

@@ -38,13 +38,19 @@ or from the command line: ``python -m tussle sweep E01 --seeds 20 --jobs 4``.
 from .aggregate import aggregate
 from .cache import ResultCache, code_fingerprint
 from .cells import Cell, SweepSpec, canonical_params, derive_seed, expand_grid
-from .executors import InProcessExecutor, ProcessPoolExecutor, run_cell
+from .executors import (
+    InProcessExecutor,
+    ProcessPoolExecutor,
+    ResilientExecutor,
+    run_cell,
+)
 from .scheduler import SweepReport, run_sweep
 
 __all__ = [
     "aggregate",
     "ResultCache", "code_fingerprint",
     "Cell", "SweepSpec", "canonical_params", "derive_seed", "expand_grid",
-    "InProcessExecutor", "ProcessPoolExecutor", "run_cell",
+    "InProcessExecutor", "ProcessPoolExecutor", "ResilientExecutor",
+    "run_cell",
     "SweepReport", "run_sweep",
 ]

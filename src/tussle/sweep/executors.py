@@ -27,14 +27,20 @@ from __future__ import annotations
 
 import json
 import multiprocessing
-from typing import Any, Dict, List
+import os
+import signal
+import time
+from typing import Any, Dict, List, Optional
 
 from ..errors import SweepError
-from ..obs import Profiler
+from ..obs import Profiler, current
+from ..resil.backoff import Backoff
+from ..resil.failures import FailedCell
+from ..resil.workerchaos import WorkerChaos, digest63
 from .cells import Cell
 
-__all__ = ["InProcessExecutor", "ProcessPoolExecutor", "run_cell",
-           "cell_task"]
+__all__ = ["InProcessExecutor", "ProcessPoolExecutor", "ResilientExecutor",
+           "run_cell", "cell_task"]
 
 
 def cell_task(cell: Cell) -> Dict[str, Any]:
@@ -118,3 +124,245 @@ class ProcessPoolExecutor:
             return InProcessExecutor().map(tasks)
         with multiprocessing.Pool(processes=min(self.jobs, len(tasks))) as pool:
             return list(pool.imap_unordered(run_cell, tasks))
+
+
+def _resilient_worker(task: Dict[str, Any], conn: Any) -> None:
+    """Worker entry point for :class:`ResilientExecutor`.
+
+    Honors the chaos directive planted by the parent (``_chaos`` key):
+    ``"exit"`` dies with a nonzero exit code, ``"kill"`` SIGKILLs
+    itself, ``"hang"`` sleeps past any per-cell timeout.  With no
+    directive it behaves exactly like :func:`run_cell` and ships the
+    output back over the pipe.
+    """
+    task = dict(task)
+    mode = task.pop("_chaos", None)
+    if mode == "exit":
+        os._exit(3)
+    elif mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "hang":
+        while True:  # parent's deadline reaps us
+            time.sleep(0.5)
+    try:
+        conn.send(run_cell(task))
+    finally:
+        conn.close()
+
+
+class _PendingCell:
+    """Parent-side retry state for one cell in a resilient sweep."""
+
+    __slots__ = ("task", "backoff", "attempt", "reasons", "retry_at",
+                 "process", "conn", "deadline")
+
+    def __init__(self, task: Dict[str, Any], backoff: Backoff):
+        self.task = task
+        self.backoff = backoff
+        self.attempt = 0
+        self.reasons: List[str] = []
+        self.retry_at = 0.0  # on the quarantined monotonic clock
+        self.process: Optional[multiprocessing.Process] = None
+        self.conn: Any = None
+        self.deadline: Optional[float] = None
+
+    def identity(self) -> tuple:
+        return (self.task["experiment_id"], self.task["params_json"],
+                self.task["base_seed"])
+
+
+class ResilientExecutor:
+    """Crash-safe executor: one supervised process per cell.
+
+    Unlike :class:`ProcessPoolExecutor` (which loses cells silently if a
+    worker dies and blocks forever if one hangs), this executor watches
+    every worker with a per-cell wall-clock deadline and retries
+    infrastructure failures — worker death, timeout — with seeded
+    exponential backoff.  Deterministic ``status: "error"`` payloads are
+    *not* retried: the cell ran to a verdict, and rerunning a pure
+    function cannot change it.
+
+    A cell that exhausts its retry budget yields a structured
+    ``status: "failed"`` payload (:class:`~tussle.resil.FailedCell`)
+    instead of aborting the sweep.  Recovery accounting lands in
+    ``self.recovery`` and in ``resil``-scope obs counters; both are
+    quarantined from the deterministic merge, which stays byte-identical
+    to a fault-free run whenever every cell eventually succeeds.
+
+    The wall clock (``time.monotonic``) and the poll sleep
+    (``time.sleep``) used here are the package's single sanctioned
+    retry-sleep site, allowlisted by lint rules D104/D112.
+
+    ``chaos`` (a :class:`~tussle.resil.WorkerChaos`) deterministically
+    sabotages a fraction of first attempts — the chaos gate in CI.
+    """
+
+    #: seconds between supervision polls of running workers
+    poll_interval = 0.02
+
+    def __init__(self, jobs: int = 1, timeout: float = 30.0,
+                 retries: int = 3, backoff: Optional[Backoff] = None,
+                 chaos: Optional[WorkerChaos] = None,
+                 backoff_seed: int = 0):
+        if jobs < 1:
+            raise SweepError(f"jobs must be >= 1, got {jobs}")
+        if timeout <= 0:
+            raise SweepError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise SweepError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self._backoff_template = backoff if backoff is not None else Backoff(
+            base=0.05, factor=2.0, cap=1.0, max_retries=retries, jitter=0.5)
+        self.chaos = chaos
+        self.backoff_seed = int(backoff_seed)
+        self.recovery: Dict[str, int] = self._fresh_recovery()
+
+    @staticmethod
+    def _fresh_recovery() -> Dict[str, int]:
+        return {"retries": 0, "worker_deaths": 0, "timeouts": 0,
+                "recovered_cells": 0, "failed_cells": 0}
+
+    def _cell_backoff(self, task: Dict[str, Any]) -> Backoff:
+        """A per-cell retry schedule seeded from the cell's identity."""
+        seed = digest63(self.backoff_seed, "retry", task["experiment_id"],
+                        task["params_json"], str(task["base_seed"]))
+        return self._backoff_template.spawn(seed)
+
+    def _chaos_mode(self, task: Dict[str, Any], attempt: int) -> Optional[str]:
+        if self.chaos is None:
+            return None
+        return self.chaos.mode_for(task["experiment_id"],
+                                   task["params_json"],
+                                   task["base_seed"], attempt)
+
+    def _start(self, pending: _PendingCell) -> None:
+        task = dict(pending.task)
+        mode = self._chaos_mode(task, pending.attempt)
+        if mode is not None:
+            task["_chaos"] = mode
+        recv, send = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_resilient_worker, args=(task, send),
+            name=f"resil-{task['experiment_id']}-a{pending.attempt}",
+            daemon=True,
+        )
+        process.start()
+        send.close()  # parent keeps only the read end
+        pending.process = process
+        pending.conn = recv
+        pending.deadline = time.monotonic() + self.timeout
+
+    def _reap(self, pending: _PendingCell) -> None:
+        if pending.process is not None:
+            if pending.process.is_alive():
+                pending.process.kill()
+            pending.process.join()
+        if pending.conn is not None:
+            pending.conn.close()
+        pending.process = None
+        pending.conn = None
+        pending.deadline = None
+
+    def _failed_payload(self, pending: _PendingCell) -> Dict[str, Any]:
+        task = pending.task
+        record = FailedCell(
+            experiment_id=task["experiment_id"],
+            params_json=task["params_json"],
+            base_seed=task["base_seed"],
+            attempts=pending.attempt + 1,
+            reasons=list(pending.reasons),
+        )
+        payload = {
+            "experiment_id": task["experiment_id"],
+            "params": json.loads(task["params_json"]),
+            "base_seed": task["base_seed"],
+            "seed": task["seed"],
+            "status": "failed",
+            "result": None,
+            "error": record.to_error_dict(),
+        }
+        return {"payload": payload,
+                "profile": {"worker": "resil-failed", "seconds": 0.0}}
+
+    def map(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        self.recovery = self._fresh_recovery()
+        context = current()
+        scope = (context.metrics.scope("resil")
+                 if context.metrics.enabled else None)
+
+        def count(event: str, n: int = 1) -> None:
+            self.recovery[event] += n
+            if scope is not None:
+                scope.counter(event).inc(n)
+
+        waiting = [_PendingCell(task, self._cell_backoff(task))
+                   for task in tasks]
+        running: List[_PendingCell] = []
+        outputs: List[Dict[str, Any]] = []
+
+        while waiting or running:
+            now = time.monotonic()
+            # promote waiting cells whose backoff delay has elapsed
+            ready = [p for p in waiting if p.retry_at <= now]
+            for pending in ready:
+                if len(running) >= self.jobs:
+                    break
+                waiting.remove(pending)
+                self._start(pending)
+                running.append(pending)
+
+            progressed = False
+            for pending in list(running):
+                outcome = self._poll(pending)
+                if outcome is None:
+                    continue
+                progressed = True
+                running.remove(pending)
+                kind, output = outcome
+                if kind == "ok":
+                    if pending.attempt > 0:
+                        count("recovered_cells")
+                    outputs.append(output)
+                    continue
+                # infrastructure failure: retry or give up
+                count("worker_deaths" if kind == "death" else "timeouts")
+                if pending.backoff.exhausted:
+                    count("failed_cells")
+                    outputs.append(self._failed_payload(pending))
+                else:
+                    count("retries")
+                    pending.attempt += 1
+                    pending.retry_at = (time.monotonic()
+                                        + pending.backoff.next_delay())
+                    waiting.append(pending)
+
+            if not progressed and (running or waiting):
+                time.sleep(self.poll_interval)
+        return outputs
+
+    def _poll(self, pending: _PendingCell):
+        """One supervision check.  ``None`` means still running."""
+        conn, process = pending.conn, pending.process
+        assert conn is not None and process is not None
+        if conn.poll():
+            try:
+                output = conn.recv()
+            except EOFError:  # died mid-send: treat as worker death
+                self._reap(pending)
+                pending.reasons.append("worker-death(eof)")
+                return ("death", None)
+            self._reap(pending)
+            return ("ok", output)
+        if not process.is_alive():
+            code = process.exitcode
+            self._reap(pending)
+            pending.reasons.append(f"worker-death(exitcode={code})")
+            return ("death", None)
+        if pending.deadline is not None and \
+                time.monotonic() >= pending.deadline:
+            self._reap(pending)
+            pending.reasons.append(f"timeout({self.timeout:g}s)")
+            return ("timeout", None)
+        return None

@@ -40,10 +40,15 @@ class SweepReport:
 
     ``cells`` is the merged deterministic channel, sorted by cell
     identity; ``stats`` are the scheduler's (deterministic) counters.
+    ``recovery`` is the quarantined resilience channel — retry/timeout
+    accounting copied from a :class:`~tussle.sweep.ResilientExecutor`
+    (empty for other executors).  It is wall-clock-dependent and must
+    never enter the deterministic merge or the cache.
     """
 
     cells: List[Dict[str, Any]] = field(default_factory=list)
     stats: Dict[str, int] = field(default_factory=dict)
+    recovery: Dict[str, int] = field(default_factory=dict)
 
     @property
     def failed(self) -> List[Dict[str, Any]]:
@@ -111,6 +116,7 @@ def run_sweep(
                             profile.get("seconds", 0.0))
 
     report = SweepReport(cells=[merged[key] for key in sorted(merged)])
+    report.recovery = dict(getattr(executor, "recovery", None) or {})
     failed = len(report.failed)
     report.stats = {
         "cells_total": len(cells),

@@ -1,0 +1,75 @@
+"""R01/R02 resilience experiments: shape across seeds, table structure."""
+
+import pytest
+
+from tussle.experiments import run_r01, run_r02
+from tussle.lint.seedcheck import fingerprint
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+class TestR01FaultBlame:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shape_holds_across_seeds(self, seed):
+        result = run_r01(seed=seed)
+        failing = [c for c in result.checks if not c.holds]
+        assert result.shape_holds, [c.claim for c in failing]
+
+    def test_tables_and_columns(self):
+        result = run_r01()
+        structural, chaos = result.tables
+        assert structural.columns == ["link", "on_primary", "delivered",
+                                      "audience", "actionable", "recovered"]
+        assert chaos.columns == ["time", "delivered", "location",
+                                 "audience", "consistent"]
+        # One structural row per link of the dual-homed topology.
+        assert len(structural) == 7
+        assert len(chaos) == 12
+
+    def test_blame_splits_by_fault_location(self):
+        result = run_r01()
+        structural = result.tables[0]
+        audiences = {row["link"]: row["audience"]
+                     for row in structural.rows if not row["delivered"]}
+        # Provider-internal faults blame the operator; the user's access
+        # link blames the user, whose remedy is choice.
+        assert audiences["aC-dst"] == "operator"
+        assert audiences["aC-aE"] == "operator"
+        assert audiences["aE-u"] == "end-user"
+
+    def test_deterministic_per_seed(self):
+        assert fingerprint(run_r01(seed=3)) == fingerprint(run_r01(seed=3))
+
+
+class TestR02RetryRecovery:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shape_holds_across_seeds(self, seed):
+        result = run_r02(seed=seed)
+        failing = [c for c in result.checks if not c.holds]
+        assert result.shape_holds, [c.claim for c in failing]
+
+    def test_regime_strategy_matrix_is_complete(self):
+        result = run_r02()
+        [table] = result.tables
+        assert table.columns == ["regime", "strategy", "delivery_rate",
+                                 "attempts", "refusals", "trips"]
+        combos = {(r["regime"], r["strategy"]) for r in table.rows}
+        assert combos == {(regime, strategy)
+                          for regime in ("transient", "persistent")
+                          for strategy in ("none", "retry", "breaker")}
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_retry_contract_quantities(self, seed):
+        table = run_r02(seed=seed).tables[0]
+        rows = {(r["regime"], r["strategy"]): r for r in table.rows}
+        # Retry guarantees delivery through transients at any seed —
+        # the jittered schedule always lands an attempt in an up-window.
+        assert rows[("transient", "retry")]["delivery_rate"] == 1.0
+        assert rows[("persistent", "retry")]["delivery_rate"] == 0.0
+        # The breaker spends strictly less on a persistent fault.
+        assert (rows[("persistent", "breaker")]["attempts"]
+                < rows[("persistent", "retry")]["attempts"])
+        assert rows[("persistent", "breaker")]["trips"] >= 1
+
+    def test_deterministic_per_seed(self):
+        assert fingerprint(run_r02(seed=2)) == fingerprint(run_r02(seed=2))

@@ -1,6 +1,6 @@
 """Seed-matrix tier: every experiment's shape claims hold on every seed.
 
-This is the robustness tier ISSUE 3 calls for: the full 21-experiment
+This is the robustness tier ISSUE 3 calls for: the full 23-experiment
 matrix over >= 5 base seeds, run through the sweep engine's in-process
 executor so the exact cell/seed-derivation path exercised here is the
 one ``python -m tussle sweep`` uses.  A single-seed demo can pass by

@@ -258,6 +258,52 @@ class TestD111PopulationLoopInKernel:
         assert "D111" not in rule_ids_found(report)
 
 
+class TestD112SleepOutsideRetrySite:
+    def test_fires_on_sleep_in_simulation_code(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time
+            def wait_for_link():
+                time.sleep(0.1)
+        """)
+        assert "D112" in rule_ids_found(report)
+
+    def test_fires_through_alias(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time as t
+            t.sleep(1)
+        """)
+        assert "D112" in rule_ids_found(report)
+
+    def test_fires_through_from_import(self, tmp_path):
+        report = lint_source(tmp_path, """
+            from time import sleep
+            sleep(0.5)
+        """)
+        assert "D112" in rule_ids_found(report)
+
+    def test_allowlisted_executors_module_is_exempt(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time
+            def supervise():
+                time.sleep(0.02)
+        """, filename="tussle/sweep/executors.py")
+        assert "D112" not in rule_ids_found(report)
+
+    def test_other_sweep_modules_not_exempt(self, tmp_path):
+        report = lint_source(tmp_path, """
+            import time
+            time.sleep(0.02)
+        """, filename="tussle/sweep/scheduler.py")
+        assert "D112" in rule_ids_found(report)
+
+    def test_quiet_on_simulated_waits(self, tmp_path):
+        report = lint_source(tmp_path, """
+            def schedule(engine, delay):
+                engine.schedule_at(engine.now + delay)
+        """)
+        assert "D112" not in rule_ids_found(report)
+
+
 class TestD105Environ:
     def test_fires_on_environ_and_getenv(self, tmp_path):
         report = lint_source(tmp_path, """

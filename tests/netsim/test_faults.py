@@ -63,10 +63,51 @@ class TestFaultReporter:
         assert "refuses" in report.summary
 
 
+class TestBlameRouting:
+    """FaultReporter.route: address the actor who can act (§VI-A)."""
+
+    def test_delivered_goes_to_end_user_unactionable(self, engine):
+        receipt = engine.send(make_packet("n0", "n3"))
+        report = FaultReporter().route(receipt, provider_nodes=["n1", "n2"])
+        assert report.audience is Audience.END_USER
+        assert not report.actionable
+
+    def test_provider_internal_fault_addresses_operator(self, engine):
+        engine.network.fail_link("n1", "n2")
+        receipt = engine.send(make_packet("n0", "n3"))
+        report = FaultReporter().route(receipt, provider_nodes=["n1", "n2"])
+        assert report.audience is Audience.OPERATOR
+        assert report.actionable
+        assert report.location == "n1"
+
+    def test_fault_outside_provider_addresses_end_user(self, engine):
+        engine.network.fail_link("n1", "n2")
+        receipt = engine.send(make_packet("n0", "n3"))
+        # Same fault, but n1 belongs to no declared provider: the user's
+        # remedy is to choose differently.
+        report = FaultReporter().route(receipt, provider_nodes=["n2"])
+        assert report.audience is Audience.END_USER
+        assert report.actionable
+
+    def test_middlebox_inside_provider_addresses_operator(self, engine):
+        engine.attach_middlebox(
+            "n1", PortFilterFirewall("fw", blocked_applications={"p2p"}))
+        receipt = engine.send(make_packet("n0", "n3", application="p2p"))
+        report = FaultReporter().route(receipt, provider_nodes=["n1", "n2"])
+        assert report.audience is Audience.OPERATOR
+        assert report.actionable
+
+
 class TestTraceroute:
     def test_full_path_on_success(self, engine):
         hops = traceroute(engine, "n0", "n3")
         assert hops == [("n0", True), ("n1", True), ("n2", True), ("n3", True)]
+
+    def test_trace_stops_at_downed_link(self, engine):
+        engine.network.fail_link("n2", "n3")
+        hops = traceroute(engine, "n0", "n3")
+        assert hops == [("n0", True), ("n1", True), ("n2", True),
+                        ("?", False)]
 
     def test_trace_stops_at_silent_interferer(self, engine):
         engine.attach_middlebox(
@@ -106,3 +147,32 @@ class TestFaultInjector:
         injector = FaultInjector(engine, seed=0)
         injector.fail_fraction(1.0)
         assert injector.fail_random_link() is None
+
+    def test_injected_rng_equals_explicit_seed(self):
+        import random
+
+        def failures(**kwargs):
+            engine = ForwardingEngine(line_topology(8))
+            injector = FaultInjector(engine, **kwargs)
+            return injector.fail_fraction(0.5)
+
+        assert failures(seed=11) == failures(rng=random.Random(11))
+
+    def test_shared_rng_stream_spans_injectors(self):
+        import random
+
+        # Two injectors drawing from one master stream behave like one
+        # injector making the same draws in sequence.
+        rng = random.Random(5)
+        engine_a = ForwardingEngine(line_topology(8))
+        engine_b = ForwardingEngine(line_topology(8))
+        first = FaultInjector(engine_a, rng=rng).fail_random_link()
+        second = FaultInjector(engine_b, rng=rng).fail_random_link()
+
+        serial_rng = random.Random(5)
+        engine_c = ForwardingEngine(line_topology(8))
+        serial = FaultInjector(engine_c, rng=serial_rng)
+        assert serial.fail_random_link() == first
+        engine_d = ForwardingEngine(line_topology(8))
+        assert FaultInjector(engine_d, rng=serial_rng) \
+            .fail_random_link() == second

@@ -1,0 +1,153 @@
+"""Backoff / Deadline / CircuitBreaker unit and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tussle.errors import ResilienceError
+from tussle.resil import Backoff, BreakerState, CircuitBreaker, Deadline
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+policies = st.fixed_dictionaries({
+    "base": st.floats(min_value=0.01, max_value=2.0),
+    "factor": st.floats(min_value=1.0, max_value=4.0),
+    "max_retries": st.integers(min_value=0, max_value=12),
+    "jitter": st.floats(min_value=0.0, max_value=1.0),
+})
+
+
+def _make(policy, seed):
+    cap = max(policy["base"], 8.0)
+    return Backoff(base=policy["base"], factor=policy["factor"], cap=cap,
+                   max_retries=policy["max_retries"],
+                   jitter=policy["jitter"], seed=seed)
+
+
+class TestBackoffProperties:
+    @given(policy=policies, seed=seeds)
+    @settings(max_examples=60)
+    def test_same_seed_same_jitter_sequence(self, policy, seed):
+        first = _make(policy, seed).delays()
+        second = _make(policy, seed).delays()
+        assert first == second
+
+    @given(policy=policies, seed=seeds)
+    @settings(max_examples=60)
+    def test_reset_replays_the_sequence(self, policy, seed):
+        schedule = _make(policy, seed)
+        first = schedule.delays()
+        schedule.reset()
+        assert schedule.delays() == first
+
+    @given(policy=policies, seed=seeds)
+    @settings(max_examples=60)
+    def test_nominal_monotone_and_capped(self, policy, seed):
+        schedule = _make(policy, seed)
+        nominals = [schedule.nominal(n)
+                    for n in range(policy["max_retries"] + 4)]
+        assert all(a <= b for a, b in zip(nominals, nominals[1:]))
+        assert all(n <= schedule.cap for n in nominals)
+
+    @given(policy=policies, seed=seeds)
+    @settings(max_examples=60)
+    def test_each_delay_bounded_by_nominal(self, policy, seed):
+        schedule = _make(policy, seed)
+        for attempt, delay in enumerate(schedule.delays()):
+            nominal = schedule.nominal(attempt)
+            assert delay <= nominal + 1e-12
+            assert delay >= nominal * (1.0 - policy["jitter"]) - 1e-12
+
+    @given(policy=policies, seed=seeds)
+    @settings(max_examples=60)
+    def test_total_delay_bounded(self, policy, seed):
+        schedule = _make(policy, seed)
+        bound = schedule.total_bound()
+        assert sum(schedule.delays()) <= bound + 1e-9
+
+    @given(seed=seeds, other=seeds)
+    @settings(max_examples=30)
+    def test_spawn_keeps_policy_changes_stream(self, seed, other):
+        parent = Backoff(base=0.5, factor=3.0, cap=9.0, max_retries=5,
+                         jitter=0.4, seed=seed)
+        child = parent.spawn(other)
+        assert (child.base, child.factor, child.cap, child.max_retries,
+                child.jitter) == (0.5, 3.0, 9.0, 5, 0.4)
+        assert child.seed == other
+
+
+class TestBackoffBudget:
+    def test_exhaustion_raises(self):
+        schedule = Backoff(max_retries=2, seed=1)
+        schedule.next_delay()
+        schedule.next_delay()
+        assert schedule.exhausted
+        with pytest.raises(ResilienceError):
+            schedule.next_delay()
+
+    def test_zero_retries_is_immediately_exhausted(self):
+        schedule = Backoff(max_retries=0, seed=1)
+        assert schedule.exhausted
+        assert schedule.delays() == []
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base": 0.0}, {"base": -1.0}, {"factor": 0.5}, {"cap": 0.1},
+        {"jitter": 1.5}, {"jitter": -0.1}, {"max_retries": -1},
+    ])
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ResilienceError):
+            Backoff(**kwargs)
+
+
+class TestDeadline:
+    def test_remaining_and_expiry_on_caller_clock(self):
+        deadline = Deadline(now=10.0, timeout=5.0)
+        assert deadline.remaining(10.0) == 5.0
+        assert deadline.remaining(14.0) == pytest.approx(1.0)
+        assert not deadline.expired(14.9)
+        assert deadline.expired(15.0)
+        assert deadline.remaining(20.0) == 0.0
+
+    def test_clamp_never_overshoots(self):
+        deadline = Deadline(now=0.0, timeout=2.0)
+        assert deadline.clamp(1.5, 10.0) == pytest.approx(0.5)
+        assert deadline.clamp(0.0, 1.0) == 1.0
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ResilienceError):
+            Deadline(now=0.0, timeout=0.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_recloses(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=5.0)
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(1.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        # Open: attempts refused until the window elapses.
+        assert not breaker.allow(2.0)
+        assert breaker.refusals == 1
+        # Window elapsed: one half-open probe admitted.
+        assert breaker.allow(6.5)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_failed_probe_reopens_for_full_window(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=4.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(4.0)  # half-open probe
+        breaker.record_failure(4.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow(7.9)
+        assert breaker.allow(8.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(reset_timeout=0.0)

@@ -1,0 +1,192 @@
+"""ChaosSchedule / FaultPlan / ChaosInjector tests, incl. JSON round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tussle.errors import ResilienceError
+from tussle.netsim.forwarding import ForwardingEngine
+from tussle.netsim.packets import make_packet
+from tussle.netsim.topology import Network
+from tussle.resil import (
+    ChaosInjector,
+    ChaosSchedule,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    link_target,
+    parse_link_target,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+rates = st.floats(min_value=0.0, max_value=2.0)
+
+
+def ring_network(n=5):
+    net = Network()
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        net.add_node(name)
+    for i in range(n):
+        net.add_link(names[i], names[(i + 1) % n])
+    return net
+
+
+def line_engine():
+    net = Network()
+    for name in ("a", "b", "c"):
+        net.add_node(name)
+    net.add_link("a", "b")
+    net.add_link("b", "c")
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    return engine
+
+
+def schedules_strategy():
+    return st.builds(
+        ChaosSchedule,
+        seed=seeds,
+        horizon=st.floats(min_value=1.0, max_value=20.0),
+        link_failure_rate=rates,
+        node_crash_rate=rates,
+        loss_spike_rate=rates,
+        delay_spike_rate=rates,
+        middlebox_rate=st.floats(min_value=0.0, max_value=0.5),
+    )
+
+
+class TestLinkTargets:
+    def test_canonical_and_parseable(self):
+        assert link_target("b", "a") == link_target("a", "b") == "a|b"
+        assert parse_link_target("a|b") == ("a", "b")
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ResilienceError):
+            parse_link_target("no-separator")
+
+
+class TestFaultPlanRoundTrip:
+    @given(schedule=schedules_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_plan_roundtrips_through_canonical_json(self, schedule):
+        plan = schedule.plan(ring_network())
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_json(plan.to_json()).to_json() == plan.to_json()
+
+    @given(schedule=schedules_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_roundtrips_and_replans_identically(self, schedule):
+        clone = ChaosSchedule.from_json(schedule.to_json())
+        assert clone.to_json() == schedule.to_json()
+        net = ring_network()
+        assert clone.plan(net) == schedule.plan(net)
+
+    @given(schedule=schedules_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_plan_is_pure_function_of_seed(self, schedule):
+        assert schedule.plan(ring_network()) == schedule.plan(ring_network())
+
+    def test_different_seeds_differ(self):
+        a = ChaosSchedule(seed=1, horizon=50.0, link_failure_rate=1.0)
+        b = ChaosSchedule(seed=2, horizon=50.0, link_failure_rate=1.0)
+        net = ring_network()
+        assert a.plan(net) != b.plan(net)
+
+    def test_schema_checked(self):
+        with pytest.raises(ResilienceError):
+            FaultPlan.from_dict({"schema": 99, "events": []})
+        with pytest.raises(ResilienceError):
+            ChaosSchedule.from_dict({"schema": 99})
+
+
+class TestFaultPlanOrdering:
+    def test_events_sorted_and_queryable(self):
+        plan = FaultPlan()
+        plan.add(FaultEvent(2.0, FaultKind.LINK_UP, "a|b"))
+        plan.add(FaultEvent(1.0, FaultKind.LINK_DOWN, "a|b"))
+        assert [e.time for e in plan.events] == [1.0, 2.0]
+        assert len(plan.until(1.5)) == 1
+        assert plan.of_kind(FaultKind.LINK_DOWN)[0].time == 1.0
+        assert plan.horizon == 2.0
+
+
+class TestChaosInjector:
+    def test_link_flap_breaks_and_heals_delivery(self):
+        engine = line_engine()
+        plan = FaultPlan(events=[
+            FaultEvent(1.0, FaultKind.LINK_DOWN, link_target("b", "c")),
+            FaultEvent(2.0, FaultKind.LINK_UP, link_target("b", "c")),
+        ])
+        injector = ChaosInjector(engine, plan)
+        injector.advance(0.5)
+        assert engine.send(make_packet("a", "c")).delivered
+        injector.advance(1.5)
+        assert not engine.send(make_packet("a", "c")).delivered
+        injector.advance(2.5)
+        assert engine.send(make_packet("a", "c")).delivered
+
+    def test_node_crash_downs_incident_links_and_recovers(self):
+        engine = line_engine()
+        plan = FaultPlan(events=[
+            FaultEvent(1.0, FaultKind.NODE_CRASH, "b"),
+            FaultEvent(2.0, FaultKind.NODE_RECOVER, "b"),
+        ])
+        injector = ChaosInjector(engine, plan)
+        injector.advance(1.0)
+        links = {l.key(): l.up for l in engine.network.links}
+        assert links == {("a", "b"): False, ("b", "c"): False}
+        injector.advance(2.0)
+        assert all(l.up for l in engine.network.links)
+
+    def test_delay_spike_scales_latency_then_restores(self):
+        engine = line_engine()
+        original = engine.network.link("a", "b").latency
+        plan = FaultPlan(events=[
+            FaultEvent(1.0, FaultKind.DELAY_SPIKE, link_target("a", "b"),
+                       params=(("duration", 1.0), ("factor", 10.0))),
+        ])
+        injector = ChaosInjector(engine, plan)
+        injector.advance(1.5)
+        assert engine.network.link("a", "b").latency == pytest.approx(
+            original * 10.0)
+        injector.advance(2.5)
+        assert engine.network.link("a", "b").latency == pytest.approx(original)
+
+    def test_loss_spike_visible_while_active(self):
+        engine = line_engine()
+        plan = FaultPlan(events=[
+            FaultEvent(1.0, FaultKind.LOSS_SPIKE, "*",
+                       params=(("duration", 1.0), ("probability", 0.7))),
+        ])
+        injector = ChaosInjector(engine, plan)
+        injector.advance(1.5)
+        assert injector.active_loss() == pytest.approx(0.7)
+        injector.advance(3.0)
+        assert injector.active_loss() == 0.0
+
+    def test_middlebox_insertion_blocks_application(self):
+        engine = line_engine()
+        plan = FaultPlan(events=[
+            FaultEvent(1.0, FaultKind.MIDDLEBOX_INSERT, "b",
+                       params=(("application", "voip"),
+                               ("discloses", True))),
+        ])
+        injector = ChaosInjector(engine, plan)
+        injector.advance(1.0)
+        assert not engine.send(
+            make_packet("a", "c", application="voip")).delivered
+        assert engine.send(
+            make_packet("a", "c", application="web")).delivered
+
+    def test_rewind_rejected_and_events_apply_once(self):
+        engine = line_engine()
+        plan = FaultPlan(events=[
+            FaultEvent(1.0, FaultKind.LINK_DOWN, link_target("a", "b"))])
+        injector = ChaosInjector(engine, plan)
+        injector.advance(2.0)
+        assert len(injector.applied) == 1
+        injector.advance(3.0)
+        assert len(injector.applied) == 1
+        with pytest.raises(ResilienceError):
+            injector.advance(1.0)

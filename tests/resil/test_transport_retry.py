@@ -1,0 +1,144 @@
+"""ReliableSender: retry/timeout/breaker behaviour on simulated time."""
+
+import pytest
+
+from tussle.netsim.forwarding import ForwardingEngine
+from tussle.netsim.topology import Network
+from tussle.netsim.transport import ReliableSender
+from tussle.resil import (
+    Backoff,
+    ChaosInjector,
+    CircuitBreaker,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    link_target,
+)
+
+
+def line_engine():
+    net = Network()
+    for name in ("a", "b", "c"):
+        net.add_node(name)
+    net.add_link("a", "b")
+    net.add_link("b", "c")
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    return engine
+
+
+def backoff(**overrides):
+    kwargs = dict(base=0.25, factor=2.0, cap=2.0, max_retries=4,
+                  jitter=0.5, seed=7)
+    kwargs.update(overrides)
+    return Backoff(**kwargs)
+
+
+class TestHealthyPath:
+    def test_one_attempt_no_waiting(self):
+        engine = line_engine()
+        sender = ReliableSender(engine, "a", "c", backoff=backoff())
+        outcome = sender.send(now=0.0)
+        assert outcome.delivered
+        assert outcome.attempts == 1
+        assert outcome.gave_up is None
+        assert outcome.final_receipt.delivered
+        # Only path latency elapses — no backoff waits on first success.
+        assert outcome.elapsed == pytest.approx(
+            outcome.final_receipt.latency)
+
+
+class TestRetryThroughTransientFault:
+    def test_recovers_once_injector_heals_link(self):
+        engine = line_engine()
+        plan = FaultPlan(events=[
+            FaultEvent(0.0, FaultKind.LINK_DOWN, link_target("b", "c")),
+            FaultEvent(0.2, FaultKind.LINK_UP, link_target("b", "c")),
+        ])
+        injector = ChaosInjector(engine, plan)
+        sender = ReliableSender(engine, "a", "c", backoff=backoff(),
+                                on_advance=injector.advance)
+        outcome = sender.send(now=0.0)
+        assert outcome.delivered
+        assert outcome.attempts > 1
+        assert outcome.gave_up is None
+        # Earlier attempts really failed before the heal.
+        assert not outcome.receipts[0].delivered
+        assert outcome.final_receipt.delivered
+
+    def test_fresh_packet_per_attempt(self):
+        engine = line_engine()
+        plan = FaultPlan(events=[
+            FaultEvent(0.0, FaultKind.LINK_DOWN, link_target("b", "c")),
+            FaultEvent(0.2, FaultKind.LINK_UP, link_target("b", "c")),
+        ])
+        injector = ChaosInjector(engine, plan)
+        sender = ReliableSender(engine, "a", "c", backoff=backoff(),
+                                on_advance=injector.advance)
+        outcome = sender.send(now=0.0)
+        packets = [r.packet for r in outcome.receipts]
+        assert len(set(map(id, packets))) == len(packets)
+
+    def test_sender_is_reusable_across_sends(self):
+        engine = line_engine()
+        sender = ReliableSender(engine, "a", "c", backoff=backoff())
+        first = sender.send(now=0.0)
+        second = sender.send(now=10.0)
+        assert first.delivered and second.delivered
+        assert first.attempts == second.attempts == 1
+
+
+class TestGivingUp:
+    def test_persistent_fault_exhausts_retries(self):
+        engine = line_engine()
+        engine.network.fail_link("b", "c")
+        sender = ReliableSender(engine, "a", "c",
+                                backoff=backoff(max_retries=3))
+        outcome = sender.send(now=0.0)
+        assert not outcome.delivered
+        assert outcome.gave_up == "retries"
+        # max_retries waits => max_retries + 1 attempts.
+        assert outcome.attempts == 4
+        assert outcome.elapsed > 0.0
+
+    def test_deadline_bounds_total_simulated_time(self):
+        engine = line_engine()
+        engine.network.fail_link("b", "c")
+        sender = ReliableSender(
+            engine, "a", "c", timeout=0.5,
+            backoff=backoff(base=0.4, jitter=0.0, max_retries=50))
+        outcome = sender.send(now=0.0)
+        assert not outcome.delivered
+        assert outcome.gave_up == "deadline"
+        # Waits are clamped to the deadline; only the final attempt's
+        # path latency may overshoot it.
+        assert outcome.elapsed <= 0.5 + outcome.receipts[-1].latency + 1e-9
+
+    def test_open_breaker_refuses_before_any_attempt(self):
+        engine = line_engine()
+        engine.network.fail_link("b", "c")
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=100.0)
+        sender = ReliableSender(engine, "a", "c",
+                                backoff=backoff(max_retries=5),
+                                breaker=breaker)
+        first = sender.send(now=0.0)
+        assert not first.delivered
+        assert first.gave_up == "breaker"
+        # Breaker tripped after threshold failures, capping attempts.
+        assert first.attempts == 2
+        assert breaker.trips == 1
+        # A later send against the still-open breaker makes no attempts.
+        second = sender.send(now=1.0)
+        assert second.gave_up == "breaker"
+        assert second.attempts == 0
+        assert breaker.refusals >= 1
+
+    def test_breaker_success_resets(self):
+        engine = line_engine()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=1.0)
+        sender = ReliableSender(engine, "a", "c", backoff=backoff(),
+                                breaker=breaker)
+        outcome = sender.send(now=0.0)
+        assert outcome.delivered
+        assert breaker.consecutive_failures == 0
+        assert breaker.trips == 0

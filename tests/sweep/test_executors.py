@@ -81,7 +81,7 @@ class TestWorkerPayload:
 
 @pytest.mark.slow
 class TestFullMatrixDeterminism:
-    """Acceptance: all 21 experiments x 5 seeds, --jobs 1 vs --jobs 4."""
+    """Acceptance: all 23 experiments x 5 seeds, --jobs 1 vs --jobs 4."""
 
     def test_full_matrix_byte_identical_across_job_counts(self):
         spec = SweepSpec(experiment_ids=sorted(ALL_EXPERIMENTS),
