@@ -1,0 +1,76 @@
+"""Flow-analyzer incremental cache benchmark: cold vs warm analysis.
+
+Runs the whole-program flow analysis over ``src/tussle`` twice against
+a fresh cache directory: once cold (every file parsed and summarized)
+and once warm (every summary served from the SHA-256-keyed cache, only
+the link phase executes).  Records both wall times into
+``benchmarks/results/bench_lint_flow.json`` and asserts the warm run is
+at least :data:`MIN_WARM_SPEEDUP` times faster — the property that makes
+the CI ``actions/cache`` wiring worth its YAML.
+
+Timing uses the best of :data:`ROUNDS` rounds per phase so one GC pause
+cannot fake (or mask) a regression; the cache is rebuilt from scratch
+before every cold round.
+"""
+
+import pathlib
+import shutil
+
+import pytest
+
+from tussle.lint import run_flow
+from tussle.obs import Profiler
+from tussle.obs.bench import bench_record, write_bench_record
+
+PACKAGE_DIR = pathlib.Path(__file__).resolve().parent.parent / "src" / "tussle"
+
+#: Required cold/warm ratio.  Measured ~9-10x on the CI container class;
+#: 5x leaves room for noisy neighbours without letting the cache rot
+#: into a no-op.
+MIN_WARM_SPEEDUP = 5.0
+ROUNDS = 3
+
+
+@pytest.mark.skipif(not PACKAGE_DIR.is_dir(),
+                    reason="source checkout layout required")
+def test_flow_cache_cold_vs_warm(results_dir, tmp_path):
+    cache_dir = tmp_path / "flow-cache"
+    profiler = Profiler()
+
+    reports = {}
+    for _ in range(ROUNDS):
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        with profiler.time("cold"):
+            reports["cold"] = run_flow([PACKAGE_DIR], cache_dir=cache_dir)
+        with profiler.time("warm"):
+            reports["warm"] = run_flow([PACKAGE_DIR], cache_dir=cache_dir)
+
+    cold = reports["cold"]
+    warm = reports["warm"]
+    assert cold.cache_stats["hits"] == 0
+    assert warm.cache_stats["misses"] == 0
+    assert warm.cache_stats["hits"] == warm.files_scanned
+    # The cache must be invisible to the analysis results.
+    assert [f.to_dict() for f in warm.findings] == \
+           [f.to_dict() for f in cold.findings]
+    assert warm.kernel_candidates == cold.kernel_candidates
+
+    cold_s = profiler.min_seconds("cold")
+    warm_s = profiler.min_seconds("warm")
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    record = bench_record(
+        "LINT_FLOW", profiler=profiler, timing_key="warm",
+        files_scanned=warm.files_scanned,
+        cold_seconds=cold_s, warm_seconds=warm_s,
+        warm_speedup=speedup,
+        min_speedup_required=MIN_WARM_SPEEDUP,
+        kernel_candidates=len(warm.kernel_candidates),
+    )
+    write_bench_record(results_dir, record)
+
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm flow analysis only {speedup:.2f}x faster than cold "
+        f"({cold_s:.3f}s -> {warm_s:.3f}s); the incremental cache should "
+        f"buy >= {MIN_WARM_SPEEDUP}x"
+    )

@@ -15,7 +15,12 @@ package enforces that discipline with three rule families:
     benchmark and test counterpart.
 ``X3xx`` — API surface
     Raised exceptions derive from the :mod:`tussle.errors` taxonomy and
-    ``__all__`` matches what modules actually define.
+    ``__all__`` matches what modules actually define; X303/X304 keep the
+    analyzer itself honest (stale suppressions, unparseable files).
+``F2xx`` — whole-program flow (:mod:`tussle.lint.flow`)
+    Interprocedural seed provenance, purity inference for the
+    bit-parity kernel contract, and worker safety for code reachable
+    from the sweep executors.  Run with ``python -m tussle.lint flow``.
 
 The static pass never imports the code under analysis; its dynamic
 sibling :mod:`tussle.lint.seedcheck` double-runs each experiment at a
@@ -25,9 +30,11 @@ See DESIGN.md ("Determinism contract & lint rule catalog") for the full
 rule list and the blessed idioms each rule steers toward.
 """
 
-from .baseline import Baseline, apply_baseline, load_baseline, write_baseline
+from .baseline import (Baseline, apply_baseline, load_baseline,
+                       update_baseline, write_baseline)
 from .engine import LintReport, collect_files, find_repo_root, run_lint
 from .findings import RULE_REGISTRY, Finding, Rule, get_rule, rule_ids
+from .flow import FlowReport, run_flow
 
 # Importing the rule modules registers their rules.  The dynamic
 # seedcheck harness is intentionally NOT imported here: it pulls in the
@@ -39,6 +46,7 @@ from . import api, conformance, determinism  # noqa: F401  isort: skip
 __all__ = [
     "Baseline",
     "Finding",
+    "FlowReport",
     "LintReport",
     "Rule",
     "RULE_REGISTRY",
@@ -48,6 +56,8 @@ __all__ = [
     "get_rule",
     "load_baseline",
     "rule_ids",
+    "run_flow",
     "run_lint",
+    "update_baseline",
     "write_baseline",
 ]

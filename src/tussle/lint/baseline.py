@@ -18,7 +18,8 @@ from typing import Dict, List, Tuple
 from ..errors import LintError
 from .findings import Finding
 
-__all__ = ["Baseline", "load_baseline", "write_baseline", "apply_baseline"]
+__all__ = ["Baseline", "load_baseline", "write_baseline", "apply_baseline",
+           "update_baseline"]
 
 _VERSION = 1
 
@@ -78,8 +79,15 @@ def write_baseline(path: Path, findings: List[Finding]) -> Baseline:
     return baseline
 
 
-def apply_baseline(findings: List[Finding], baseline: Baseline) -> None:
-    """Mark findings covered by the baseline budget as suppressed (in place)."""
+def apply_baseline(findings: List[Finding],
+                   baseline: Baseline) -> Dict[Tuple[str, str], int]:
+    """Mark findings covered by the baseline budget as suppressed (in place).
+
+    Returns the *stale* portion of the budget: (rule, path) entries whose
+    count exceeded the findings actually present.  A non-empty return
+    means the baseline grandfathers findings that no longer exist and
+    should be rewritten (``--update-baseline``).
+    """
     remaining = dict(baseline.budgets)
     for finding in findings:
         if finding.suppressed:
@@ -89,3 +97,21 @@ def apply_baseline(findings: List[Finding], baseline: Baseline) -> None:
             remaining[key] -= 1
             finding.suppressed = True
             finding.suppression_source = "baseline"
+    return {key: count for key, count in remaining.items() if count > 0}
+
+
+def update_baseline(path: Path, findings: List[Finding]) -> Baseline:
+    """Rewrite the baseline from current findings, pruning stale entries.
+
+    Findings suppressed by the *old* baseline stay grandfathered (they
+    still exist in the tree); findings suppressed inline do not re-enter
+    the budget; entries for findings that have been fixed vanish.
+    """
+    keep = [f for f in findings
+            if not f.suppressed or f.suppression_source == "baseline"]
+    baseline = Baseline.from_findings(
+        [Finding(f.rule_id, f.path, f.line, f.column, f.message)
+         for f in keep])
+    path.write_text(json.dumps(baseline.to_payload(), indent=2) + "\n",
+                    encoding="utf-8")
+    return baseline

@@ -9,7 +9,9 @@ exception taxonomy) can see the whole tree without re-reading files.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
@@ -31,6 +33,15 @@ _SUPPRESS_RE = re.compile(
     r"#\s*(?:lint:\s*disable|noqa:?)\s*(?:=\s*)?([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)?"
 )
 
+#: The canonical ``# lint: disable`` form only — the stale-suppression
+#: rule (X303) covers this form and never ``# noqa``, which other tools
+#: (flake8) own and which routinely carries their rule codes.  Anchored
+#: at the start of a COMMENT token so prose that merely *mentions* the
+#: syntax (docstrings, doc comments, string literals) is never audited.
+_DISABLE_RE = re.compile(
+    r"#\s*lint:\s*disable\s*(?:=\s*)?([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)?"
+)
+
 
 def _parse_suppressions(source_lines: List[str]) -> Dict[int, Optional[Set[str]]]:
     """Map 1-based line number -> suppressed rule ids (None = all rules)."""
@@ -43,6 +54,35 @@ def _parse_suppressions(source_lines: List[str]) -> Dict[int, Optional[Set[str]]
             continue
         ids = match.group(1)
         table[lineno] = (
+            {part.strip() for part in ids.split(",")} if ids else None
+        )
+    return table
+
+
+def _parse_disable_comments(
+        source_lines: List[str]) -> Dict[int, Optional[Set[str]]]:
+    """Like :func:`_parse_suppressions`, restricted to ``lint: disable``.
+
+    Parses actual COMMENT tokens (via :mod:`tokenize`) with the pattern
+    anchored at the comment start, so ``#: docs about # lint: disable``
+    and string literals containing the syntax never enter the table.
+    Sources that fail to tokenize yield an empty table — X303 simply has
+    nothing to audit there.
+    """
+    table: Dict[int, Optional[Set[str]]] = {}
+    reader = io.StringIO("\n".join(source_lines) + "\n").readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        return table
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_RE.match(token.string)
+        if not match:
+            continue
+        ids = match.group(1)
+        table[token.start[0]] = (
             {part.strip() for part in ids.split(",")} if ids else None
         )
     return table
@@ -62,6 +102,13 @@ class ModuleInfo:
     imports: Dict[str, str] = field(default_factory=dict)
     #: 1-based line -> rule ids suppressed on that line (None = all).
     suppressions: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+    #: Subset of ``suppressions`` written in the ``# lint: disable`` form
+    #: (the only form X303 audits for staleness).
+    disable_comments: Dict[int, Optional[Set[str]]] = field(
+        default_factory=dict)
+    #: (line, rule_id) pairs whose inline suppression actually fired this
+    #: run — the complement over ``disable_comments`` is what X303 flags.
+    used_suppressions: Set[Tuple[int, str]] = field(default_factory=set)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         if line not in self.suppressions:
@@ -169,15 +216,24 @@ def _build_import_table(tree: ast.Module) -> Dict[str, str]:
 
 
 def parse_module(path: Path, root: Path) -> ModuleInfo:
-    """Parse one file into a :class:`ModuleInfo` (raises LintError on syntax errors)."""
+    """Parse one file into a :class:`ModuleInfo`.
+
+    Raises :class:`LintError` on anything that prevents analysis —
+    unreadable file, undecodable bytes, syntax error — so the engine can
+    turn the failure into a structured X304 finding instead of crashing.
+    """
     try:
         source = path.read_text(encoding="utf-8")
     except OSError as exc:
         raise LintError(f"cannot read {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise LintError(f"cannot decode {path} as UTF-8: {exc}") from exc
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         raise LintError(f"syntax error in {path}: {exc}") from exc
+    except ValueError as exc:  # e.g. NUL bytes on some Python versions
+        raise LintError(f"cannot parse {path}: {exc}") from exc
     relative = path.relative_to(root) if root in path.parents or path == root else path
     module_name = ".".join(relative.with_suffix("").parts)
     source_lines = source.splitlines()
@@ -188,6 +244,7 @@ def parse_module(path: Path, root: Path) -> ModuleInfo:
         source_lines=source_lines,
         imports=_build_import_table(tree),
         suppressions=_parse_suppressions(source_lines),
+        disable_comments=_parse_disable_comments(source_lines),
     )
 
 

@@ -1,0 +1,112 @@
+"""Incremental per-file summary cache for the flow analyzer.
+
+One JSON file per analyzed source file, named by the SHA-256 of the
+source bytes (plus the analyzer version, so bumping
+``ANALYZER_VERSION`` invalidates everything at once).  A warm run loads
+summaries straight from JSON and never touches an AST — only the link
+phase re-runs.  Broken files (syntax errors, undecodable bytes) cache a
+small tombstone so they are not re-parsed every run either.
+
+The cache directory is content-addressed and append-only during a run;
+stale entries (hashes no longer reachable from any current source file)
+are pruned at save time so the directory cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Set
+
+from .summaries import ANALYZER_VERSION
+
+__all__ = ["SummaryCache", "source_digest"]
+
+_PREFIX = "flow-"
+_SUFFIX = ".json"
+
+
+def source_digest(data: bytes, module: str = "") -> str:
+    """Cache key for one source file under the current analyzer.
+
+    ``module`` (the canonical dotted name) is part of the key: two files
+    with identical bytes — every empty ``__init__.py`` — are still
+    *different* modules, and a summary must never be served under the
+    wrong module identity.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"v{ANALYZER_VERSION}:{module}:".encode("utf-8"))
+    hasher.update(data)
+    return hasher.hexdigest()
+
+
+@dataclass
+class SummaryCache:
+    """Content-addressed store of per-file summaries.
+
+    ``hits``/``misses`` count lookups this run; ``lookup`` returns the
+    cached summary dict (or broken-file tombstone) or None on a miss.
+    """
+
+    directory: Optional[Path]
+    hits: int = 0
+    misses: int = 0
+    _used: Set[str] = field(default_factory=set)
+
+    def _entry_path(self, digest: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{_PREFIX}{digest}{_SUFFIX}"
+
+    def lookup(self, digest: str) -> Optional[Dict[str, Any]]:
+        path = self._entry_path(digest)
+        if path is None:
+            self.misses += 1
+            return None
+        try:
+            summary = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(summary, dict) or \
+                summary.get("version") != ANALYZER_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._used.add(digest)
+        return summary
+
+    def store(self, digest: str, summary: Dict[str, Any]) -> None:
+        self.misses += 0  # miss already counted by the failed lookup
+        path = self._entry_path(digest)
+        if path is None:
+            return
+        self._used.add(digest)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(summary, sort_keys=True),
+                           encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            pass  # cache is best-effort; analysis correctness never depends on it
+
+    def prune(self) -> int:
+        """Drop entries not referenced this run; returns how many."""
+        if self.directory is None or not self.directory.is_dir():
+            return 0
+        dropped = 0
+        for entry in self.directory.glob(f"{_PREFIX}*{_SUFFIX}"):
+            digest = entry.name[len(_PREFIX):-len(_SUFFIX)]
+            if digest not in self._used:
+                try:
+                    entry.unlink()
+                    dropped += 1
+                except OSError:
+                    pass
+        return dropped
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,463 @@
+"""Purity inference: side-effect summaries, rules F205-F206, and the
+kernel-candidates report.
+
+Each function gets an :class:`EffectSummary` — the externally-visible
+effects it may have: parameter mutation, module-state mutation,
+wall-clock reads, IO, sleeping, RNG-state consumption.  Local effects
+come straight from the extraction summaries (attribute/subscript stores,
+``global`` writes); call-mediated effects are folded in by a fixpoint
+over the call graph, with parameter-mutation mapped through argument
+positions so that a callee mutating *its* parameter only taints the
+caller when the caller passed one of *its own* parameters (mutating a
+locally-constructed object is invisible from outside and stays pure).
+
+Method calls the call graph cannot resolve are classified by name:
+known-mutating verbs taint the receiver, known-read methods are free,
+and anything else on a non-local receiver lands in ``unknown`` — which
+is fatal inside a pure-contract module (F206) and merely reported in
+the kernel-candidates listing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from ..findings import Finding
+from .project import Program
+from .rules import F205, F206
+
+__all__ = [
+    "EffectSummary",
+    "PURE_CONTRACT_PATHS",
+    "KERNEL_CANDIDATE_PATHS",
+    "infer_effects",
+    "check_purity",
+    "kernel_candidates",
+]
+
+#: Modules whose every function must be verifiably pure (the scalar /
+#: vector bit-parity contract).
+PURE_CONTRACT_PATHS = ("tussle/econ/decision.py", "tussle/scale/kernels.py")
+
+#: Modules scanned for already-pure, vectorization-eligible functions
+#: (the ROADMAP's netsim/routing kernel extraction).
+KERNEL_CANDIDATE_PATHS = ("tussle/netsim/", "tussle/routing/")
+
+#: Method names that mutate their receiver.
+MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "sort", "reverse", "update", "add", "discard", "setdefault",
+    "appendleft", "popleft", "rotate", "fill", "put", "resize",
+    "setdefault", "write", "writelines", "setattr", "__setitem__",
+    "inc", "observe_value", "install", "register", "push",
+}
+
+#: Method names that are reads/transforms anywhere (no receiver effect).
+READ_METHODS = {
+    "get", "keys", "values", "items", "copy", "count", "index",
+    "split", "rsplit", "join", "strip", "lstrip", "rstrip", "format",
+    "lower", "upper", "title", "startswith", "endswith", "replace",
+    "partition", "rpartition", "encode", "decode", "ljust", "rjust",
+    "zfill", "casefold", "splitlines", "find", "rfind", "isdigit",
+    "reshape", "astype", "tolist", "sum", "mean", "min", "max", "all",
+    "any", "cumsum", "flatten", "ravel", "nonzero", "to_dict", "most_common",
+    "total_seconds", "as_integer_ratio", "bit_length", "hex", "union",
+    "intersection", "difference", "issubset", "issuperset", "isdisjoint",
+    "item", "tobytes", "view", "transpose", "squeeze", "clip", "round",
+    "name", "hexdigest", "digest",
+}
+
+#: Method names that perform IO on their receiver.
+IO_METHODS = {
+    "write_text", "write_bytes", "read_text", "read_bytes", "open",
+    "mkdir", "unlink", "touch", "rename", "rmdir", "flush", "close",
+    "readline", "readlines", "read",
+}
+
+#: RNG draw methods: consume state from the receiver.
+RNG_DRAW_METHODS = {
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "triangular", "randbytes",
+    "normal", "integers", "permutation", "standard_normal", "exponential",
+    "binomial", "poisson", "spawn",
+}
+
+#: Pure builtins (no effect through arguments or environment).
+PURE_BUILTINS = {
+    "abs", "all", "any", "ascii", "bin", "bool", "bytes", "bytearray",
+    "callable", "chr", "classmethod", "complex", "dict", "divmod",
+    "enumerate", "filter", "float", "format", "frozenset", "getattr",
+    "hasattr", "hash", "hex", "id", "int", "isinstance", "issubclass",
+    "iter", "len", "list", "map", "max", "memoryview", "min", "oct",
+    "ord", "pow", "property", "range", "repr", "reversed", "round",
+    "set", "slice", "sorted", "staticmethod", "str", "sum", "super",
+    "tuple", "type", "vars", "zip", "next", "object", "NotImplemented",
+}
+
+#: Builtins with effects.
+IO_BUILTINS = {"print", "open", "input", "breakpoint"}
+MUTATE_ARG0_BUILTINS = {"setattr", "delattr"}
+
+#: External dotted prefixes that are pure (return new values, touch
+#: nothing).  Checked by prefix against the canonical import path.
+PURE_EXTERNAL_PREFIXES = (
+    "math.", "cmath.", "statistics.", "json.", "re.", "itertools.",
+    "functools.", "operator.", "string.", "textwrap.", "fractions.",
+    "decimal.", "hashlib.", "struct.", "binascii.", "base64.",
+    "copy.", "dataclasses.", "enum.", "typing.", "abc.", "numbers.",
+    "collections.", "heapq.merge", "bisect.bisect", "difflib.",
+    "unicodedata.", "uuid.UUID", "zlib.crc32",
+)
+
+#: External dotted names that are pure exactly (no prefix match needed).
+PURE_EXTERNAL_EXACT = {
+    "math", "json", "copy.deepcopy", "copy.copy", "itertools.chain",
+    "collections.OrderedDict", "collections.defaultdict",
+    "collections.Counter", "collections.deque", "collections.namedtuple",
+    "pathlib.Path", "pathlib.PurePath", "fractions.Fraction",
+    "dataclasses.replace", "dataclasses.field", "dataclasses.asdict",
+    "functools.reduce", "functools.lru_cache", "functools.partial",
+}
+
+#: numpy: pure by default except the in-place / stateful surface.
+NUMPY_IMPURE = {
+    "numpy.copyto", "numpy.put", "numpy.place", "numpy.fill_diagonal",
+    "numpy.putmask", "numpy.save", "numpy.savez", "numpy.savetxt",
+    "numpy.load", "numpy.loadtxt", "numpy.shares_memory",
+}
+
+#: Externals that mutate their first argument.
+MUTATE_ARG0_EXTERNALS = {
+    "heapq.heappush", "heapq.heappop", "heapq.heapify", "heapq.heapreplace",
+    "heapq.heappushpop", "bisect.insort", "bisect.insort_left",
+    "bisect.insort_right", "random.shuffle", "numpy.random.shuffle",
+}
+
+
+@dataclass
+class EffectSummary:
+    """Externally-visible effects one function may have."""
+
+    mutates_params: Set[str] = field(default_factory=set)
+    mutates_globals: Set[str] = field(default_factory=set)
+    wall_clock: bool = False
+    io: bool = False
+    sleeps: bool = False
+    draws_rng: bool = False
+    unknown: Set[str] = field(default_factory=set)
+
+    @property
+    def has_hard_effects(self) -> bool:
+        return bool(self.mutates_params or self.mutates_globals
+                    or self.wall_clock or self.io or self.sleeps
+                    or self.draws_rng)
+
+    @property
+    def is_pure(self) -> bool:
+        return not self.has_hard_effects and not self.unknown
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self.mutates_params:
+            parts.append("mutates-param:"
+                         + ",".join(sorted(self.mutates_params)))
+        if self.mutates_globals:
+            parts.append("mutates-global:"
+                         + ",".join(sorted(self.mutates_globals)))
+        if self.wall_clock:
+            parts.append("reads-wall-clock")
+        if self.io:
+            parts.append("performs-io")
+        if self.sleeps:
+            parts.append("sleeps")
+        if self.draws_rng:
+            parts.append("draws-rng")
+        if self.unknown:
+            shown = sorted(self.unknown)[:4]
+            parts.append("unverified:" + ",".join(shown))
+        return "; ".join(parts) if parts else "pure"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mutates_params": sorted(self.mutates_params),
+            "mutates_globals": sorted(self.mutates_globals),
+            "wall_clock": self.wall_clock,
+            "io": self.io,
+            "sleeps": self.sleeps,
+            "draws_rng": self.draws_rng,
+            "unknown": sorted(self.unknown),
+            "pure": self.is_pure,
+        }
+
+
+def _receiver_slot(recv: str) -> Optional[str]:
+    """Which caller slot an unresolved method receiver taints.
+
+    'param:<name>' -> that parameter; 'global:<name>' -> module state;
+    'selfattr'/'paramattr:<p>' -> self / that parameter; local
+    receivers are invisible from outside (None).
+    """
+    if recv.startswith("param:"):
+        return recv.split(":", 1)[1]
+    if recv.startswith("paramattr:"):
+        return recv.split(":", 1)[1]
+    if recv == "selfattr":
+        return "self"
+    return None
+
+
+def _classify_external(qual: str, effect: EffectSummary,
+                       site: Dict[str, Any]) -> None:
+    """Fold one resolved-external call into ``effect``."""
+    if qual in MUTATE_ARG0_EXTERNALS:
+        _taint_arg(effect, site, 0)
+        return
+    if qual.startswith("time."):
+        if qual == "time.sleep":
+            effect.sleeps = True
+        else:
+            effect.wall_clock = True
+        return
+    if qual.startswith("datetime.") and qual.endswith(
+            ("now", "utcnow", "today")):
+        effect.wall_clock = True
+        return
+    if qual.startswith(("os.", "sys.", "io.", "shutil.", "subprocess.",
+                        "socket.", "logging.")):
+        effect.io = True
+        return
+    if qual.startswith("random.") or qual.startswith("numpy.random."):
+        effect.draws_rng = True
+        return
+    if qual in NUMPY_IMPURE:
+        _taint_arg(effect, site, 0)
+        return
+    if qual.startswith("numpy."):
+        return  # pure numpy surface
+    if qual in PURE_EXTERNAL_EXACT or qual.startswith(
+            PURE_EXTERNAL_PREFIXES):
+        return
+    effect.unknown.add(f"external:{qual}")
+
+
+def _taint_arg(effect: EffectSummary, site: Dict[str, Any],
+               index: int) -> None:
+    args = site.get("args", [])
+    if index < len(args):
+        expr = args[index]
+        if expr.get("k") == "param":
+            effect.mutates_params.add(expr["name"])
+        elif expr.get("k") == "seed" and expr.get("name"):
+            effect.mutates_params.add(expr["name"])
+        elif expr.get("k") == "globalname":
+            effect.mutates_globals.add(expr["name"])
+        # locals: contained
+
+
+def _local_effects(program: Program, qual: str,
+                   fn: Dict[str, Any]) -> EffectSummary:
+    """Effects visible directly in the function body (no propagation)."""
+    effect = EffectSummary(
+        mutates_params=set(fn["mutations"]["params"]),
+        mutates_globals=set(fn["mutations"]["globals"]),
+    )
+    for site in fn["calls"]:
+        target = site["t"]
+        kind = target["t"]
+        if kind == "builtin":
+            name = target["n"]
+            if name in IO_BUILTINS:
+                effect.io = True
+            elif name in MUTATE_ARG0_BUILTINS:
+                _taint_arg(effect, site, 0)
+            elif name not in PURE_BUILTINS:
+                effect.unknown.add(f"builtin:{name}")
+        elif kind == "ext":
+            _classify_external(target["q"], effect, site)
+        elif kind == "meth":
+            resolved = program.resolve_call(fn, site)
+            if resolved is not None:
+                continue  # handled by propagation
+            attr = target["attr"]
+            slot = _receiver_slot(target["recv"])
+            if attr in RNG_DRAW_METHODS:
+                effect.draws_rng = True
+            elif attr in MUTATING_METHODS:
+                if slot is not None:
+                    effect.mutates_params.add(slot)
+                elif target["recv"].startswith("global:"):
+                    effect.mutates_globals.add(
+                        target["recv"].split(":", 1)[1])
+            elif attr in IO_METHODS:
+                effect.io = True
+            elif attr in READ_METHODS or attr.startswith(("is_", "has_",
+                                                          "get_", "to_")):
+                pass
+            elif slot is not None or target["recv"] in ("other",):
+                effect.unknown.add(f"method:{attr}")
+        elif kind == "dyn":
+            effect.unknown.add("dynamic-call")
+        # proj/selfm/localfn: propagation or already inlined
+    # Drawing from an RNG received as a parameter mutates that parameter.
+    for site in fn["calls"]:
+        target = site["t"]
+        if target["t"] == "meth" and target["attr"] in RNG_DRAW_METHODS:
+            slot = _receiver_slot(target["recv"])
+            if slot is not None:
+                effect.mutates_params.add(slot)
+    return effect
+
+
+def infer_effects(program: Program) -> Dict[str, EffectSummary]:
+    """Fixpoint side-effect summary for every project function."""
+    effects: Dict[str, EffectSummary] = {}
+    for qual, fn, _path in program.iter_functions():
+        effects[qual] = _local_effects(program, qual, fn)
+
+    changed = True
+    rounds = 0
+    while changed and rounds < 50:
+        changed = False
+        rounds += 1
+        for qual, fn, _path in program.iter_functions():
+            mine = effects[qual]
+            before = (len(mine.mutates_params), len(mine.mutates_globals),
+                      mine.wall_clock, mine.io, mine.sleeps, mine.draws_rng,
+                      len(mine.unknown))
+            for site in fn["calls"]:
+                callee_qual = program.resolve_call(fn, site)
+                if callee_qual is None:
+                    continue
+                callee_fn = program.function(callee_qual)
+                theirs = effects.get(callee_qual)
+                if theirs is None or callee_fn is None:
+                    continue
+                mine.mutates_globals |= theirs.mutates_globals
+                mine.wall_clock |= theirs.wall_clock
+                mine.io |= theirs.io
+                mine.sleeps |= theirs.sleeps
+                mine.draws_rng |= theirs.draws_rng
+                mine.unknown |= theirs.unknown
+                _map_param_mutations(mine, theirs, callee_fn, site)
+            after = (len(mine.mutates_params), len(mine.mutates_globals),
+                     mine.wall_clock, mine.io, mine.sleeps, mine.draws_rng,
+                     len(mine.unknown))
+            if after != before:
+                changed = True
+    return effects
+
+
+def _map_param_mutations(mine: EffectSummary, theirs: EffectSummary,
+                         callee: Dict[str, Any], site: Dict[str, Any]) -> None:
+    """Translate callee parameter mutations into caller-visible effects."""
+    if not theirs.mutates_params:
+        return
+    params = callee["params"]
+    is_method = bool(callee.get("cls")) and params[:1] == ["self"]
+    target = site["t"]
+    for param in theirs.mutates_params:
+        if param == "self" and is_method:
+            # Receiver mutation: taints the caller only when the receiver
+            # is one of the caller's own parameters (or module state).
+            if target["t"] == "meth":
+                slot = _receiver_slot(target["recv"])
+                if slot is not None:
+                    mine.mutates_params.add(slot)
+                elif target["recv"].startswith("global:"):
+                    mine.mutates_globals.add(target["recv"].split(":", 1)[1])
+            elif target["t"] == "selfm":
+                mine.mutates_params.add("self")
+            # Constructor call / local receiver: contained.
+            continue
+        try:
+            index = params.index(param)
+        except ValueError:
+            continue
+        arg = site["kw"].get(param)
+        if arg is None:
+            offset = index - 1 if is_method and target["t"] in ("meth",
+                                                                "selfm") \
+                else index
+            args = site.get("args", [])
+            if 0 <= offset < len(args):
+                arg = args[offset]
+        if arg is None:
+            continue
+        kind = arg.get("k")
+        if kind in ("param", "seed") and arg.get("name"):
+            mine.mutates_params.add(arg["name"])
+        elif kind == "param_attr":
+            mine.mutates_params.add(arg["name"])
+        elif kind == "globalname":
+            mine.mutates_globals.add(arg["name"])
+        elif kind == "rng" and arg.get("name", "").startswith("self."):
+            mine.mutates_params.add("self")
+        # locals / fresh values: contained
+
+
+def _in_pure_contract(path: str) -> bool:
+    posix = path.replace("\\", "/")
+    return any(posix.endswith(suffix) for suffix in PURE_CONTRACT_PATHS)
+
+
+def _in_kernel_scan(path: str) -> bool:
+    posix = path.replace("\\", "/")
+    return any(marker in posix for marker in KERNEL_CANDIDATE_PATHS)
+
+
+def check_purity(program: Program,
+                 effects: Dict[str, EffectSummary]) -> List[Finding]:
+    """F205/F206 over the pure-contract modules."""
+    findings: List[Finding] = []
+    for qual, fn, path in program.iter_functions():
+        if not _in_pure_contract(path) or fn["name"] == "<module>":
+            continue
+        effect = effects[qual]
+        if effect.has_hard_effects:
+            findings.append(Finding(
+                F205.rule_id, path, fn["line"] or 1, 1,
+                f"{qual} must stay pure for bit-parity but "
+                f"{effect.describe()}",
+            ))
+        elif effect.unknown:
+            shown = ", ".join(sorted(effect.unknown)[:4])
+            findings.append(Finding(
+                F206.rule_id, path, fn["line"] or 1, 1,
+                f"purity of {qual} cannot be verified: calls {shown}",
+            ))
+    return findings
+
+
+def kernel_candidates(program: Program,
+                      effects: Dict[str, EffectSummary]) -> List[Dict]:
+    """Already-pure netsim/routing functions, ready for vectorization.
+
+    Sorted strictly-pure first, then by qualified name; each entry
+    carries the inferred side-effect summary so the ROADMAP's netsim
+    vectorization can start from machine-checked candidates.
+    """
+    out: List[Dict[str, Any]] = []
+    for qual, fn, path in program.iter_functions():
+        if not _in_kernel_scan(path):
+            continue
+        if fn["name"] == "<module>" or fn["name"].startswith("__"):
+            continue
+        if fn.get("cls") is not None:
+            continue  # top-level decision functions only
+        effect = effects[qual]
+        if effect.has_hard_effects:
+            continue
+        out.append({
+            "function": qual,
+            "path": path,
+            "line": fn["line"],
+            "params": fn["params"],
+            "effects": effect.describe(),
+            "pure": effect.is_pure,
+            "unverified_calls": sorted(effect.unknown),
+        })
+    out.sort(key=lambda entry: (not entry["pure"], entry["function"]))
+    return out

@@ -1,0 +1,65 @@
+"""DESIGN.md drift test: the rule catalog must track the registry.
+
+Every rule that registers at import time (D/E/F/X families) must have a
+row in the DESIGN.md catalog table, and every catalog row must name a
+rule that still exists — documentation that lags the code misleads in
+both directions.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import tussle.lint  # noqa: F401  (importing registers every rule family)
+from tussle.lint import RULE_REGISTRY, rule_ids
+
+DESIGN_PATH = Path(__file__).resolve().parents[2] / "DESIGN.md"
+
+pytestmark = pytest.mark.skipif(
+    not DESIGN_PATH.is_file(),
+    reason="source checkout layout required",
+)
+
+_ROW_RE = re.compile(r"^\|\s*([A-Z]\d{3})\s*\|", re.MULTILINE)
+
+
+def catalog_rows():
+    return set(_ROW_RE.findall(DESIGN_PATH.read_text(encoding="utf-8")))
+
+
+def test_every_registered_rule_has_a_catalog_row():
+    missing = sorted(set(rule_ids()) - catalog_rows())
+    assert not missing, (
+        f"rules registered but absent from the DESIGN.md catalog: {missing} "
+        "— add a `| ID | name | enforces |` row"
+    )
+
+
+def test_every_catalog_row_names_a_registered_rule():
+    # E01/E02… experiment-index IDs use two digits; the three-digit rule
+    # pattern keeps them out of this set by construction.
+    ghost = sorted(catalog_rows() - set(rule_ids()))
+    assert not ghost, (
+        f"DESIGN.md catalog rows for rules that no longer exist: {ghost}"
+    )
+
+
+def test_catalog_families_are_documented():
+    families = {rule_id[0] for rule_id in rule_ids()}
+    assert families == {"D", "E", "F", "X"}
+    for family in families:
+        assert any(row.startswith(family) for row in catalog_rows())
+
+
+def test_catalog_names_match_registry():
+    text = DESIGN_PATH.read_text(encoding="utf-8")
+    for rule_id in rule_ids():
+        rule = RULE_REGISTRY[rule_id]
+        row = re.search(rf"^\|\s*{rule_id}\s*\|\s*([^|]+)\|", text,
+                        re.MULTILINE)
+        assert row is not None
+        assert row.group(1).strip() == rule.name, (
+            f"{rule_id}: DESIGN.md names it {row.group(1).strip()!r} but "
+            f"the registry says {rule.name!r}"
+        )

@@ -177,4 +177,4 @@ def test_rule_ids_are_stable_and_plentiful():
     ids = rule_ids()
     assert len(ids) >= 10
     families = {i[0] for i in ids}
-    assert families == {"D", "E", "X"}
+    assert families == {"D", "E", "F", "X"}

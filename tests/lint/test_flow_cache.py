@@ -1,0 +1,88 @@
+"""Incremental summary cache: hits, invalidation, pruning, tombstones."""
+
+import textwrap
+
+from tussle.lint import run_flow
+from tussle.lint.flow.cache import SummaryCache, source_digest
+
+
+def write_pkg(root, body="def f(seed):\n    return seed\n"):
+    pkg = root / "tussle" / "econ"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (root / "tussle" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(body)
+    return root / "tussle"
+
+
+class TestCacheLifecycle:
+    def test_cold_then_warm(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cold = run_flow([pkg], cache_dir=cache_dir)
+        assert cold.cache_stats == {"hits": 0, "misses": 3}
+        warm = run_flow([pkg], cache_dir=cache_dir)
+        assert warm.cache_stats == {"hits": 3, "misses": 0}
+        assert [f.to_dict() for f in warm.findings] == \
+               [f.to_dict() for f in cold.findings]
+
+    def test_edit_invalidates_only_the_edited_file(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        run_flow([pkg], cache_dir=cache_dir)
+        (pkg / "econ" / "mod.py").write_text(
+            "def g(seed):\n    return seed + 1\n")
+        warm = run_flow([pkg], cache_dir=cache_dir)
+        assert warm.cache_stats == {"hits": 2, "misses": 1}
+
+    def test_stale_entries_are_pruned(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        run_flow([pkg], cache_dir=cache_dir)
+        before = set(cache_dir.iterdir())
+        (pkg / "econ" / "mod.py").write_text("VALUE = 3\n")
+        run_flow([pkg], cache_dir=cache_dir)
+        after = set(cache_dir.iterdir())
+        assert len(after) == len(before)  # one replaced, old one pruned
+        assert after != before
+
+    def test_no_cache_dir_means_no_writes(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        report = run_flow([pkg], cache_dir=None)
+        assert report.cache_stats["hits"] == 0
+        assert not (tmp_path / "cache").exists()
+
+    def test_broken_file_tombstone_is_cached(self, tmp_path):
+        pkg = write_pkg(tmp_path, body="def broken(:\n")
+        cache_dir = tmp_path / "cache"
+        cold = run_flow([pkg], cache_dir=cache_dir)
+        assert any(f.rule_id == "X304" for f in cold.active)
+        warm = run_flow([pkg], cache_dir=cache_dir)
+        assert warm.cache_stats == {"hits": 3, "misses": 0}
+        assert any(f.rule_id == "X304" for f in warm.active)
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        run_flow([pkg], cache_dir=cache_dir)
+        for entry in cache_dir.iterdir():
+            entry.write_text("{not json")
+        report = run_flow([pkg], cache_dir=cache_dir)
+        assert report.cache_stats == {"hits": 0, "misses": 3}
+
+    def test_digest_covers_analyzer_version(self, monkeypatch):
+        from tussle.lint.flow import cache as cache_mod
+
+        digest_now = source_digest(b"x = 1\n")
+        monkeypatch.setattr(cache_mod, "ANALYZER_VERSION",
+                            cache_mod.ANALYZER_VERSION + 1)
+        assert source_digest(b"x = 1\n") != digest_now
+
+
+def test_cache_lookup_rejects_version_mismatch(tmp_path):
+    cache = SummaryCache(directory=tmp_path)
+    digest = source_digest(b"y = 2\n")
+    cache.store(digest, {"version": -1, "module": "m", "path": "p"})
+    fresh = SummaryCache(directory=tmp_path)
+    assert fresh.lookup(digest) is None
+    assert fresh.misses == 1
