@@ -14,8 +14,9 @@ absolutely significant.
 """
 
 from tussle.experiments import run_e01
-from tussle.obs import NullTracer, Profiler, observe
+from tussle.obs import NullSweepTelemetry, NullTracer, Profiler, observe
 from tussle.obs.bench import bench_record, write_bench_record
+from tussle.sweep import SweepSpec, run_sweep
 
 #: Measurement rounds (min-of-N) after one warmup, interleaved so slow
 #: drift (thermal, cache) hits both arms equally.
@@ -64,6 +65,58 @@ def test_nulltracer_overhead_within_budget(results_dir):
 
     assert overhead <= MAX_OVERHEAD or delta <= ABS_EPSILON_SECONDS, (
         f"disabled-observability overhead {overhead:.1%} "
+        f"({delta * 1e3:.2f} ms over {baseline * 1e3:.2f} ms baseline) "
+        f"exceeds the {MAX_OVERHEAD:.0%} budget"
+    )
+
+
+#: Telemetry-disabled sweep spec: small but real (3 cells of E01).
+_SWEEP_SPEC = SweepSpec(
+    experiment_ids=["E01"],
+    seeds=[0, 1, 2],
+    grid={"n_consumers": [40], "rounds": [8]},
+)
+
+
+def _run_sweep_plain():
+    run_sweep(_SWEEP_SPEC)
+
+
+def _run_sweep_null_telemetry():
+    run_sweep(_SWEEP_SPEC, telemetry=NullSweepTelemetry())
+
+
+def test_disabled_sweep_telemetry_overhead_within_budget(results_dir):
+    """A sweep with telemetry disabled must also stay within 2%.
+
+    The scheduler nulls a disabled telemetry object out before the
+    dispatch loop, so the per-cell price is the one ``is not None`` test
+    the other observability hooks pay — this gate keeps it that way.
+    """
+    profiler = Profiler()
+    _run_sweep_plain()  # warmup
+    _run_sweep_null_telemetry()
+    for _ in range(ROUNDS):
+        with profiler.time("sweep_plain"):
+            _run_sweep_plain()
+        with profiler.time("sweep_null_telemetry"):
+            _run_sweep_null_telemetry()
+    baseline = profiler.min_seconds("sweep_plain")
+    nulled = profiler.min_seconds("sweep_null_telemetry")
+    delta = nulled - baseline
+    overhead = delta / baseline if baseline > 0 else 0.0
+
+    record = bench_record(
+        "SWEEP_TELEMETRY_OVERHEAD", profiler=profiler,
+        timing_key="sweep_null_telemetry",
+        baseline_seconds=baseline, null_telemetry_seconds=nulled,
+        overhead_fraction=overhead, rounds=ROUNDS,
+        budget_fraction=MAX_OVERHEAD,
+    )
+    write_bench_record(results_dir, record)
+
+    assert overhead <= MAX_OVERHEAD or delta <= ABS_EPSILON_SECONDS, (
+        f"telemetry-disabled sweep overhead {overhead:.1%} "
         f"({delta * 1e3:.2f} ms over {baseline * 1e3:.2f} ms baseline) "
         f"exceeds the {MAX_OVERHEAD:.0%} budget"
     )

@@ -32,6 +32,15 @@ Subcommands
     invalidates them).  ``--json`` emits the aggregated robustness
     document; the bytes are identical whatever ``--jobs`` is.  Exits
     non-zero unless every shape check holds on every seed.
+
+    ``--telemetry PATH`` records the sweep's two-channel telemetry
+    stream: cell lifecycle facts on a deterministic channel at PATH
+    (byte-identical for any ``--jobs`` or chaos plan) and
+    retries/latencies/worker lifecycle on the quarantined
+    ``.wall.jsonl`` sibling; summarize with ``python -m tussle.obs
+    sweep-report PATH``.  ``--progress`` streams running per-claim
+    verdicts to stderr as cells land.  A one-line sweep summary (cells,
+    cache hits, retries, failures, wall time) always prints at the end.
 """
 
 from __future__ import annotations
@@ -114,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--chaos-seed", type=int, default=0, metavar="SEED",
         help="seed for the deterministic worker-chaos plan (default 0)",
+    )
+    sweep_parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write the sweep telemetry stream: deterministic channel "
+             "to PATH (byte-identical whatever --jobs or chaos), "
+             "wall-clock channel to the .wall.jsonl sibling; inspect "
+             "with python -m tussle.obs sweep-report PATH",
+    )
+    sweep_parser.add_argument(
+        "--progress", action="store_true",
+        help="stream running per-claim verdicts to stderr as cells land",
     )
     sweep_parser.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -213,11 +233,13 @@ def _command_sweep(ids: Sequence[str], seeds: int, jobs: int,
                    retries: Optional[int] = None,
                    chaos_workers: Optional[float] = None,
                    chaos_seed: int = 0,
+                   telemetry_path: Optional[str] = None,
+                   progress: bool = False,
                    as_json: bool = False) -> int:
-    from .obs import Profiler
+    from .obs import Profiler, SweepTelemetry
     from .sweep import (InProcessExecutor, ProcessPoolExecutor,
-                        ResilientExecutor, ResultCache, SweepSpec, aggregate,
-                        run_sweep)
+                        ResilientExecutor, ResultCache, StreamingAggregator,
+                        SweepSpec, aggregate, run_sweep)
 
     if seeds < 1:
         raise SystemExit("--seeds must be >= 1")
@@ -244,9 +266,35 @@ def _command_sweep(ids: Sequence[str], seeds: int, jobs: int,
     cache = ResultCache(cache_dir) if cache_dir else None
     metrics = Metrics()
     profiler = Profiler()
+    telemetry = SweepTelemetry()
+    telemetry.wall_event("sweep_started", jobs=jobs)
+    streaming = StreamingAggregator() if progress else None
+    total_cells = len(spec.cells())
+
+    def on_cell(payload: dict) -> None:
+        if streaming is None:
+            return
+        group = streaming.fold(payload)
+        print(f"[{streaming.cells_seen}/{total_cells}] "
+              f"{payload['experiment_id']} seed={payload['base_seed']} "
+              f"{payload['status']} | {group.verdict()}",
+              file=sys.stderr, flush=True)
+
     with observe(metrics=metrics, profiler=profiler):
-        report = run_sweep(spec, executor=executor, cache=cache)
-    aggregated = aggregate(report.cells)
+        report = run_sweep(spec, executor=executor, cache=cache,
+                           telemetry=telemetry, on_cell=on_cell)
+    wall_seconds = telemetry.elapsed()
+    telemetry.wall_event("sweep_finished",
+                         seconds=round(wall_seconds, 6))
+    # Streaming and batch aggregation are byte-identical (test-asserted);
+    # use the streaming snapshot when it was built anyway.
+    aggregated = (streaming.snapshot() if streaming is not None
+                  else aggregate(report.cells))
+    if telemetry_path:
+        det_path, wall_path = telemetry.write(telemetry_path)
+        print(f"telemetry written to {det_path} (wall: {wall_path})",
+              file=sys.stderr)
+    summary = telemetry.summary_line(wall_seconds)
 
     if as_json:
         # Deterministic channel only: byte-identical whatever --jobs is.
@@ -286,6 +334,9 @@ def _command_sweep(ids: Sequence[str], seeds: int, jobs: int,
                 stat = utilization[key]
                 print(f"  {key[len('worker.'):]}: {stat['calls']} cells, "
                       f"{stat['total_seconds']:.2f}s")
+    # The one-line summary always lands somewhere visible: stdout in
+    # text mode, stderr under --json so the JSON document stays clean.
+    print(summary, file=sys.stderr if as_json else sys.stdout)
     return 0 if (report.ok and aggregated["robust"]) else 1
 
 
@@ -318,6 +369,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                               retries=arguments.retries,
                               chaos_workers=arguments.chaos_workers,
                               chaos_seed=arguments.chaos_seed,
+                              telemetry_path=arguments.telemetry,
+                              progress=arguments.progress,
                               as_json=arguments.as_json)
     parser.print_help()
     return 0

@@ -121,9 +121,12 @@ DETERMINISM_RULES = (D101, D102, D103, D104, D105, D106, D107, D108, D109,
 #: clock. The profiler quarantines wall-clock values to the benchmark
 #: channel; the sweep executors use the monotonic clock solely for worker
 #: timeout/backoff supervision, likewise quarantined from the
-#: deterministic merge. D104/D109 do not apply inside them.
+#: deterministic merge; sweep telemetry stamps its *wall channel* (and
+#: only that channel — the deterministic channel is clock-free) with
+#: stream offsets. D104/D109 do not apply inside them.
 WALL_CLOCK_ALLOWLIST = ("tussle/obs/profiler.py",
-                        "tussle/sweep/executors.py")
+                        "tussle/sweep/executors.py",
+                        "tussle/obs/telemetry.py")
 
 #: Modules sanctioned to construct worker pools/threads. The sweep
 #: executors are the only entry: they isolate per-cell RNG state and feed

@@ -32,6 +32,7 @@ perf baseline with :mod:`tussle.obs.bench`.
 """
 
 from . import bench
+from .diff import Divergence, diff_files, first_divergence, format_divergence
 from .metrics import (
     Counter,
     Gauge,
@@ -42,6 +43,7 @@ from .metrics import (
 )
 from .profiler import NullProfiler, Profiler
 from .runtime import ObsContext, current, observe
+from .telemetry import NullSweepTelemetry, SweepTelemetry, wall_path_for
 from .tracer import NullTracer, Span, Tracer, callback_name
 
 __all__ = [
@@ -50,5 +52,7 @@ __all__ = [
     "NullProfiler", "Profiler",
     "ObsContext", "current", "observe",
     "NullTracer", "Span", "Tracer", "callback_name",
+    "NullSweepTelemetry", "SweepTelemetry", "wall_path_for",
+    "Divergence", "diff_files", "first_divergence", "format_divergence",
     "bench",
 ]

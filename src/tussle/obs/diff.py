@@ -1,0 +1,166 @@
+"""Trace diffing: localize the first divergence between two JSONL streams.
+
+The repo's parity gates (scalar-vs-vector market, fault-free-vs-chaos
+sweep, ``--jobs 1`` vs ``--jobs N`` telemetry) all assert byte-identity
+of serialized record streams.  When such a gate fails, "bytes differ"
+is useless; this module turns it into *where*: the first record index
+at which the streams diverge, the two records themselves, the JSON
+fields that changed, and a window of aligned context on both sides.
+
+Works on any line-oriented record stream — deterministic telemetry,
+``Tracer`` JSONL traces, canonical-JSON record dumps — and drives
+``python -m tussle.obs diff A.jsonl B.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import ObservabilityError
+
+__all__ = ["Divergence", "first_divergence", "diff_files", "diff_lines",
+           "format_divergence"]
+
+
+@dataclass
+class Divergence:
+    """The first point at which two record streams disagree."""
+
+    #: 0-based index of the first differing record (== min length when
+    #: one stream is a strict prefix of the other).
+    index: int
+    #: the differing records (None past the shorter stream's end)
+    a_line: Optional[str]
+    b_line: Optional[str]
+    #: shared records immediately before the divergence
+    context: List[str] = field(default_factory=list)
+    #: per-field changes when both records parse as JSON objects
+    changed_fields: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: total lengths, to report prefix/truncation cases
+    a_total: int = 0
+    b_total: int = 0
+
+    @property
+    def kind(self) -> str:
+        if self.a_line is None or self.b_line is None:
+            return "length"
+        return "record"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "a": self.a_line,
+            "b": self.b_line,
+            "context": list(self.context),
+            "changed_fields": self.changed_fields,
+            "a_total": self.a_total,
+            "b_total": self.b_total,
+        }
+
+
+def _changed_fields(a_line: str, b_line: str) -> Dict[str, Dict[str, Any]]:
+    """Per-key old/new values when both lines are JSON objects."""
+    try:
+        a_record, b_record = json.loads(a_line), json.loads(b_line)
+    except json.JSONDecodeError:
+        return {}
+    if not isinstance(a_record, dict) or not isinstance(b_record, dict):
+        return {}
+    changes: Dict[str, Dict[str, Any]] = {}
+    for key in sorted(set(a_record) | set(b_record)):
+        a_value = a_record.get(key, "<missing>")
+        b_value = b_record.get(key, "<missing>")
+        if a_value != b_value:
+            changes[key] = {"a": a_value, "b": b_value}
+    return changes
+
+
+def first_divergence(a: Sequence[str], b: Sequence[str],
+                     context: int = 3) -> Optional[Divergence]:
+    """The first index where ``a`` and ``b`` disagree, or None.
+
+    ``context`` records preceding the divergence (necessarily identical
+    on both sides) are attached for orientation.  A strict prefix
+    relation is reported as a ``length`` divergence at the shorter
+    stream's end.
+    """
+    limit = min(len(a), len(b))
+    for index in range(limit):
+        if a[index] != b[index]:
+            return Divergence(
+                index=index,
+                a_line=a[index],
+                b_line=b[index],
+                context=list(a[max(0, index - context):index]),
+                changed_fields=_changed_fields(a[index], b[index]),
+                a_total=len(a),
+                b_total=len(b),
+            )
+    if len(a) != len(b):
+        longer = a if len(a) > len(b) else b
+        return Divergence(
+            index=limit,
+            a_line=a[limit] if len(a) > limit else None,
+            b_line=b[limit] if len(b) > limit else None,
+            context=list(longer[max(0, limit - context):limit]),
+            a_total=len(a),
+            b_total=len(b),
+        )
+    return None
+
+
+def diff_lines(a_text: str, b_text: str,
+               context: int = 3) -> Optional[Divergence]:
+    """Diff two JSONL documents held in memory (blank lines ignored)."""
+    a = [line for line in a_text.splitlines() if line.strip()]
+    b = [line for line in b_text.splitlines() if line.strip()]
+    return first_divergence(a, b, context=context)
+
+
+def diff_files(a_path: Union[str, Path], b_path: Union[str, Path],
+               context: int = 3) -> Optional[Divergence]:
+    """Diff two JSONL files; None means byte-equivalent record streams."""
+    texts = []
+    for path in (a_path, b_path):
+        try:
+            texts.append(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot read trace {path}: {exc}") from exc
+    return diff_lines(texts[0], texts[1], context=context)
+
+
+def _clip(line: Optional[str], width: int = 160) -> str:
+    if line is None:
+        return "<absent: stream ended>"
+    return line if len(line) <= width else line[:width - 3] + "..."
+
+
+def format_divergence(divergence: Optional[Divergence],
+                      a_name: str = "A", b_name: str = "B") -> str:
+    """Human-readable rendering of a divergence (or of agreement)."""
+    if divergence is None:
+        return "streams are identical"
+    lines = [
+        f"first divergence at record {divergence.index} "
+        f"({a_name}: {divergence.a_total} records, "
+        f"{b_name}: {divergence.b_total} records)",
+    ]
+    if divergence.context:
+        lines.append("aligned context before divergence:")
+        for offset, record in enumerate(divergence.context):
+            index = divergence.index - len(divergence.context) + offset
+            lines.append(f"  [{index}] {_clip(record)}")
+    lines.append(f"- {a_name}[{divergence.index}]: "
+                 f"{_clip(divergence.a_line)}")
+    lines.append(f"+ {b_name}[{divergence.index}]: "
+                 f"{_clip(divergence.b_line)}")
+    if divergence.changed_fields:
+        lines.append("changed fields:")
+        for key, change in divergence.changed_fields.items():
+            lines.append(f"  {key}: {change['a']!r} -> {change['b']!r}")
+    return "\n".join(lines)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from enum import Enum
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..errors import ResilienceError
 
@@ -169,7 +169,8 @@ class CircuitBreaker:
     executor's quarantined wall clock alike.
     """
 
-    def __init__(self, failure_threshold: int = 3, reset_timeout: float = 10.0):
+    def __init__(self, failure_threshold: int = 3, reset_timeout: float = 10.0,
+                 on_trip: Optional[Callable[["CircuitBreaker"], None]] = None):
         if failure_threshold < 1:
             raise ResilienceError(
                 f"failure_threshold must be >= 1, got {failure_threshold}")
@@ -184,6 +185,9 @@ class CircuitBreaker:
         #: attempts refused while open — the retry budget the breaker saved
         self.refusals = 0
         self.trips = 0
+        #: observation hook fired on every trip (e.g. sweep telemetry's
+        #: ``breaker_trip``); observation only, it must not change state
+        self.on_trip = on_trip
 
     def allow(self, now: float) -> bool:
         """May an attempt proceed at ``now``?"""
@@ -207,7 +211,10 @@ class CircuitBreaker:
         self.consecutive_failures += 1
         if self.state is BreakerState.HALF_OPEN or \
                 self.consecutive_failures >= self.failure_threshold:
-            if self.state is not BreakerState.OPEN:
+            tripped = self.state is not BreakerState.OPEN
+            if tripped:
                 self.trips += 1
             self.state = BreakerState.OPEN
             self.opened_at = now
+            if tripped and self.on_trip is not None:
+                self.on_trip(self)

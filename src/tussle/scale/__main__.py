@@ -47,6 +47,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "n_consumers": r.n_consumers,
                 "ok": r.ok,
                 "mismatches": r.mismatches,
+                "divergence": (r.divergence.to_dict()
+                               if r.divergence is not None else None),
             }
             for r in reports
         ]
@@ -60,6 +62,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"rounds={report.rounds} n={report.n_consumers}")
             for line in report.mismatches:
                 print(f"       {line}")
+            if report.divergence is not None:
+                from ..obs.diff import format_divergence
+                for line in format_divergence(report.divergence, "scalar",
+                                              "vector").splitlines():
+                    print(f"       {line}")
         print(f"parity: {len(reports) - len(failures)}/{len(reports)} "
               f"report(s) clean")
     return 1 if failures else 0

@@ -71,13 +71,20 @@ class ParityCase:
 
 @dataclass
 class ParityReport:
-    """Outcome of one (case, seed) comparison."""
+    """Outcome of one (case, seed) comparison.
+
+    ``divergence`` localizes the failure when round histories disagree:
+    the first divergent round record as a :class:`~tussle.obs.diff.
+    Divergence` (aligned context, changed fields), computed over the
+    canonical-JSON round streams of both backends.
+    """
 
     label: str
     seed: int
     rounds: int
     n_consumers: int
     mismatches: List[str] = field(default_factory=list)
+    divergence: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -139,6 +146,16 @@ def _access_spec_builder(scenario: str, regime: AccessRegime
     return build
 
 
+def _round_lines(history: Sequence[MarketRound]) -> List[str]:
+    """Canonical-JSON record stream of a backend's round history."""
+    from ..canon import canonical_json
+    return [
+        canonical_json({name: getattr(market_round, name)
+                        for name in _ROUND_FIELDS})
+        for market_round in history
+    ]
+
+
 def _compare_round(scalar: MarketRound, vector: MarketRound) -> List[str]:
     mismatches = []
     for name in _ROUND_FIELDS:
@@ -161,15 +178,27 @@ def verify_case(case: ParityCase, seed: int) -> ParityReport:
     report = ParityReport(label=case.label, seed=seed, rounds=case.rounds,
                           n_consumers=len(scalar.consumers))
     mismatches = report.mismatches
+
+    def localize() -> None:
+        # Pinpoint the first divergent round record with aligned context
+        # (the same machinery as ``python -m tussle.obs diff``).
+        from ..obs.diff import first_divergence
+        report.divergence = first_divergence(
+            _round_lines(scalar.history), _round_lines(vector.history))
+
     if len(scalar.history) != len(vector.history):
         mismatches.append(
             f"history length scalar={len(scalar.history)} "
             f"vector={len(vector.history)}")
+        localize()
         return report
     for scalar_round, vector_round in zip(scalar.history, vector.history):
         mismatches.extend(_compare_round(scalar_round, vector_round))
         if len(mismatches) >= _MAX_MISMATCHES:
+            localize()
             return report
+    if mismatches:
+        localize()
 
     arrays = vector.arrays
     for i, consumer in enumerate(scalar.consumers):

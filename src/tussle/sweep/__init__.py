@@ -35,7 +35,7 @@ Quickstart::
 or from the command line: ``python -m tussle sweep E01 --seeds 20 --jobs 4``.
 """
 
-from .aggregate import aggregate
+from .aggregate import aggregate, metric_scalars
 from .cache import ResultCache, code_fingerprint
 from .cells import Cell, SweepSpec, canonical_params, derive_seed, expand_grid
 from .executors import (
@@ -44,13 +44,15 @@ from .executors import (
     ResilientExecutor,
     run_cell,
 )
+from .progress import MergingDigest, StreamingAggregator
 from .scheduler import SweepReport, run_sweep
 
 __all__ = [
-    "aggregate",
+    "aggregate", "metric_scalars",
     "ResultCache", "code_fingerprint",
     "Cell", "SweepSpec", "canonical_params", "derive_seed", "expand_grid",
     "InProcessExecutor", "ProcessPoolExecutor", "ResilientExecutor",
     "run_cell",
+    "MergingDigest", "StreamingAggregator",
     "SweepReport", "run_sweep",
 ]

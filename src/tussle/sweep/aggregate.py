@@ -18,34 +18,45 @@ aggregate JSON inherits the sweep's byte-reproducibility.
 
 from __future__ import annotations
 
-import statistics
+import math
 from typing import Any, Dict, List, Optional
 
 from .cells import canonical_params
+from .progress import MergingDigest
 
-__all__ = ["aggregate"]
+__all__ = ["aggregate", "metric_scalars"]
 
 #: Bumped when the aggregate layout changes incompatibly.
 AGGREGATE_SCHEMA = 1
 
 
 def _numeric(value: Any) -> Optional[float]:
-    """The cell's float value, or None for bools / None / non-numbers."""
+    """The cell's float value, or None for bools / None / non-numbers.
+
+    NaN and infinities are treated as missing: they cannot survive the
+    canonical-JSON serialization of the aggregate document, and a
+    single poisoned row must not erase a whole column's summary.
+    """
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return None
-    return float(value)
+    value = float(value)
+    if not math.isfinite(value):
+        return None
+    return value
 
 
 def _summary(values: List[float]) -> Dict[str, float]:
-    return {
-        "min": min(values),
-        "median": float(statistics.median(values)),
-        "mean": sum(values) / len(values),
-        "max": max(values),
-    }
+    """Summary over the seed axis, via the shared mergeable digest.
+
+    Using :class:`~tussle.sweep.progress.MergingDigest` here keeps the
+    batch aggregate byte-identical to the streaming aggregator's final
+    snapshot: both compute every statistic from the same sorted-multiset
+    representation, whatever order the values were folded in.
+    """
+    return MergingDigest.from_values(values).summary()
 
 
-def _metric_scalars(result: Dict[str, Any]) -> Dict[str, float]:
+def metric_scalars(result: Dict[str, Any]) -> Dict[str, float]:
     """Per-metric scalar for one seed: column mean per numeric column."""
     scalars: Dict[str, float] = {}
     for table in result["tables"]:
@@ -82,7 +93,7 @@ def _aggregate_group(experiment_id: str, params: Dict[str, Any],
             })
 
     metrics: Dict[str, Dict[str, float]] = {}
-    per_seed = [_metric_scalars(cell["result"]) for cell in ok_cells]
+    per_seed = [metric_scalars(cell["result"]) for cell in ok_cells]
     for name in sorted({name for scalars in per_seed for name in scalars}):
         values = [scalars[name] for scalars in per_seed if name in scalars]
         metrics[name] = _summary(values)

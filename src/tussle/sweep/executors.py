@@ -30,7 +30,7 @@ import multiprocessing
 import os
 import signal
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..errors import SweepError
 from ..obs import Profiler, current
@@ -101,9 +101,16 @@ class InProcessExecutor:
     """
 
     jobs = 1
+    #: quarantined telemetry sink, injected by the scheduler
+    telemetry: Any = None
+
+    def imap(self, tasks: List[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+        """Yield outputs one by one as cells finish (streaming channel)."""
+        for task in tasks:
+            yield run_cell(task)
 
     def map(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        return [run_cell(task) for task in tasks]
+        return list(self.imap(tasks))
 
 
 class ProcessPoolExecutor:
@@ -114,16 +121,23 @@ class ProcessPoolExecutor:
     every parallel run rather than masked by an ordered iterator.
     """
 
+    telemetry: Any = None
+
     def __init__(self, jobs: int):
         if jobs < 1:
             raise SweepError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
 
-    def map(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    def imap(self, tasks: List[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+        """Yield outputs in completion order as workers finish cells."""
         if not tasks or self.jobs == 1:
-            return InProcessExecutor().map(tasks)
+            yield from InProcessExecutor().imap(tasks)
+            return
         with multiprocessing.Pool(processes=min(self.jobs, len(tasks))) as pool:
-            return list(pool.imap_unordered(run_cell, tasks))
+            yield from pool.imap_unordered(run_cell, tasks)
+
+    def map(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return list(self.imap(tasks))
 
 
 def _resilient_worker(task: Dict[str, Any], conn: Any) -> None:
@@ -218,6 +232,8 @@ class ResilientExecutor:
         self.chaos = chaos
         self.backoff_seed = int(backoff_seed)
         self.recovery: Dict[str, int] = self._fresh_recovery()
+        #: quarantined telemetry sink, injected by the scheduler
+        self.telemetry: Any = None
 
     @staticmethod
     def _fresh_recovery() -> Dict[str, int]:
@@ -286,11 +302,20 @@ class ResilientExecutor:
         return {"payload": payload,
                 "profile": {"worker": "resil-failed", "seconds": 0.0}}
 
-    def map(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    def imap(self, tasks: List[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+        """Yield outputs as cells reach a final verdict (any order).
+
+        Quarantined telemetry (worker lifecycle, attempts, retries,
+        deaths, timeouts) flows to ``self.telemetry`` when the scheduler
+        injected one; none of it can reach the deterministic channel.
+        """
         self.recovery = self._fresh_recovery()
         context = current()
         scope = (context.metrics.scope("resil")
                  if context.metrics.enabled else None)
+        telemetry = (self.telemetry
+                     if self.telemetry is not None
+                     and self.telemetry.enabled else None)
 
         def count(event: str, n: int = 1) -> None:
             self.recovery[event] += n
@@ -300,7 +325,6 @@ class ResilientExecutor:
         waiting = [_PendingCell(task, self._cell_backoff(task))
                    for task in tasks]
         running: List[_PendingCell] = []
-        outputs: List[Dict[str, Any]] = []
 
         while waiting or running:
             now = time.monotonic()
@@ -312,9 +336,16 @@ class ResilientExecutor:
                 waiting.remove(pending)
                 self._start(pending)
                 running.append(pending)
+                if telemetry is not None:
+                    name = pending.process.name
+                    telemetry.worker_started(name)
+                    telemetry.cell_attempt(pending.identity(),
+                                           pending.attempt, name)
 
             progressed = False
             for pending in list(running):
+                worker = (pending.process.name
+                          if pending.process is not None else "?")
                 outcome = self._poll(pending)
                 if outcome is None:
                     continue
@@ -324,23 +355,41 @@ class ResilientExecutor:
                 if kind == "ok":
                     if pending.attempt > 0:
                         count("recovered_cells")
-                    outputs.append(output)
+                    if telemetry is not None:
+                        telemetry.worker_exited(worker, "ok")
+                    yield output
                     continue
                 # infrastructure failure: retry or give up
                 count("worker_deaths" if kind == "death" else "timeouts")
+                reason = pending.reasons[-1] if pending.reasons else kind
+                if telemetry is not None:
+                    telemetry.worker_exited(worker, reason)
                 if pending.backoff.exhausted:
                     count("failed_cells")
-                    outputs.append(self._failed_payload(pending))
+                    if telemetry is not None:
+                        telemetry.wall_event(
+                            "cell_abandoned",
+                            experiment_id=pending.task["experiment_id"],
+                            base_seed=pending.task["base_seed"],
+                            attempts=pending.attempt + 1,
+                            reasons=list(pending.reasons))
+                    yield self._failed_payload(pending)
                 else:
                     count("retries")
+                    delay = pending.backoff.next_delay()
+                    if telemetry is not None:
+                        telemetry.cell_retried(pending.identity(),
+                                               pending.attempt, reason,
+                                               delay)
                     pending.attempt += 1
-                    pending.retry_at = (time.monotonic()
-                                        + pending.backoff.next_delay())
+                    pending.retry_at = time.monotonic() + delay
                     waiting.append(pending)
 
             if not progressed and (running or waiting):
                 time.sleep(self.poll_interval)
-        return outputs
+
+    def map(self, tasks: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return list(self.imap(tasks))
 
     def _poll(self, pending: _PendingCell):
         """One supervision check.  ``None`` means still running."""

@@ -23,7 +23,7 @@ sanctioned Profiler channel as ``worker.<name>`` keys.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SweepError
 from ..obs import current
@@ -32,6 +32,13 @@ from .cells import Cell, SweepSpec, canonical_params
 from .executors import InProcessExecutor, cell_task
 
 __all__ = ["SweepReport", "run_sweep"]
+
+
+def _payload_shape(payload: Dict[str, Any]) -> Optional[bool]:
+    result = payload.get("result")
+    if payload.get("status") == "ok" and isinstance(result, dict):
+        return result.get("shape_holds")
+    return None
 
 
 @dataclass
@@ -63,15 +70,31 @@ def run_sweep(
     spec: SweepSpec,
     executor: Optional[Any] = None,
     cache: Optional[ResultCache] = None,
+    telemetry: Optional[Any] = None,
+    on_cell: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> SweepReport:
     """Run the sweep matrix; return merged, deterministic payloads.
 
     ``executor`` is anything with a ``map(tasks) -> outputs`` method
-    (default: :class:`InProcessExecutor`); ``cache`` short-circuits
-    cells completed by earlier runs at the same code fingerprint.
+    (default: :class:`InProcessExecutor`); executors that additionally
+    expose ``imap`` stream outputs back as cells finish.  ``cache``
+    short-circuits cells completed by earlier runs at the same code
+    fingerprint.
+
+    ``telemetry`` (a :class:`~tussle.obs.telemetry.SweepTelemetry`)
+    receives the structured event stream: the scheduler emits the
+    deterministic channel (dispatch / cache-hit / completion, ordered
+    by cell identity at serialization time) and injects the object into
+    the executor for the quarantined wall channel (attempts, retries,
+    worker lifecycle).  ``on_cell`` is invoked with each merged payload
+    as it lands — cache hits first, then executor outputs in completion
+    order — which is what streaming aggregation hooks into; it must not
+    mutate the payload.
     """
     if executor is None:
         executor = InProcessExecutor()
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
 
     cells = spec.cells()
     keys = [cell.sort_key for cell in cells]
@@ -89,18 +112,31 @@ def run_sweep(
         payload = cache.load(cell) if cache is not None else None
         if payload is not None:
             merged[cell.sort_key] = payload
+            if telemetry is not None:
+                telemetry.cell_cache_hit(cell.sort_key)
+                telemetry.cell_completed(cell.sort_key, payload["status"],
+                                         _payload_shape(payload))
+            if on_cell is not None:
+                on_cell(payload)
         else:
             misses.append(cell)
 
-    outputs = (executor.map([cell_task(cell) for cell in misses])
-               if misses else [])
-    if len(outputs) != len(misses):
-        raise SweepError(
-            f"executor returned {len(outputs)} payloads for "
-            f"{len(misses)} dispatched cells"
-        )
+    if telemetry is not None:
+        for cell in misses:
+            telemetry.cell_dispatched(cell.sort_key)
+        if hasattr(executor, "telemetry"):
+            executor.telemetry = telemetry
+
+    if misses:
+        tasks = [cell_task(cell) for cell in misses]
+        outputs = (executor.imap(tasks) if hasattr(executor, "imap")
+                   else executor.map(tasks))
+    else:
+        outputs = []
     by_identity = {cell.sort_key: cell for cell in misses}
+    returned = 0
     for output in outputs:
+        returned += 1
         payload = output["payload"]
         key = (payload["experiment_id"],
                canonical_params(payload["params"]), payload["base_seed"])
@@ -110,10 +146,23 @@ def run_sweep(
         merged[key] = payload
         if cache is not None and payload["status"] == "ok":
             cache.store(cell, payload)
+        profile = output.get("profile") or {}
         if profiler is not None:
-            profile = output.get("profile") or {}
             profiler.record(f"worker.{profile.get('worker', 'unknown')}",
                             profile.get("seconds", 0.0))
+        if telemetry is not None:
+            telemetry.cell_completed(key, payload["status"],
+                                     _payload_shape(payload))
+            telemetry.cell_finished(key, profile.get("worker", "unknown"),
+                                    profile.get("seconds", 0.0),
+                                    payload["status"])
+        if on_cell is not None:
+            on_cell(payload)
+    if returned != len(misses):
+        raise SweepError(
+            f"executor returned {returned} payloads for "
+            f"{len(misses)} dispatched cells"
+        )
 
     report = SweepReport(cells=[merged[key] for key in sorted(merged)])
     report.recovery = dict(getattr(executor, "recovery", None) or {})

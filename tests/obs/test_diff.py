@@ -1,0 +1,96 @@
+"""Trace diffing: localizing the first divergence between streams."""
+
+import json
+
+import pytest
+
+from tussle.errors import ObservabilityError
+from tussle.obs.diff import (
+    diff_files,
+    diff_lines,
+    first_divergence,
+    format_divergence,
+)
+
+
+def lines(*records):
+    return [json.dumps(record, sort_keys=True) for record in records]
+
+
+class TestFirstDivergence:
+    def test_identical_streams(self):
+        stream = lines({"a": 1}, {"a": 2})
+        assert first_divergence(stream, list(stream)) is None
+
+    def test_record_divergence_with_context(self):
+        a = lines({"i": 0}, {"i": 1}, {"i": 2, "v": "x"}, {"i": 3})
+        b = lines({"i": 0}, {"i": 1}, {"i": 2, "v": "y"}, {"i": 3})
+        divergence = first_divergence(a, b, context=2)
+        assert divergence.index == 2
+        assert divergence.kind == "record"
+        assert divergence.context == a[0:2]
+        assert divergence.changed_fields == {"v": {"a": "x", "b": "y"}}
+        assert divergence.a_total == divergence.b_total == 4
+
+    def test_missing_field_uses_sentinel(self):
+        [divergence] = [first_divergence(lines({"x": 1, "y": 2}),
+                                         lines({"x": 1}))]
+        assert divergence.changed_fields == {
+            "y": {"a": 2, "b": "<missing>"}}
+
+    def test_prefix_reports_length_divergence(self):
+        a = lines({"i": 0}, {"i": 1}, {"i": 2})
+        divergence = first_divergence(a, a[:2])
+        assert divergence.kind == "length"
+        assert divergence.index == 2
+        assert divergence.a_line == a[2] and divergence.b_line is None
+
+    def test_non_json_lines_still_diff(self):
+        divergence = first_divergence(["plain text"], ["other text"])
+        assert divergence.index == 0
+        assert divergence.changed_fields == {}
+
+    def test_to_dict_round_trips(self):
+        divergence = first_divergence(lines({"a": 1}), lines({"a": 2}))
+        payload = divergence.to_dict()
+        json.dumps(payload)  # must stay JSON-serializable
+        assert payload["kind"] == "record"
+        assert payload["index"] == 0
+
+
+class TestDiffFiles:
+    def test_blank_lines_ignored(self):
+        assert diff_lines('{"a":1}\n\n{"a":2}\n', '{"a":1}\n{"a":2}') is None
+
+    def test_files(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text('{"v":1}\n')
+        b.write_text('{"v":2}\n')
+        divergence = diff_files(a, b)
+        assert divergence.changed_fields == {"v": {"a": 1, "b": 2}}
+        b.write_text('{"v":1}\n')
+        assert diff_files(a, b) is None
+
+    def test_missing_file_raises(self, tmp_path):
+        (tmp_path / "a.jsonl").write_text("")
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            diff_files(tmp_path / "a.jsonl", tmp_path / "nope.jsonl")
+
+
+class TestFormat:
+    def test_agreement(self):
+        assert format_divergence(None) == "streams are identical"
+
+    def test_rendering_names_both_streams(self):
+        divergence = first_divergence(
+            lines({"i": 0}, {"v": "x"}), lines({"i": 0}, {"v": "y"}))
+        text = format_divergence(divergence, "healthy", "chaos")
+        assert "first divergence at record 1" in text
+        assert "- healthy[1]" in text and "+ chaos[1]" in text
+        assert "'x' -> 'y'" in text
+
+    def test_long_lines_clipped(self):
+        divergence = first_divergence(["x" * 500], ["y" * 500])
+        text = format_divergence(divergence)
+        assert "..." in text
+        assert all(len(line) < 200 for line in text.splitlines())

@@ -5,9 +5,15 @@ import json
 import pytest
 
 from tussle.errors import ObservabilityError
-from tussle.obs import Tracer
+from tussle.obs import SweepTelemetry, Tracer
 from tussle.obs.__main__ import main as obs_main
-from tussle.obs.report import TraceReport, build_report, load_trace
+from tussle.obs.report import (
+    TraceReport,
+    build_report,
+    build_sweep_report,
+    load_trace,
+    load_trace_tolerant,
+)
 
 
 def synthetic_trace(tmp_path):
@@ -94,6 +100,135 @@ class TestTraceReport:
         assert "0 records" in report.format()
 
 
+class TestTolerantLoading:
+    """S1: damaged traces yield a partial report, never a traceback."""
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        records, problems = load_trace_tolerant(path)
+        assert records == [] and problems == []
+        report = build_report(path, strict=False)
+        assert "0 records" in report.format()
+
+    def test_truncated_tail_salvaged(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(
+            '{"kind":"event","scope":"s","name":"n","t":1.0}\n'
+            '{"kind":"span","scope":"s","name":"m","t0":0.0,"t1"')
+        records, problems = load_trace_tolerant(path)
+        assert len(records) == 1
+        assert len(problems) == 1 and "truncated.jsonl:2" in problems[0]
+        report = build_report(path, strict=False)
+        assert len(report.events) == 1
+        assert report.problems == problems
+
+    def test_mixed_schema_records_counted_not_crashed(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"kind":"meta","schema":1,"channel":"deterministic"}\n'
+            '{"kind":"cell","event":"cell_dispatched","base_seed":0}\n'
+            '{"kind":"event","scope":"s","name":"n","t":1.0}\n')
+        report = build_report(path, strict=False)
+        assert len(report.records) == 1
+        assert len(report.other) == 2
+        assert "other-schema" in report.format()
+        assert report.to_dict()["other"] == 2
+
+    def test_broken_timestamps_quarantined(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(
+            '{"kind":"span","scope":"s","name":"m","t0":"zero","t1":1.0}\n'
+            '{"kind":"event","scope":"s","name":"n"}\n'
+            '{"kind":"event","scope":"s","name":"n","t":2.0}\n')
+        records, problems = load_trace_tolerant(path)
+        assert len(records) == 1
+        assert any("t0/t1" in p for p in problems)
+        assert any("numeric t" in p for p in problems)
+        # The salvaged record still aggregates.
+        report = TraceReport(records, problems=problems)
+        assert report.subsystem_breakdown()[0]["events"] == 1
+        assert "Problems (2)" in report.format()
+
+    def test_strict_mode_unchanged(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("garbage\n")
+        with pytest.raises(ObservabilityError, match="bad.jsonl:1"):
+            build_report(path)
+
+    def test_report_never_raises_on_malformed_records(self):
+        report = TraceReport([
+            {"kind": "span", "scope": "s", "name": "m", "t0": None,
+             "t1": 1.0},
+            "not even a dict",
+            {"kind": "event", "scope": "s", "name": "n", "t": 0.0},
+        ])
+        assert len(report.records) == 1
+        assert len(report.skipped) == 2
+        assert len(report.problems) == 2
+
+
+def sweep_telemetry_files(tmp_path):
+    from tussle.sweep import SweepSpec, run_sweep
+    spec = SweepSpec(experiment_ids=["E01"], seeds=[0, 1],
+                     grid={"n_consumers": [15], "rounds": [6]})
+    telemetry = SweepTelemetry()
+    run_sweep(spec, telemetry=telemetry)
+    return telemetry.write(tmp_path / "telemetry.jsonl")
+
+
+class TestSweepTelemetryReport:
+    def test_totals_and_cache_rate(self, tmp_path):
+        det_path, _ = sweep_telemetry_files(tmp_path)
+        report = build_sweep_report(det_path)
+        assert report.schema == 1
+        assert report.det_counters["cells_total"] == 2
+        assert report.cache_hit_rate() == 0.0
+        assert report.problems == []
+
+    def test_worker_utilization_and_stragglers(self, tmp_path):
+        det_path, _ = sweep_telemetry_files(tmp_path)
+        report = build_sweep_report(det_path)
+        [worker] = report.worker_utilization()
+        assert worker["cells"] == 2 and worker["busy_seconds"] > 0
+        stragglers = report.stragglers()
+        assert len(stragglers) == 2
+        assert stragglers[0]["seconds"] >= stragglers[1]["seconds"]
+
+    def test_missing_wall_sibling_is_partial_not_fatal(self, tmp_path):
+        det_path, wall_path = sweep_telemetry_files(tmp_path)
+        wall_path.unlink()
+        report = build_sweep_report(det_path)
+        assert report.det_counters["cells_total"] == 2
+        assert report.worker_utilization() == []
+
+    def test_retry_storms_from_wall_events(self):
+        from tussle.obs.report import SweepTelemetryReport
+        telemetry = SweepTelemetry()
+        cell = ("E01", "{}", 4)
+        telemetry.cell_retried(cell, 1, "worker-death", 0.1)
+        telemetry.cell_retried(cell, 2, "timeout", 0.2)
+        telemetry.cell_retried(("E01", "{}", 5), 1, "worker-death", 0.1)
+        wall = [json.loads(line) for line in telemetry.wall_lines()]
+        report = SweepTelemetryReport([], wall)
+        [storm] = report.retry_storms()
+        assert storm["base_seed"] == 4 and storm["retries"] == 2
+        assert "worker-death" in storm["reasons"]
+
+    def test_schema_mismatch_reported(self):
+        from tussle.obs.report import SweepTelemetryReport
+        report = SweepTelemetryReport([{"kind": "meta", "schema": 99}])
+        assert any("schema 99" in p for p in report.problems)
+
+    def test_format_and_to_dict(self, tmp_path):
+        det_path, _ = sweep_telemetry_files(tmp_path)
+        report = build_sweep_report(det_path)
+        text = report.format()
+        assert "sweep telemetry (schema 1)" in text
+        assert "Per-worker utilization" in text
+        json.dumps(report.to_dict())  # must not raise
+
+
 class TestCli:
     def test_report_text(self, tmp_path, capsys):
         path = synthetic_trace(tmp_path)
@@ -114,3 +249,58 @@ class TestCli:
     def test_no_subcommand_prints_help(self, capsys):
         assert obs_main([]) == 0
         assert "usage" in capsys.readouterr().out
+
+    def test_tolerant_flag_salvages_damaged_trace(self, tmp_path, capsys):
+        path = tmp_path / "damaged.jsonl"
+        path.write_text(
+            '{"kind":"event","scope":"s","name":"n","t":1.0}\ngarbage\n')
+        assert obs_main(["report", str(path)]) == 2
+        capsys.readouterr()
+        assert obs_main(["report", str(path), "--tolerant"]) == 0
+        out = capsys.readouterr().out
+        assert "1 skipped" in out and "Problems (1)" in out
+
+    def test_sweep_report_subcommand(self, tmp_path, capsys):
+        det_path, _ = sweep_telemetry_files(tmp_path)
+        assert obs_main(["sweep-report", str(det_path)]) == 0
+        assert "sweep telemetry" in capsys.readouterr().out
+        assert obs_main(["sweep-report", str(det_path),
+                         "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["det_counters"]["cells_total"] == 2
+
+    def test_diff_subcommand(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text('{"i":0}\n{"v":"x"}\n')
+        b.write_text('{"i":0}\n{"v":"y"}\n')
+        assert obs_main(["diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert obs_main(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence at record 1" in out
+        assert obs_main(["diff", str(a), str(b), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["index"] == 1
+
+    def test_perf_subcommands(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "bench_e01.json").write_text(json.dumps({
+            "id": "E01", "wall_seconds": 0.06, "wall_seconds_min": 0.05,
+            "calls": 3, "event_counts": {}, "peak_queue_depth": None}))
+        history = tmp_path / "history.json"
+        argv = ["perf", "--history", str(history), "--results",
+                str(results)]
+        assert obs_main(argv + ["--ingest"]) == 0
+        assert "ingested 1 benchmark" in capsys.readouterr().out
+        assert obs_main(argv + ["--check"]) == 0
+        assert "ok" in capsys.readouterr().out
+        # A 10x regression blocks.
+        (results / "bench_e01.json").write_text(json.dumps({
+            "id": "E01", "wall_seconds": 0.6, "wall_seconds_min": 0.5,
+            "calls": 3, "event_counts": {}, "peak_queue_depth": None}))
+        assert obs_main(argv + ["--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "REGRESSED" in out
+        assert obs_main(argv) == 0
+        assert "1 run(s)" in capsys.readouterr().out

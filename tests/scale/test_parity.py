@@ -40,6 +40,27 @@ def test_verify_case_reports_rounds_and_population():
     assert report.ok
     assert report.rounds == case.rounds
     assert report.n_consumers > 0
+    # No divergence to localize on a clean case.
+    assert report.divergence is None
+
+
+def test_mismatch_is_localized_to_first_divergent_round():
+    """A sabotaged vector history pinpoints the first bad round record."""
+    from tussle.obs.diff import first_divergence
+    from tussle.scale.parity import _round_lines
+    from tussle.scale.vmarket import VectorMarket
+
+    case = parity_cases()[0]
+    market = VectorMarket(**case.spec(seed=PARITY_SEEDS[0]))
+    market.run(case.rounds)
+    healthy = _round_lines(market.history)
+    perturbed_round = market.history[5]
+    perturbed_round.switches += 1
+    divergence = first_divergence(healthy, _round_lines(market.history))
+    # _round_lines re-serializes from live objects, so the perturbation
+    # shows up exactly at round 5 with the changed field named.
+    assert divergence is not None and divergence.index == 5
+    assert "switches" in divergence.changed_fields
 
 
 class TestCli:

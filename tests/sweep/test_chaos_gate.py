@@ -11,6 +11,7 @@ import pytest
 
 from tussle.experiments import ALL_EXPERIMENTS
 from tussle.experiments.common import canonical_json
+from tussle.obs.diff import first_divergence, format_divergence
 from tussle.resil import WorkerChaos
 from tussle.sweep import (
     InProcessExecutor,
@@ -22,9 +23,18 @@ from tussle.sweep import (
 from tussle.sweep.executors import cell_task
 
 
-def merged_json(report):
-    return canonical_json({"cells": report.cells,
-                           "aggregate": aggregate(report.cells)})
+def merged_lines(report):
+    """One canonical record per cell plus the aggregate, diff-friendly."""
+    return ([canonical_json(cell) for cell in report.cells]
+            + [canonical_json(aggregate(report.cells))])
+
+
+def assert_streams_identical(healthy, chaotic):
+    """Byte-identity with a localized first divergence on failure."""
+    divergence = first_divergence(healthy, chaotic)
+    assert divergence is None, (
+        "chaos run diverged from healthy run:\n"
+        + format_divergence(divergence, "healthy", "chaos"))
 
 
 def doomed_cells(chaos, spec):
@@ -45,13 +55,13 @@ class TestChaosGate:
         # The gate only means something if sabotage actually happens.
         assert doomed, "chaos seed dooms no cells; pick another seed"
 
-        healthy = merged_json(run_sweep(spec, executor=InProcessExecutor()))
+        healthy = merged_lines(run_sweep(spec, executor=InProcessExecutor()))
         executor = ResilientExecutor(jobs=4, timeout=2.0, retries=3,
                                      chaos=chaos)
         report = run_sweep(spec, executor=executor)
 
         assert report.ok, f"chaos sweep failed cells: {report.failed}"
-        assert merged_json(report) == healthy
+        assert_streams_identical(healthy, merged_lines(report))
         assert executor.recovery["recovered_cells"] == len(doomed)
         assert executor.recovery["failed_cells"] == 0
         assert executor.recovery["retries"] >= len(doomed)
@@ -73,12 +83,12 @@ class TestFullMatrixChaosGate:
     def test_full_registry_survives_chaos(self):
         spec = SweepSpec(experiment_ids=sorted(ALL_EXPERIMENTS),
                          seeds=list(range(3)), grid={})
-        healthy = merged_json(run_sweep(spec, executor=InProcessExecutor()))
+        healthy = merged_lines(run_sweep(spec, executor=InProcessExecutor()))
         # Every registered experiment completes in well under a second,
         # so 5s is a 15x margin while keeping hang-mode cells cheap.
         executor = ResilientExecutor(jobs=4, timeout=5.0, retries=3,
                                      chaos=WorkerChaos(seed=0, fraction=0.3))
         report = run_sweep(spec, executor=executor)
         assert report.ok
-        assert merged_json(report) == healthy
+        assert_streams_identical(healthy, merged_lines(report))
         assert executor.recovery["failed_cells"] == 0

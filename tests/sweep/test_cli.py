@@ -98,3 +98,58 @@ class TestSweepCli:
     def test_seeds_must_be_positive(self):
         with pytest.raises(SystemExit):
             main(["sweep", "E01", "--seeds", "0"])
+
+
+class TestSweepTelemetryCli:
+    ARGS = ("sweep", "E01", "--seeds", "2",
+            "--grid", "n_consumers=40", "--grid", "rounds=8")
+
+    def test_summary_line_always_printed(self, capsys):
+        code = main(list(self.ARGS))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep: 2 cells, 0 cache hits, 0 retries, 0 failures," in out
+        assert "s wall" in out
+
+    def test_summary_line_goes_to_stderr_under_json(self, capsys):
+        code = main(list(self.ARGS) + ["--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        json.loads(captured.out)  # stdout stays a clean JSON document
+        assert "sweep: 2 cells" in captured.err
+
+    def test_telemetry_flag_writes_both_channels(self, capsys, tmp_path):
+        target = tmp_path / "telemetry.jsonl"
+        code = main(list(self.ARGS) + ["--telemetry", str(target)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert target.exists()
+        assert (tmp_path / "telemetry.wall.jsonl").exists()
+        assert "telemetry written to" in captured.err
+        first = json.loads(target.read_text().splitlines()[0])
+        assert first == {"kind": "meta", "schema": 1,
+                         "channel": "deterministic"}
+
+    def test_telemetry_det_channel_identical_across_jobs(
+            self, capsys, tmp_path):
+        serial, pooled = tmp_path / "serial.jsonl", tmp_path / "pooled.jsonl"
+        main(list(self.ARGS) + ["--telemetry", str(serial)])
+        main(list(self.ARGS) + ["--jobs", "2", "--telemetry", str(pooled)])
+        capsys.readouterr()
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_progress_streams_running_verdicts(self, capsys):
+        code = main(list(self.ARGS) + ["--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[1/2] E01 seed=0 ok" in captured.err
+        assert "[2/2] E01 seed=1 ok | E01 shape holds on 2/2 seeds" \
+            in captured.err
+
+    def test_progress_json_matches_batch_aggregate(self, capsys):
+        code_batch = main(list(self.ARGS) + ["--json"])
+        batch = capsys.readouterr().out
+        code_stream = main(list(self.ARGS) + ["--json", "--progress"])
+        streamed = capsys.readouterr().out
+        assert code_batch == code_stream == 0
+        assert batch == streamed

@@ -1,0 +1,145 @@
+"""Streaming aggregation: the digest and the running-verdict folder."""
+
+import random
+import statistics
+
+import pytest
+
+from tussle.canon import canonical_json
+from tussle.errors import SweepError
+from tussle.sweep import (
+    InProcessExecutor,
+    MergingDigest,
+    StreamingAggregator,
+    SweepSpec,
+    aggregate,
+    run_sweep,
+)
+
+SPEC = SweepSpec(
+    experiment_ids=["E01", "E10"],
+    seeds=[0, 1, 2],
+    grid={"rounds": [6]},
+)
+
+
+class TestMergingDigest:
+    def test_exact_below_cap(self):
+        values = [3.0, 1.0, 2.0, 2.0, 5.0]
+        digest = MergingDigest.from_values(values)
+        assert digest.exact
+        assert digest.minimum() == 1.0 and digest.maximum() == 5.0
+        assert digest.mean() == pytest.approx(statistics.mean(values))
+        assert digest.median() == statistics.median(values)
+
+    def test_insertion_order_insensitive(self):
+        rng = random.Random(7)
+        values = [rng.uniform(-50, 50) for _ in range(101)]
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        a = MergingDigest.from_values(values)
+        b = MergingDigest.from_values(shuffled)
+        assert canonical_json(a.summary()) == canonical_json(b.summary())
+        assert a.to_dict() == b.to_dict()
+
+    def test_median_matches_statistics_exactly(self):
+        rng = random.Random(3)
+        for n in (1, 2, 5, 100, 101):
+            values = [rng.uniform(0, 10) for _ in range(n)]
+            digest = MergingDigest.from_values(values)
+            assert digest.median() == statistics.median(values), n
+
+    def test_merge_equals_bulk_build(self):
+        left = MergingDigest.from_values([1.0, 4.0, 2.0])
+        right = MergingDigest.from_values([3.0, 0.5])
+        left.merge(right)
+        bulk = MergingDigest.from_values([1.0, 4.0, 2.0, 3.0, 0.5])
+        assert left.to_dict() == bulk.to_dict()
+
+    def test_serialization_round_trip(self):
+        digest = MergingDigest.from_values([2.0, 1.0, 3.0])
+        clone = MergingDigest.from_dict(digest.to_dict())
+        assert clone.summary() == digest.summary()
+        assert clone.count == 3
+
+    def test_compression_preserves_extremes_and_count(self):
+        digest = MergingDigest(cap=8)
+        for value in range(100):
+            digest.add(float(value))
+        assert not digest.exact
+        assert digest.count == 100
+        assert digest.minimum() == 0.0 and digest.maximum() == 99.0
+        assert digest.mean() == pytest.approx(49.5)
+
+    def test_empty_digest_raises(self):
+        with pytest.raises(SweepError, match="empty"):
+            MergingDigest().minimum()
+
+    def test_cap_must_hold_two(self):
+        with pytest.raises(SweepError, match="cap"):
+            MergingDigest(cap=1)
+
+
+class TestStreamingAggregator:
+    def payloads(self):
+        return run_sweep(SPEC, executor=InProcessExecutor()).cells
+
+    def test_snapshot_matches_batch_byte_for_byte(self):
+        cells = self.payloads()
+        streaming = StreamingAggregator()
+        for payload in cells:
+            streaming.fold(payload)
+        assert canonical_json(streaming.snapshot()) == \
+            canonical_json(aggregate(cells))
+
+    def test_fold_order_does_not_matter(self):
+        cells = self.payloads()
+        shuffled = list(cells)
+        random.Random(11).shuffle(shuffled)
+        streaming = StreamingAggregator()
+        for payload in shuffled:
+            streaming.fold(payload)
+        assert canonical_json(streaming.snapshot()) == \
+            canonical_json(aggregate(cells))
+
+    def test_running_verdicts_update_per_fold(self):
+        cells = [c for c in self.payloads() if c["experiment_id"] == "E01"]
+        streaming = StreamingAggregator()
+        group = streaming.fold(cells[0])
+        assert group.verdict() == "E01 shape holds on 1/1 seeds"
+        assert group.verdict(total_seeds=3) == \
+            "E01 shape holds on 1/3 seeds"
+        streaming.fold(cells[1])
+        assert streaming.verdicts() == ["E01 shape holds on 2/2 seeds"]
+        assert streaming.cells_seen == 2
+
+    def test_failed_cells_fold_into_failed_seeds(self):
+        cells = self.payloads()
+        broken = dict(cells[0])
+        broken["status"] = "error"
+        streaming = StreamingAggregator()
+        group = streaming.fold(broken)
+        assert group.failed_seeds == [broken["base_seed"]]
+        assert "(1 failed)" in group.verdict()
+        snapshot = streaming.snapshot()
+        assert snapshot["groups"][0]["cells_failed"] == 1
+        assert snapshot["robust"] is False
+
+    def test_duplicate_seed_rejected(self):
+        cells = self.payloads()
+        streaming = StreamingAggregator()
+        streaming.fold(cells[0])
+        with pytest.raises(SweepError, match="folded twice"):
+            streaming.fold(cells[0])
+
+    def test_streaming_failed_matches_batch(self):
+        cells = self.payloads()
+        broken = [dict(c) for c in cells]
+        broken[1]["status"] = "error"
+        broken[1] = {**broken[1], "result": None,
+                     "error": {"type": "RuntimeError", "message": "boom"}}
+        streaming = StreamingAggregator()
+        for payload in broken:
+            streaming.fold(payload)
+        assert canonical_json(streaming.snapshot()) == \
+            canonical_json(aggregate(broken))
