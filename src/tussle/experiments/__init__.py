@@ -27,14 +27,16 @@ from .x06_qos_binding import run_x06
 from .x07_transparency_failures import run_x07
 from .r01_fault_blame import run_r01
 from .r02_retry_recovery import run_r02
+from .n01_substrate import run_n01
 from ..scale.large import run_l01, run_l02
 
 #: The twelve paper-claim experiments plus extension experiments
 #: (X01 multicast exercise, X02 policy-authority ablation, X03 mail
 #: choice + guidelines audit, X04 dynamic isolation, X05 network collision, X06 QoS binding, X07 transparency failures)
 #: the at-scale re-runs (L01 lock-in, L02 value pricing) on the
-#: vectorized ``tussle.scale`` backend, and the resilience experiments
-#: (R01 fault-blame routing, R02 retry/breaker recovery).
+#: vectorized ``tussle.scale`` backend, the resilience experiments
+#: (R01 fault-blame routing, R02 retry/breaker recovery), and the
+#: substrate-fidelity invariance experiment (N01).
 ALL_EXPERIMENTS = {
     "E01": run_e01,
     "E02": run_e02,
@@ -59,6 +61,7 @@ ALL_EXPERIMENTS = {
     "L02": run_l02,
     "R01": run_r01,
     "R02": run_r02,
+    "N01": run_n01,
 }
 
 __all__ = [
@@ -68,4 +71,5 @@ __all__ = [
     "run_x01", "run_x02", "run_x03", "run_x04", "run_x05", "run_x06", "run_x07",
     "run_l01", "run_l02",
     "run_r01", "run_r02",
+    "run_n01",
 ]

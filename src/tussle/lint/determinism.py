@@ -142,12 +142,13 @@ RETRY_SLEEP_ALLOWLIST = ("tussle/sweep/executors.py",)
 #: Modules held to the vectorized-kernel discipline: D111 flags Python
 #: loops over agent populations inside these files (provider-column loops
 #: are fine; per-consumer loops are not).
-VECTORIZED_KERNEL_PATHS = ("tussle/scale/kernels.py",)
+VECTORIZED_KERNEL_PATHS = ("tussle/scale/kernels.py",
+                           "tussle/scale/nkernels.py")
 
 #: Identifier fragments that mark an iterable as an agent population.
 #: Matching is case-insensitive over every Name/Attribute/argument
 #: identifier inside the loop's iterable expression.
-_POPULATION_TOKENS = ("consumer", "agent", "population")
+_POPULATION_TOKENS = ("consumer", "agent", "population", "packet", "flow")
 
 #: Module-level functions of ``random`` that mutate/read the global RNG.
 _STATEFUL_RANDOM_FNS = {

@@ -38,7 +38,12 @@ __all__ = [
 
 #: Modules whose every function must be verifiably pure (the scalar /
 #: vector bit-parity contract).
-PURE_CONTRACT_PATHS = ("tussle/econ/decision.py", "tussle/scale/kernels.py")
+PURE_CONTRACT_PATHS = (
+    "tussle/econ/decision.py",
+    "tussle/scale/kernels.py",
+    "tussle/netsim/decision.py",
+    "tussle/scale/nkernels.py",
+)
 
 #: Modules scanned for already-pure, vectorization-eligible functions
 #: (the ROADMAP's netsim/routing kernel extraction).

@@ -40,7 +40,7 @@ from .middlebox import (
     Verdict,
     Wiretap,
 )
-from .forwarding import DeliveryReceipt, DeliveryStatus, ForwardingEngine
+from .forwarding import DeliveryReceipt, DeliveryStatus, ForwardingEngine, PrefixFib
 from .transport import (
     AIMDFlow,
     CheaterFlow,
@@ -88,7 +88,7 @@ __all__ = [
     "Action", "BlanketFirewall", "Cache", "Middlebox", "NAT",
     "PortFilterFirewall", "Redirector", "TransparencyLedger", "Verdict", "Wiretap",
     # forwarding
-    "DeliveryReceipt", "DeliveryStatus", "ForwardingEngine",
+    "DeliveryReceipt", "DeliveryStatus", "ForwardingEngine", "PrefixFib",
     # transport
     "AIMDFlow", "CheaterFlow", "Flow", "SharedBottleneck", "fairness_index",
     # dns

@@ -35,18 +35,24 @@ from typing import Any, Callable, List, Optional
 from ..errors import SimulationError
 from ..obs.runtime import current as _obs_current
 from ..obs.tracer import callback_name as _callback_name
+from .decision import event_key
 
 __all__ = ["EventHandle", "Simulator", "Process"]
 
 
-@dataclass(order=True)
+@dataclass
 class _Entry:
-    """Internal heap entry; ordering is (time, priority, seq)."""
+    """Internal heap entry; ordering is ``decision.event_key``:
+    (time, priority, seq)."""
 
     time: float
     priority: int
     seq: int
     handle: "EventHandle" = field(compare=False)
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return (event_key(self.time, self.priority, self.seq)
+                < event_key(other.time, other.priority, other.seq))
 
 
 class EventHandle:

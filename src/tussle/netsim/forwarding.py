@@ -25,15 +25,17 @@ from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import RoutingError
+from . import decision
 from .engine import Simulator
 from .middlebox import Action, Middlebox, TransparencyLedger
 from .packets import Packet
 from .topology import Network
 
-__all__ = ["DeliveryStatus", "DeliveryReceipt", "ForwardingEngine"]
+__all__ = ["DeliveryStatus", "DeliveryReceipt", "ForwardingEngine", "PrefixFib"]
 
-#: Safety bound on path length to catch routing loops.
-MAX_TTL = 64
+#: Safety bound on path length to catch routing loops (the canonical
+#: definition lives with the other shared rules in ``netsim.decision``).
+MAX_TTL = decision.MAX_TTL
 
 
 class DeliveryStatus(Enum):
@@ -71,6 +73,35 @@ class DeliveryReceipt:
         return self.status in (DeliveryStatus.DELIVERED, DeliveryStatus.REDIRECTED)
 
 
+class PrefixFib:
+    """A longest-prefix forwarding table over node-name prefixes.
+
+    Deterministic under permuted insertion order: duplicate prefixes are
+    deduplicated at insert time (last insert wins, like a routing update
+    replacing an earlier advertisement), distinct equal-length prefixes
+    cannot both match one name, and lookups scan entries in sorted order
+    through :func:`tussle.netsim.decision.longest_prefix_match`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, str] = {}
+
+    def insert(self, prefix: str, next_hop: str) -> None:
+        """Add (or replace) the entry for ``prefix``."""
+        self._entries[prefix] = next_hop
+
+    def entries(self) -> List[Tuple[str, str]]:
+        """The deduplicated ``(prefix, next_hop)`` entries, sorted."""
+        return sorted(self._entries.items())
+
+    def lookup(self, name: str) -> Optional[str]:
+        """The next hop for the longest prefix of ``name``, or ``None``."""
+        return decision.longest_prefix_match(self.entries(), name)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class ForwardingEngine:
     """Hop-by-hop packet delivery with middlebox processing.
 
@@ -96,6 +127,7 @@ class ForwardingEngine:
         self.sim = sim
         self.honor_source_routes = honor_source_routes
         self.tables: Dict[str, Dict[str, str]] = {}
+        self.prefix_tables: Dict[str, PrefixFib] = {}
         self.middleboxes: Dict[str, List[Middlebox]] = {}
         self.ledger = TransparencyLedger()
         self.receipts: List[DeliveryReceipt] = []
@@ -114,6 +146,15 @@ class ForwardingEngine:
     def install_tables(self, tables: Dict[str, Dict[str, str]]) -> None:
         for node, table in tables.items():
             self.install_table(node, table)
+
+    def install_prefix_table(self, node: str, fib: PrefixFib) -> None:
+        """Install a longest-prefix FIB consulted on exact-table misses."""
+        self.network.node(node)
+        for prefix, nxt in fib.entries():
+            if not self.network.has_node(nxt):
+                raise RoutingError(
+                    f"prefix FIB at {node!r} names unknown next hop {nxt!r}")
+        self.prefix_tables[node] = fib
 
     def attach_middlebox(self, node: str, box: Middlebox) -> None:
         """Attach a middlebox to process every packet transiting ``node``."""
@@ -163,10 +204,9 @@ class ForwardingEngine:
         packet.record_hop(current)
         route = list(packet.source_route) if packet.source_route else None
         route_index = 0
-        if route is not None:
+        if route:
             # Source route must begin at (or after) the start node.
-            if route and route[0] == start:
-                route_index = 1
+            route_index = decision.route_start_index(route[0], start)
 
         for _ in range(MAX_TTL):
             verdict_result = self._apply_middleboxes(packet, current)
@@ -199,7 +239,7 @@ class ForwardingEngine:
                     packet = new_packet
 
             destination = packet.header.dst
-            if current == destination:
+            if decision.at_destination(current, destination):
                 return DeliveryReceipt(
                     packet=packet,
                     status=DeliveryStatus.DELIVERED,
@@ -226,13 +266,23 @@ class ForwardingEngine:
                     interfering_node=current,
                     diagnostic=f"{current!r} refuses source-routed traffic",
                 )
-            if not self.network.has_link(current, next_hop) or not self.network.link(current, next_hop).up:
+            exists = self.network.has_link(current, next_hop)
+            link = self.network.link(current, next_hop) if exists else None
+            if not decision.link_usable(
+                exists,
+                link.up if link is not None else False,
+                link.capacity if link is not None else 0.0,
+            ):
+                if link is not None and link.up:
+                    diag = f"link {current!r}-{next_hop!r} has no capacity"
+                else:
+                    diag = f"link {current!r}-{next_hop!r} is down"
                 return DeliveryReceipt(
                     packet=packet,
                     status=DeliveryStatus.LINK_DOWN,
                     path=path,
                     latency=latency,
-                    diagnostic=f"link {current!r}-{next_hop!r} is down",
+                    diagnostic=diag,
                 )
             latency += self.network.link(current, next_hop).latency
             current = next_hop
@@ -283,12 +333,19 @@ class ForwardingEngine:
         route: Optional[List[str]],
         route_index: int,
     ) -> Optional[str]:
+        route_hop = None
         if route is not None and route_index < len(route):
-            if not self.honor_source_routes:
-                return "<refused>"
-            return route[route_index]
-        table = self.tables.get(current, {})
-        return table.get(packet.header.dst)
+            route_hop = route[route_index]
+        table_hop = self.tables.get(current, {}).get(packet.header.dst)
+        if table_hop is None:
+            fib = self.prefix_tables.get(current)
+            if fib is not None:
+                table_hop = fib.lookup(packet.header.dst)
+        hop, refused = decision.next_hop_choice(
+            table_hop, route_hop, self.honor_source_routes)
+        if refused:
+            return "<refused>"
+        return hop
 
     def _diagnose_drop(self, path: List[str], box_name: str, disclosed: bool) -> str:
         """Produce the fault report an end user would see.

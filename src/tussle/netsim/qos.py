@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
+from . import decision
 from .middlebox import Action, Middlebox, Verdict
 from .packets import Packet
 
@@ -64,8 +65,8 @@ class PortQosClassifier(QosClassifier):
     name: str = "port-bound"
 
     def prioritize(self, packet: Packet) -> bool:
-        observed = packet.observable_application()
-        return observed is not None and observed in self.priority_applications
+        return decision.port_prioritized(
+            packet.observable_application(), self.priority_applications)
 
 
 @dataclass
@@ -83,9 +84,11 @@ class TosQosClassifier(QosClassifier):
     revenue: float = 0.0
 
     def prioritize(self, packet: Packet) -> bool:
-        prioritized = packet.observable_tos() >= self.threshold
-        if prioritized and self.bill_per_packet > 0:
-            self.revenue += self.bill_per_packet
+        prioritized = decision.tos_prioritized(
+            packet.observable_tos(), self.threshold)
+        charge = decision.priority_charge(prioritized, self.bill_per_packet)
+        if charge:
+            self.revenue += charge
         return prioritized
 
 

@@ -259,6 +259,12 @@ class ReliableSender:
                 outcome.gave_up = "retries"
                 break
             clock += deadline.clamp(clock, self.backoff.next_delay())
+            if deadline.expired(clock):
+                # A clamped wait lands exactly on expires_at: the budget
+                # is spent, so give up now rather than firing one more
+                # attempt at t == deadline.
+                outcome.gave_up = "deadline"
+                break
 
         outcome.elapsed = clock - start
         return outcome

@@ -1,19 +1,49 @@
-"""``tussle.scale`` — vectorized population kernels for large markets.
+"""``tussle.scale`` — vectorized population kernels for markets and nets.
 
-The scalar :class:`~tussle.econ.market.Market` is the readable
-reference; this package is the fast backend.  Consumer populations live
-in NumPy structure-of-arrays (:mod:`~tussle.scale.arrays`), each market
-round runs as whole-population kernels (:mod:`~tussle.scale.kernels`),
-and :class:`~tussle.scale.vmarket.VectorMarket` wraps them behind the
-scalar market's interface.  The two backends are held bit-for-bit equal
-by the parity harness (:mod:`~tussle.scale.parity`, also
+The scalar :class:`~tussle.econ.market.Market` and
+:class:`~tussle.netsim.forwarding.ForwardingEngine` are the readable
+references; this package is the fast backend for both.
+
+Market side: consumer populations live in NumPy structure-of-arrays
+(:mod:`~tussle.scale.arrays`), each market round runs as
+whole-population kernels (:mod:`~tussle.scale.kernels`), and
+:class:`~tussle.scale.vmarket.VectorMarket` wraps them behind the scalar
+market's interface.  The backends are held bit-for-bit equal by the
+parity harness (:mod:`~tussle.scale.parity`, also
 ``python -m tussle.scale parity``).  :mod:`~tussle.scale.large` builds
 10^4–10^6-consumer scenarios and the L01/L02 at-scale experiments on
 top.
+
+Netsim side, the same recipe one rung up the fidelity ladder (see
+``DESIGN.md`` "Scale backends"): packet batches and dense link/FIB
+planes in :mod:`~tussle.scale.narrays`, per-round forwarding kernels in
+:mod:`~tussle.scale.nkernels`,
+:class:`~tussle.scale.vforwarding.VectorForwardingEngine` as the
+drop-in packet-vector backend, the byte-identity gate in
+:mod:`~tussle.scale.nparity` (``python -m tussle.scale netsim-parity``),
+and :mod:`~tussle.scale.flowsim` as the declared flow-level
+approximation for 10^6-flow populations.
 """
 
 from .arrays import ConsumerBatch, MarketArrays
+from .flowsim import FlowArrays, FlowReport, FlowSim, random_flows
+from .narrays import (
+    FibArrays,
+    LinkArrays,
+    NetIndex,
+    PacketArrays,
+    packets_from_traffic,
+    traffic_stream,
+)
+from .nparity import (
+    NetParityCase,
+    NetParityReport,
+    netsim_parity_cases,
+    run_netsim_parity,
+    verify_netsim_case,
+)
 from .parity import ParityCase, ParityReport, parity_cases, run_parity, verify_case
+from .vforwarding import NetRound, VectorForwardingEngine
 from .vmarket import VectorMarket
 
 __all__ = [
@@ -25,4 +55,23 @@ __all__ = [
     "parity_cases",
     "run_parity",
     "verify_case",
+    # netsim backend
+    "NetIndex",
+    "LinkArrays",
+    "FibArrays",
+    "PacketArrays",
+    "traffic_stream",
+    "packets_from_traffic",
+    "NetRound",
+    "VectorForwardingEngine",
+    "NetParityCase",
+    "NetParityReport",
+    "netsim_parity_cases",
+    "run_netsim_parity",
+    "verify_netsim_case",
+    # flow-level approximation
+    "FlowArrays",
+    "FlowReport",
+    "FlowSim",
+    "random_flows",
 ]

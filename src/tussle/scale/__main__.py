@@ -1,8 +1,11 @@
-"""CLI for the scale subsystem: ``python -m tussle.scale parity``.
+"""CLI for the scale subsystem: parity gates as shell commands.
 
-Runs the scalar-vs-vector parity harness over the E01/E02/E03
-configurations and exits non-zero on any mismatch, so CI can use it as
-a gate.  ``--json`` emits machine-readable reports.
+``python -m tussle.scale parity`` runs the scalar-vs-vector *market*
+harness over the E01/E02/E03 configurations;
+``python -m tussle.scale netsim-parity`` runs the *forwarding* harness
+over the topology configurations in :mod:`tussle.scale.nparity`.  Both
+exit non-zero on any mismatch, so CI uses them as gates, and both take
+``--json`` for machine-readable reports.
 """
 
 from __future__ import annotations
@@ -12,31 +15,13 @@ import json
 import sys
 from typing import List, Optional
 
+from .nparity import run_netsim_parity
 from .parity import PARITY_SEEDS, run_parity
 
 __all__ = ["main"]
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m tussle.scale",
-        description="Vectorized market backend tools.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-    parity = sub.add_parser(
-        "parity",
-        help="verify VectorMarket reproduces scalar MarketRound records",
-    )
-    parity.add_argument(
-        "--seeds", type=int, nargs="+", default=list(PARITY_SEEDS),
-        help=f"seeds to check each configuration under "
-             f"(default: {' '.join(map(str, PARITY_SEEDS))})",
-    )
-    parity.add_argument("--json", action="store_true",
-                        help="emit one JSON object per report")
-    args = parser.parse_args(argv)
-
-    reports = run_parity(seeds=args.seeds)
+def _print_reports(reports, args, count_field: str) -> int:
     failures = [r for r in reports if not r.ok]
     if args.json:
         payload = [
@@ -44,7 +29,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "label": r.label,
                 "seed": r.seed,
                 "rounds": r.rounds,
-                "n_consumers": r.n_consumers,
+                count_field: getattr(r, count_field),
                 "ok": r.ok,
                 "mismatches": r.mismatches,
                 "divergence": (r.divergence.to_dict()
@@ -59,7 +44,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for report in reports:
             status = "ok" if report.ok else "FAIL"
             print(f"[{status}] {report.label} seed={report.seed} "
-                  f"rounds={report.rounds} n={report.n_consumers}")
+                  f"rounds={report.rounds} n={getattr(report, count_field)}")
             for line in report.mismatches:
                 print(f"       {line}")
             if report.divergence is not None:
@@ -70,6 +55,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"parity: {len(reports) - len(failures)}/{len(reports)} "
               f"report(s) clean")
     return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tussle.scale",
+        description="Vectorized backend tools (markets and forwarding).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_gate(name: str, help_text: str) -> None:
+        gate = sub.add_parser(name, help=help_text)
+        gate.add_argument(
+            "--seeds", type=int, nargs="+", default=list(PARITY_SEEDS),
+            help=f"seeds to check each configuration under "
+                 f"(default: {' '.join(map(str, PARITY_SEEDS))})",
+        )
+        gate.add_argument("--json", action="store_true",
+                          help="emit one JSON object per report")
+
+    add_gate("parity",
+             "verify VectorMarket reproduces scalar MarketRound records")
+    add_gate("netsim-parity",
+             "verify VectorForwardingEngine reproduces scalar forwarding")
+    args = parser.parse_args(argv)
+
+    if args.command == "parity":
+        return _print_reports(run_parity(seeds=args.seeds), args,
+                              "n_consumers")
+    return _print_reports(run_netsim_parity(seeds=args.seeds), args,
+                          "n_packets")
 
 
 if __name__ == "__main__":

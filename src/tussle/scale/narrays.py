@@ -1,0 +1,225 @@
+"""Structure-of-arrays snapshots of networks, FIBs and packet batches.
+
+The scalar :class:`~tussle.netsim.forwarding.ForwardingEngine` walks
+Python objects hop by hop; the vectorized backend walks dense NumPy
+matrices.  This module is the bridge, mirroring :mod:`tussle.scale.arrays`
+for the network substrate:
+
+* :class:`NetIndex` — the node-name <-> column-index mapping.  Indices
+  follow :meth:`~tussle.netsim.topology.Network.node_names` insertion
+  order, so array row ``i`` always means the ``i``-th added node.
+* :class:`LinkArrays` — dense ``(n, n)`` latency/capacity planes plus a
+  usability mask with exactly the semantics of
+  :func:`tussle.netsim.decision.link_usable` (missing, down and
+  zero-capacity links are all unusable).
+* :class:`FibArrays` — dense ``(n, n)`` next-hop indices built from the
+  scalar engine's exact-destination tables (``-1`` = no route).
+* :class:`PacketArrays` — per-packet src/dst/ToS columns and the mutable
+  journey state (current node, accumulated latency, status, path length)
+  the vector engine updates round by round.
+
+Shared randomness, not re-drawn randomness
+------------------------------------------
+:func:`traffic_stream` is the *single* source of traffic for both
+backends: one ``random.Random(seed)`` draw sequence produces plain
+``(src, dst, tos)`` triples.  The scalar oracle wraps them into
+:class:`~tussle.netsim.packets.Packet` objects
+(:func:`packets_from_traffic`), the vector backend folds them into
+columns (:meth:`PacketArrays.from_traffic`) — so both consume the very
+same draws in the very same order and parity holds byte for byte, not
+merely in distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ScaleError
+from ..netsim.decision import link_usable
+from ..netsim.packets import Header, Packet
+from ..netsim.qos import PRIORITY_TOS
+from ..netsim.topology import Network
+
+__all__ = [
+    "NetIndex",
+    "LinkArrays",
+    "FibArrays",
+    "PacketArrays",
+    "traffic_stream",
+    "packets_from_traffic",
+]
+
+
+class NetIndex:
+    """Bidirectional node-name <-> array-index mapping."""
+
+    def __init__(self, names: Sequence[str]):
+        self.names: List[str] = list(names)
+        self.index: Dict[str, int] = {name: i
+                                      for i, name in enumerate(self.names)}
+        if len(self.index) != len(self.names):
+            raise ScaleError("node names must be unique")
+
+    @classmethod
+    def from_network(cls, network: Network) -> "NetIndex":
+        """Index nodes in insertion order (``Network.node_names``)."""
+        return cls(network.node_names())
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def of(self, name: str) -> int:
+        try:
+            return self.index[name]
+        except KeyError:
+            raise ScaleError(f"unknown node {name!r}") from None
+
+
+class LinkArrays:
+    """Dense per-link planes: latency, capacity, and usability.
+
+    ``usable[i, j]`` is True iff a link exists between nodes ``i`` and
+    ``j``, is up, and has positive capacity — element-wise
+    :func:`tussle.netsim.decision.link_usable`.  Latency/capacity hold
+    0.0 where no link exists (never read behind the mask).
+    """
+
+    def __init__(self, latency: np.ndarray, capacity: np.ndarray,
+                 usable: np.ndarray):
+        self.latency = latency
+        self.capacity = capacity
+        self.usable = usable
+
+    @classmethod
+    def from_network(cls, network: Network, index: NetIndex) -> "LinkArrays":
+        n = len(index)
+        latency = np.zeros((n, n), dtype=np.float64)
+        capacity = np.zeros((n, n), dtype=np.float64)
+        usable = np.zeros((n, n), dtype=bool)
+        for link in network.links:
+            i = index.of(link.a)
+            j = index.of(link.b)
+            latency[i, j] = latency[j, i] = link.latency
+            capacity[i, j] = capacity[j, i] = link.capacity
+            usable[i, j] = usable[j, i] = link_usable(
+                True, link.up, link.capacity)
+        return cls(latency, capacity, usable)
+
+    def nbytes(self) -> int:
+        return (self.latency.nbytes + self.capacity.nbytes
+                + self.usable.nbytes)
+
+
+class FibArrays:
+    """Dense next-hop matrix: ``next_hop[node, dst]`` (-1 = no route)."""
+
+    def __init__(self, next_hop: np.ndarray):
+        self.next_hop = next_hop
+
+    @classmethod
+    def from_tables(cls, tables: Dict[str, Dict[str, str]],
+                    index: NetIndex) -> "FibArrays":
+        n = len(index)
+        next_hop = np.full((n, n), -1, dtype=np.int64)
+        for node, table in tables.items():
+            i = index.of(node)
+            for dst, nxt in table.items():
+                next_hop[i, index.of(dst)] = index.of(nxt)
+        return cls(next_hop)
+
+    def nbytes(self) -> int:
+        return self.next_hop.nbytes
+
+
+class PacketArrays:
+    """Column-oriented packet batch plus mutable journey state.
+
+    Static columns (``src``, ``dst``, ``tos``) describe the traffic;
+    the journey columns (``current``, ``latency``, ``status``, ``hops``,
+    ``prioritized``) are written by
+    :meth:`~tussle.scale.vforwarding.VectorForwardingEngine.send_batch`
+    and read back by the parity harness.  ``hops`` counts path *nodes*
+    (the scalar receipt's ``len(path)``), so it starts at 1.
+    """
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray, tos: np.ndarray):
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.tos = np.asarray(tos, dtype=np.int64)
+        n = self.src.shape[0]
+        for column in (self.dst, self.tos):
+            if column.shape != (n,):
+                raise ScaleError(
+                    f"packet columns must share shape ({n},), "
+                    f"got {column.shape}")
+        self.current = self.src.copy()
+        self.latency = np.zeros(n, dtype=np.float64)
+        self.status = np.zeros(n, dtype=np.int64)
+        self.hops = np.ones(n, dtype=np.int64)
+        self.prioritized = np.zeros(n, dtype=bool)
+
+    @classmethod
+    def from_traffic(cls, traffic: Sequence[Tuple[str, str, int]],
+                     index: NetIndex) -> "PacketArrays":
+        """Fold ``(src, dst, tos)`` triples into columns."""
+        src = np.array([index.of(s) for s, _, _ in traffic], dtype=np.int64)
+        dst = np.array([index.of(d) for _, d, _ in traffic], dtype=np.int64)
+        tos = np.array([t for _, _, t in traffic], dtype=np.int64)
+        return cls(src, dst, tos)
+
+    def __len__(self) -> int:
+        return int(self.src.shape[0])
+
+    def nbytes(self) -> int:
+        return sum(column.nbytes for column in (
+            self.src, self.dst, self.tos, self.current, self.latency,
+            self.status, self.hops, self.prioritized))
+
+
+def traffic_stream(
+    node_names: Sequence[str],
+    n_packets: int,
+    seed: int,
+    priority_fraction: float = 0.25,
+    priority_tos: int = PRIORITY_TOS,
+) -> List[Tuple[str, str, int]]:
+    """The shared traffic sample both backends replay.
+
+    One ``random.Random(seed)`` stream, three draws per packet in a fixed
+    order (source, destination, priority coin), destinations never equal
+    sources.  Any backend consuming this list sees identical traffic —
+    the netsim analogue of ``MarketArrays.taste_matrix``.
+    """
+    names = list(node_names)
+    if len(names) < 2:
+        raise ScaleError("traffic needs at least two nodes")
+    rng = random.Random(seed)
+    out: List[Tuple[str, str, int]] = []
+    for _ in range(n_packets):
+        src = rng.randrange(len(names))
+        dst = rng.randrange(len(names) - 1)
+        if dst >= src:
+            dst += 1
+        tos = priority_tos if rng.random() < priority_fraction else 0
+        out.append((names[src], names[dst], tos))
+    return out
+
+
+def packets_from_traffic(
+    traffic: Sequence[Tuple[str, str, int]],
+    application: str = "generic",
+) -> List[Packet]:
+    """Materialize scalar ``Packet`` objects for the oracle backend.
+
+    Headers are built directly (not via ``make_packet``) so the batch
+    depends only on the traffic triples, not on the global packet-id
+    counter's position.
+    """
+    return [
+        Packet(header=Header(src=src, dst=dst, tos=tos),
+               application=application)
+        for src, dst, tos in traffic
+    ]

@@ -1,0 +1,148 @@
+"""Vectorized forwarding-round kernels.
+
+Each kernel is the NumPy mirror of one decision in the scalar forwarding
+loop (:meth:`tussle.netsim.forwarding.ForwardingEngine._forward`), with
+the shared rules of :mod:`tussle.netsim.decision` applied element-wise
+across the packet axis.  The contract is *byte parity* with the scalar
+engine's round records, not statistical agreement, which constrains how
+these are written:
+
+* **No reassociation.**  Per-packet latency accumulates one hop at a
+  time (``latency + delta``), exactly the scalar's ``latency +=
+  link.latency``; round totals use :func:`~tussle.scale.kernels.
+  ordered_total` (strict left-to-right ``cumsum``), never ``np.sum``.
+  Zero-padding non-movers is safe because ``t + 0.0`` is a bitwise no-op
+  on the non-negative accumulators these streams produce.
+* **Masks are resolved in the scalar's order.**  Each round: no-route,
+  then link-down, then movement, then (below the TTL) delivery — the
+  order the scalar loop checks them, so a packet that would hit two
+  conditions resolves to the same status in both backends.
+* **Invalid next hops never index.**  A ``-1`` (no route) next hop is
+  clamped to 0 before any fancy index; the corresponding lanes are
+  already masked out, so the clamped reads are dead values.
+
+Kernels never loop over the packet population: everything is whole-array
+NumPy (lint rule D111 enforces this for this module).  Every function is
+also under the F205/F206 purity contract — no argument mutation, no
+hidden state — so the flow analyser proves the kernels are pure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import ordered_total
+
+__all__ = [
+    "IN_FLIGHT",
+    "DELIVERED",
+    "NO_ROUTE",
+    "LINK_DOWN",
+    "TTL_EXCEEDED",
+    "priority_mask",
+    "priority_revenue",
+    "delivered_mask",
+    "lookup_next_hop",
+    "no_route_mask",
+    "link_down_mask",
+    "hop_latency_deltas",
+    "advance",
+    "resolve_status",
+    "mask_count",
+    "round_total",
+    "net_kernel_bytes",
+]
+
+#: Integer status codes for the packet ``status`` column.  0 must stay
+#: "in flight" so a zero-initialized column means "journey not resolved".
+IN_FLIGHT = 0
+DELIVERED = 1
+NO_ROUTE = 2
+LINK_DOWN = 3
+TTL_EXCEEDED = 4
+
+
+def priority_mask(tos: np.ndarray, threshold: int) -> np.ndarray:
+    """Element-wise :func:`tussle.netsim.decision.tos_prioritized`."""
+    return tos >= threshold
+
+
+def priority_revenue(prioritized: np.ndarray, bill_per_packet: float) -> float:
+    """Total priority billing, accumulated in packet order.
+
+    Element-wise :func:`tussle.netsim.decision.priority_charge` followed
+    by the scalar classifier's sequential ``revenue += bill`` walk
+    (zero rows are bitwise no-ops on the never-negative accumulator).
+    """
+    if bill_per_packet <= 0:
+        return 0.0
+    deltas = np.where(prioritized, bill_per_packet, 0.0)
+    return ordered_total(deltas.reshape(-1, 1))
+
+
+def delivered_mask(active: np.ndarray, current: np.ndarray,
+                   dst: np.ndarray) -> np.ndarray:
+    """Who is at their destination — element-wise ``at_destination``."""
+    return active & (current == dst)
+
+
+def lookup_next_hop(fib_next_hop: np.ndarray, current: np.ndarray,
+                    dst: np.ndarray) -> np.ndarray:
+    """Each packet's next-hop index from the dense FIB (-1 = no route)."""
+    return fib_next_hop[current, dst]
+
+
+def no_route_mask(active: np.ndarray, hop: np.ndarray) -> np.ndarray:
+    """Active packets whose FIB has no entry for their destination."""
+    return active & (hop < 0)
+
+
+def link_down_mask(active: np.ndarray, usable: np.ndarray,
+                   current: np.ndarray, hop: np.ndarray) -> np.ndarray:
+    """Active, routed packets whose chosen link is unusable.
+
+    ``usable`` already folds existence, operational state and capacity
+    (element-wise :func:`tussle.netsim.decision.link_usable`).
+    """
+    safe_hop = np.where(hop >= 0, hop, 0)
+    return active & (hop >= 0) & ~usable[current, safe_hop]
+
+
+def hop_latency_deltas(latency: np.ndarray, current: np.ndarray,
+                       hop: np.ndarray, moving: np.ndarray) -> np.ndarray:
+    """Per-packet latency contribution of this round (0.0 if not moving)."""
+    safe_hop = np.where(hop >= 0, hop, 0)
+    return np.where(moving, latency[current, safe_hop], 0.0)
+
+
+def advance(current: np.ndarray, hop: np.ndarray,
+            moving: np.ndarray) -> np.ndarray:
+    """Move the moving packets to their next hop."""
+    return np.where(moving, hop, current)
+
+
+def resolve_status(status: np.ndarray, mask: np.ndarray,
+                   code: int) -> np.ndarray:
+    """Stamp ``code`` onto the masked lanes of the status column."""
+    return np.where(mask, code, status)
+
+
+def mask_count(mask: np.ndarray) -> int:
+    """How many lanes a boolean mask selects."""
+    return int(np.count_nonzero(mask))
+
+
+def round_total(deltas: np.ndarray) -> float:
+    """Round latency total: strict left-to-right sum in packet order."""
+    return ordered_total(deltas.reshape(-1, 1))
+
+
+def net_kernel_bytes(n_packets: int, n_nodes: int) -> int:
+    """Approximate bytes one vector round streams over.
+
+    The dense FIB/latency/usable planes plus the ~8 per-packet working
+    columns at 8 bytes — fed to the ``scale.kernel`` ``kernel_bytes``
+    histogram so memory footprint shows up alongside timing.
+    """
+    plane = n_nodes * n_nodes
+    return 3 * plane * 8 + 8 * n_packets * 8

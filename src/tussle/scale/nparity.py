@@ -1,0 +1,441 @@
+"""Scalar-vs-vector netsim parity harness.
+
+The ``tussle.scale`` netsim contract is: swapping
+:class:`~tussle.netsim.forwarding.ForwardingEngine` for
+:class:`~tussle.scale.vforwarding.VectorForwardingEngine` changes
+*nothing* but wall time.  This module enforces it: every parity case
+builds one engine of each backend from two calls to the same spec
+function (identical seeds, fresh networks), replays the *same*
+:func:`~tussle.scale.narrays.traffic_stream` through both, and compares
+
+* every :class:`~tussle.scale.vforwarding.NetRound` field of every
+  round — delivery/failure counts, in-flight population, per-round
+  latency totals, QoS priority counts and billing revenue — against the
+  same records derived from the scalar engine's receipts,
+* the final per-packet state (status, path length, accumulated latency,
+  delivery node, priority classification).
+
+Cases span the topology shapes the experiments actually forward over —
+lines, stars, dumbbells, rings, grids, trees, multihomed graphs — plus
+the adversarial shapes the edge-case tests pin: partitioned graphs
+(no-route), seeded link failures and a zero-capacity bottleneck
+(link-down), and deliberately looping tables (TTL-exceeded).  Exposed as
+``python -m tussle.scale netsim-parity`` and as a blocking test in
+``tests/scale/test_netsim_parity.py``.
+
+Float fields are compared with ``==`` (no tolerance): the backends are
+built to agree byte for byte, and any drift is a kernel bug, not noise
+to paper over.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..canon import canonical_json
+from ..errors import ScaleError
+from ..netsim.decision import MAX_TTL
+from ..netsim.forwarding import DeliveryStatus, ForwardingEngine
+from ..netsim.qos import PRIORITY_TOS, TosQosClassifier
+from ..netsim.topology import (
+    Network,
+    dumbbell_topology,
+    line_topology,
+    multihomed_topology,
+    star_topology,
+)
+from .narrays import NetIndex, PacketArrays, packets_from_traffic, traffic_stream
+from .parity import PARITY_SEEDS, _MAX_MISMATCHES
+from .vforwarding import NetRound, VectorForwardingEngine
+
+__all__ = [
+    "NetParityCase",
+    "NetParityReport",
+    "netsim_parity_cases",
+    "scalar_round_records",
+    "verify_netsim_case",
+    "run_netsim_parity",
+]
+
+#: Per-packet billing rate used by the QoS-enabled parity cases.
+_BILL = 0.75
+
+_ROUND_FIELDS = ("index", "delivered", "no_route", "link_down",
+                 "ttl_exceeded", "in_flight", "latency", "prioritized",
+                 "revenue")
+
+
+@dataclass
+class NetParityCase:
+    """One forwarding configuration to parity-check.
+
+    ``spec`` maps a seed to a fresh ``(network, tables, traffic)``
+    triple: ``tables`` is ``None`` for shortest-path forwarding, else an
+    explicit table dict; ``traffic`` is the shared ``(src, dst, tos)``
+    sample both backends replay.
+    """
+
+    label: str
+    spec: Callable[[int], Tuple[Network, Optional[Dict[str, Dict[str, str]]],
+                                List[Tuple[str, str, int]]]]
+    bill_per_packet: float = _BILL
+
+
+@dataclass
+class NetParityReport:
+    """Outcome of one (case, seed) comparison.
+
+    ``divergence`` localizes a round-record failure as a
+    :class:`~tussle.obs.diff.Divergence` over the canonical-JSON round
+    streams of both backends — the first divergent round, with aligned
+    context and the changed fields named.
+    """
+
+    label: str
+    seed: int
+    rounds: int
+    n_packets: int
+    mismatches: List[str] = field(default_factory=list)
+    divergence: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+# ----------------------------------------------------------------------
+# Topology builders for shapes the stock builders do not cover
+# ----------------------------------------------------------------------
+def _ring_topology(n: int) -> Network:
+    net = line_topology(n, prefix="r")
+    net.add_link(f"r{n-1}", "r0", latency=0.01)
+    return net
+
+
+def _grid_topology(rows: int, cols: int) -> Network:
+    net = Network()
+    for r in range(rows):
+        for c in range(cols):
+            net.add_node(f"g{r}-{c}")
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                net.add_link(f"g{r}-{c}", f"g{r}-{c+1}", latency=0.01)
+            if r + 1 < rows:
+                net.add_link(f"g{r}-{c}", f"g{r+1}-{c}", latency=0.02)
+    return net
+
+
+def _tree_topology(depth: int) -> Network:
+    net = Network()
+    net.add_node("t1")
+    for i in range(2, 2 ** depth):
+        net.add_node(f"t{i}")
+        net.add_link(f"t{i}", f"t{i // 2}", latency=0.005)
+    return net
+
+
+def _partitioned_topology() -> Network:
+    net = Network()
+    for i in range(4):
+        net.add_node(f"a{i}")
+        net.add_node(f"b{i}")
+    for i in range(3):
+        net.add_link(f"a{i}", f"a{i+1}", latency=0.01)
+        net.add_link(f"b{i}", f"b{i+1}", latency=0.01)
+    return net
+
+
+def _loop_tables_network() -> Tuple[Network, Dict[str, Dict[str, str]]]:
+    """Tables with a deliberate a<->b loop toward ``c`` (TTL exercise)."""
+    net = Network()
+    for name in ("a", "b", "c"):
+        net.add_node(name)
+    net.add_link("a", "b", latency=0.01)
+    net.add_link("b", "c", latency=0.01)
+    tables = {
+        "a": {"c": "b", "b": "b"},
+        "b": {"c": "a", "a": "a"},  # the loop: b sends c-bound traffic back
+        "c": {"a": "b", "b": "b"},
+    }
+    return net, tables
+
+
+def _self_loop_tables_network() -> Tuple[Network, Dict[str, Dict[str, str]]]:
+    """A table whose next hop is the current node (self-loops never link)."""
+    net = Network()
+    for name in ("a", "b", "c"):
+        net.add_node(name)
+    net.add_link("a", "b", latency=0.01)
+    net.add_link("b", "c", latency=0.01)
+    tables = {
+        "a": {"c": "a", "b": "b"},  # a's route to c points at a itself
+        "b": {"c": "c", "a": "a"},
+        "c": {"a": "b", "b": "b"},
+    }
+    return net, tables
+
+
+def netsim_parity_cases() -> List[NetParityCase]:
+    """The >= 10 forwarding configurations the gate checks per seed."""
+    cases: List[NetParityCase] = []
+
+    def shortest(label: str, build: Callable[[], Network],
+                 n_packets: int) -> None:
+        def spec(seed: int):
+            net = build()
+            return net, None, traffic_stream(net.node_names(), n_packets,
+                                             seed)
+        cases.append(NetParityCase(label=label, spec=spec))
+
+    shortest("line-8", lambda: line_topology(8), 120)
+    shortest("star-12", lambda: star_topology(12), 150)
+    shortest("dumbbell-6x6", lambda: dumbbell_topology(6, 6), 150)
+    shortest("ring-10", lambda: _ring_topology(10), 120)
+    shortest("grid-5x5", lambda: _grid_topology(5, 5), 200)
+    shortest("tree-d4", lambda: _tree_topology(4), 150)
+    shortest("multihomed-3", lambda: multihomed_topology(3), 80)
+    shortest("partitioned", _partitioned_topology, 120)
+
+    def failed_links_spec(seed: int):
+        net = star_topology(14)
+        fail_rng = random.Random(seed + 7)
+        for leaf in range(14):
+            if fail_rng.random() < 0.25:
+                net.fail_link("hub", f"leaf{leaf}")
+        return net, None, traffic_stream(net.node_names(), 150, seed)
+    cases.append(NetParityCase(label="star-14-failed-links",
+                               spec=failed_links_spec))
+
+    def zero_capacity_spec(seed: int):
+        net = dumbbell_topology(5, 5, bottleneck_capacity=0.0)
+        return net, None, traffic_stream(net.node_names(), 150, seed)
+    cases.append(NetParityCase(label="dumbbell-zero-capacity",
+                               spec=zero_capacity_spec))
+
+    def loop_spec(seed: int):
+        net, tables = _loop_tables_network()
+        return net, tables, traffic_stream(net.node_names(), 60, seed)
+    cases.append(NetParityCase(label="loop-tables", spec=loop_spec))
+
+    def self_loop_spec(seed: int):
+        net, tables = _self_loop_tables_network()
+        return net, tables, traffic_stream(net.node_names(), 60, seed)
+    cases.append(NetParityCase(label="self-loop-tables",
+                               spec=self_loop_spec))
+
+    return cases
+
+
+# ----------------------------------------------------------------------
+# The scalar oracle: round records derived from receipts
+# ----------------------------------------------------------------------
+_RESOLVABLE = (DeliveryStatus.DELIVERED, DeliveryStatus.NO_ROUTE,
+               DeliveryStatus.LINK_DOWN, DeliveryStatus.TTL_EXCEEDED)
+
+
+def _resolution_round(receipt) -> int:
+    """Which vector round a receipt's outcome lands in.
+
+    DELIVERED after ``k`` moves (``len(path) == k + 1``) resolves in
+    round ``k``; NO_ROUTE/LINK_DOWN fail *attempting* move ``len(path)``
+    without making it; TTL_EXCEEDED always resolves at ``MAX_TTL``.
+    """
+    if receipt.status is DeliveryStatus.DELIVERED:
+        return len(receipt.path) - 1
+    if receipt.status is DeliveryStatus.TTL_EXCEEDED:
+        return MAX_TTL
+    return len(receipt.path)
+
+
+def scalar_round_records(
+    engine: ForwardingEngine,
+    packets,
+    classifier: Optional[TosQosClassifier] = None,
+) -> Tuple[List[NetRound], List[dict]]:
+    """Run the scalar engine and derive vector-shaped round records.
+
+    Returns ``(rounds, final_states)``: the same :class:`NetRound`
+    stream the vector backend emits, plus one per-packet state dict in
+    packet order.  Raises :class:`~tussle.errors.ScaleError` on receipt
+    statuses outside the vectorized fragment (middlebox interference,
+    refused source routes) — the oracle refuses to compare apples to
+    oranges.
+    """
+    prioritized_flags = []
+    if classifier is not None:
+        for packet in packets:
+            prioritized_flags.append(classifier.prioritize(packet))
+        revenue = classifier.revenue
+    else:
+        prioritized_flags = [False] * len(packets)
+        revenue = 0.0
+
+    receipts = [engine.send(packet) for packet in packets]
+    for receipt in receipts:
+        if receipt.status not in _RESOLVABLE:
+            raise ScaleError(
+                f"scalar oracle saw {receipt.status.value!r}; the "
+                f"vectorized fragment has no middleboxes or source routes")
+
+    network = engine.network
+    last_round = 0
+    for receipt in receipts:
+        last_round = max(last_round, _resolution_round(receipt))
+
+    rounds: List[NetRound] = []
+    in_flight = len(receipts)
+    for r in range(last_round + 1):
+        delivered = no_route = link_down = ttl = 0
+        latency_total = 0.0
+        for receipt in receipts:
+            if r >= 1 and len(receipt.path) >= r + 1:
+                # This packet made its r-th move: accrue that link.
+                latency_total += network.link(
+                    receipt.path[r - 1], receipt.path[r]).latency
+            if _resolution_round(receipt) != r:
+                continue
+            if receipt.status is DeliveryStatus.DELIVERED:
+                delivered += 1
+            elif receipt.status is DeliveryStatus.NO_ROUTE:
+                no_route += 1
+            elif receipt.status is DeliveryStatus.LINK_DOWN:
+                link_down += 1
+            else:
+                ttl += 1
+        in_flight -= delivered + no_route + link_down + ttl
+        rounds.append(NetRound(
+            index=r,
+            delivered=delivered,
+            no_route=no_route,
+            link_down=link_down,
+            ttl_exceeded=ttl,
+            in_flight=in_flight,
+            latency=latency_total,
+            prioritized=sum(1 for flag in prioritized_flags if flag)
+            if r == 0 else 0,
+            revenue=revenue if r == 0 else 0.0,
+        ))
+
+    finals = [
+        {
+            "status": receipt.status.value,
+            "hops": len(receipt.path),
+            "latency": receipt.latency,
+            "delivered_to": receipt.delivered_to,
+            "prioritized": prioritized_flags[i],
+        }
+        for i, receipt in enumerate(receipts)
+    ]
+    return rounds, finals
+
+
+def _vector_final_states(engine: VectorForwardingEngine,
+                         packets: PacketArrays) -> List[dict]:
+    return [
+        {
+            "status": engine.status_name(packets.status[i]),
+            "hops": int(packets.hops[i]),
+            "latency": float(packets.latency[i]),
+            "delivered_to": engine.delivered_to(packets, i),
+            "prioritized": bool(packets.prioritized[i]),
+        }
+        for i in range(len(packets))
+    ]
+
+
+def _round_lines(history: Sequence[NetRound]) -> List[str]:
+    """Canonical-JSON record stream of a backend's round history."""
+    return [canonical_json(record.to_dict()) for record in history]
+
+
+def _compare_round(scalar: NetRound, vector: NetRound) -> List[str]:
+    mismatches = []
+    for name in _ROUND_FIELDS:
+        scalar_value = getattr(scalar, name)
+        vector_value = getattr(vector, name)
+        if scalar_value != vector_value:
+            mismatches.append(
+                f"round {scalar.index}: {name} scalar={scalar_value!r} "
+                f"vector={vector_value!r}")
+    return mismatches
+
+
+def verify_netsim_case(case: NetParityCase, seed: int) -> NetParityReport:
+    """Run both backends from one spec and compare everything."""
+    s_net, s_tables, s_traffic = case.spec(seed)
+    v_net, v_tables, v_traffic = case.spec(seed)
+
+    scalar = ForwardingEngine(s_net)
+    if s_tables is None:
+        scalar.install_shortest_path_tables()
+    else:
+        scalar.install_tables(s_tables)
+    classifier = TosQosClassifier(threshold=PRIORITY_TOS,
+                                  bill_per_packet=case.bill_per_packet)
+    scalar_rounds, scalar_finals = scalar_round_records(
+        scalar, packets_from_traffic(s_traffic), classifier)
+
+    vector = VectorForwardingEngine(v_net)
+    if v_tables is None:
+        vector.install_shortest_path_tables()
+    else:
+        vector.install_tables(v_tables)
+    batch = PacketArrays.from_traffic(v_traffic,
+                                      NetIndex.from_network(v_net))
+    vector_rounds = vector.send_batch(
+        batch, tos_threshold=PRIORITY_TOS,
+        bill_per_packet=case.bill_per_packet)
+    vector_finals = _vector_final_states(vector, batch)
+
+    report = NetParityReport(label=case.label, seed=seed,
+                             rounds=len(scalar_rounds),
+                             n_packets=len(s_traffic))
+    mismatches = report.mismatches
+
+    def localize() -> None:
+        # Pinpoint the first divergent round record with aligned context
+        # (the same machinery as ``python -m tussle.obs diff``).
+        from ..obs.diff import first_divergence
+        report.divergence = first_divergence(
+            _round_lines(scalar_rounds), _round_lines(vector_rounds))
+
+    if len(scalar_rounds) != len(vector_rounds):
+        mismatches.append(
+            f"history length scalar={len(scalar_rounds)} "
+            f"vector={len(vector_rounds)}")
+        localize()
+        return report
+    for scalar_round, vector_round in zip(scalar_rounds, vector_rounds):
+        mismatches.extend(_compare_round(scalar_round, vector_round))
+        if len(mismatches) >= _MAX_MISMATCHES:
+            localize()
+            return report
+    if mismatches:
+        localize()
+
+    for i, (s_state, v_state) in enumerate(zip(scalar_finals,
+                                               vector_finals)):
+        for name in ("status", "hops", "latency", "delivered_to",
+                     "prioritized"):
+            if s_state[name] != v_state[name]:
+                mismatches.append(
+                    f"packet {i}: {name} scalar={s_state[name]!r} "
+                    f"vector={v_state[name]!r}")
+        if len(mismatches) >= _MAX_MISMATCHES:
+            return report
+    return report
+
+
+def run_netsim_parity(
+    cases: Optional[Sequence[NetParityCase]] = None,
+    seeds: Sequence[int] = PARITY_SEEDS,
+) -> List[NetParityReport]:
+    """Verify every case under every seed; returns one report per pair."""
+    reports = []
+    for case in (netsim_parity_cases() if cases is None else cases):
+        for seed in seeds:
+            reports.append(verify_netsim_case(case, seed))
+    return reports

@@ -1,0 +1,132 @@
+"""Boundary semantics of Deadline/Backoff and the sender's use of them.
+
+The deadline boundary is closed: ``now == expires_at`` means expired,
+zero remaining, zero clamp.  The sender must honour that *after a
+clamped wait*, not only after a failed attempt — a wait that lands
+exactly on the deadline spends the whole budget, so firing one more
+attempt at ``t == deadline`` would exceed it.  These tests pin the
+boundary on the primitives and then on the sender loop.
+"""
+
+import pytest
+
+from tussle.errors import ResilienceError
+from tussle.netsim.forwarding import ForwardingEngine
+from tussle.netsim.topology import Network
+from tussle.netsim.transport import ReliableSender
+from tussle.resil.backoff import Backoff, Deadline
+
+
+def broken_line_engine():
+    """a-b with the only link down: every attempt fails with latency 0."""
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", latency=0.5)
+    net.fail_link("a", "b")
+    engine = ForwardingEngine(net)
+    engine.install_shortest_path_tables()
+    return engine
+
+
+class TestDeadlineBoundary:
+    def test_exactly_at_expiry_is_expired(self):
+        deadline = Deadline(10.0, 5.0)
+        assert not deadline.expired(14.999999)
+        assert deadline.expired(15.0)
+        assert deadline.expired(15.000001)
+
+    def test_remaining_is_zero_at_expiry_never_negative(self):
+        deadline = Deadline(0.0, 2.0)
+        assert deadline.remaining(2.0) == 0.0
+        assert deadline.remaining(3.0) == 0.0
+        assert deadline.remaining(1.5) == pytest.approx(0.5)
+
+    def test_clamp_at_boundary_returns_zero(self):
+        deadline = Deadline(0.0, 2.0)
+        assert deadline.clamp(2.0, 1.0) == 0.0
+        assert deadline.clamp(1.75, 1.0) == pytest.approx(0.25)
+        assert deadline.clamp(0.0, 1.0) == 1.0
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ResilienceError):
+            Deadline(0.0, 0.0)
+        with pytest.raises(ResilienceError):
+            Deadline(0.0, -1.0)
+
+
+class TestBackoffBoundary:
+    def test_exhausted_exactly_at_max_retries(self):
+        backoff = Backoff(base=0.1, max_retries=2, jitter=0.0)
+        assert not backoff.exhausted
+        backoff.next_delay()
+        assert not backoff.exhausted
+        backoff.next_delay()
+        assert backoff.exhausted
+        with pytest.raises(ResilienceError):
+            backoff.next_delay()
+
+    def test_zero_retries_is_born_exhausted(self):
+        backoff = Backoff(base=0.1, max_retries=0)
+        assert backoff.exhausted
+        with pytest.raises(ResilienceError):
+            backoff.next_delay()
+
+
+class TestSenderDeadlineBoundary:
+    def test_clamped_wait_landing_on_deadline_stops_without_extra_attempt(
+            self):
+        # First attempt fails instantly (latency only accrues on
+        # successful moves); the nominal wait (1.0) overshoots the 0.4
+        # budget, so the clamp lands the clock exactly on expires_at.
+        # The sender must give up there — not fire an attempt at
+        # t == deadline.
+        sender = ReliableSender(
+            broken_line_engine(), "a", "b",
+            backoff=Backoff(base=1.0, factor=1.0, cap=1.0, max_retries=50,
+                            jitter=0.0),
+            timeout=0.4,
+        )
+        outcome = sender.send(now=0.0)
+        assert not outcome.delivered
+        assert outcome.gave_up == "deadline"
+        assert outcome.attempts == 1
+        assert outcome.elapsed == pytest.approx(0.4)
+
+    def test_waits_summing_exactly_to_timeout_stop_at_the_boundary(self):
+        # Constant 0.2 waits against a 0.4 budget: attempts at t=0 and
+        # t=0.2, then the third wait lands exactly on 0.4 and the sender
+        # stops — the boundary attempt at t == 0.4 must not happen.
+        sender = ReliableSender(
+            broken_line_engine(), "a", "b",
+            backoff=Backoff(base=0.2, factor=1.0, cap=0.2, max_retries=50,
+                            jitter=0.0),
+            timeout=0.4,
+        )
+        outcome = sender.send(now=0.0)
+        assert outcome.gave_up == "deadline"
+        assert outcome.attempts == 2
+        assert outcome.elapsed == pytest.approx(0.4)
+
+    def test_deadline_start_offset_does_not_shift_the_boundary(self):
+        sender = ReliableSender(
+            broken_line_engine(), "a", "b",
+            backoff=Backoff(base=1.0, factor=1.0, cap=1.0, max_retries=50,
+                            jitter=0.0),
+            timeout=0.4,
+        )
+        outcome = sender.send(now=100.0)
+        assert outcome.gave_up == "deadline"
+        assert outcome.attempts == 1
+        assert outcome.elapsed == pytest.approx(0.4)
+
+    def test_retry_budget_still_wins_when_it_exhausts_first(self):
+        sender = ReliableSender(
+            broken_line_engine(), "a", "b",
+            backoff=Backoff(base=0.01, factor=1.0, cap=0.01, max_retries=3,
+                            jitter=0.0),
+            timeout=1000.0,
+        )
+        outcome = sender.send(now=0.0)
+        assert outcome.gave_up == "retries"
+        assert outcome.attempts == 4  # initial try + 3 retries

@@ -1,0 +1,193 @@
+"""Units for the netsim vector stack: arrays, engine, and flow backend."""
+
+import numpy as np
+import pytest
+
+from tussle.errors import ScaleError
+from tussle.netsim.topology import dumbbell_topology, line_topology, star_topology
+from tussle.scale.flowsim import FlowArrays, FlowSim, random_flows
+from tussle.scale.narrays import (
+    FibArrays,
+    LinkArrays,
+    NetIndex,
+    PacketArrays,
+    packets_from_traffic,
+    traffic_stream,
+)
+from tussle.scale.nkernels import DELIVERED, LINK_DOWN, NO_ROUTE
+from tussle.scale.vforwarding import VectorForwardingEngine
+
+
+class TestNetIndex:
+    def test_follows_insertion_order(self):
+        net = star_topology(3)
+        index = NetIndex.from_network(net)
+        assert index.names == net.node_names()
+        assert index.of(index.names[0]) == 0
+
+    def test_unknown_node_raises(self):
+        index = NetIndex(["a", "b"])
+        with pytest.raises(ScaleError):
+            index.of("ghost")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ScaleError):
+            NetIndex(["a", "a"])
+
+
+class TestLinkArrays:
+    def test_planes_are_symmetric(self):
+        net = line_topology(4)
+        links = LinkArrays.from_network(net, NetIndex.from_network(net))
+        assert np.array_equal(links.latency, links.latency.T)
+        assert np.array_equal(links.usable, links.usable.T)
+
+    def test_failed_link_is_unusable(self):
+        net = line_topology(3)
+        net.fail_link("n0", "n1")
+        index = NetIndex.from_network(net)
+        links = LinkArrays.from_network(net, index)
+        assert not links.usable[index.of("n0"), index.of("n1")]
+        assert links.usable[index.of("n1"), index.of("n2")]
+
+
+class TestTrafficStream:
+    def test_is_deterministic_per_seed(self):
+        names = star_topology(5).node_names()
+        assert traffic_stream(names, 50, 7) == traffic_stream(names, 50, 7)
+        assert traffic_stream(names, 50, 7) != traffic_stream(names, 50, 8)
+
+    def test_never_sends_to_self(self):
+        names = star_topology(5).node_names()
+        assert all(src != dst
+                   for src, dst, _ in traffic_stream(names, 200, 3))
+
+    def test_scalar_and_vector_views_share_draws(self):
+        net = star_topology(4)
+        traffic = traffic_stream(net.node_names(), 30, 11)
+        packets = packets_from_traffic(traffic)
+        batch = PacketArrays.from_traffic(traffic,
+                                          NetIndex.from_network(net))
+        index = NetIndex.from_network(net)
+        for i, packet in enumerate(packets):
+            assert index.of(packet.header.src) == int(batch.src[i])
+            assert index.of(packet.header.dst) == int(batch.dst[i])
+            assert packet.header.tos == int(batch.tos[i])
+
+
+class TestVectorEngine:
+    def test_install_table_invalidates_fib_cache(self):
+        net = line_topology(3)
+        engine = VectorForwardingEngine(net)
+        engine.install_shortest_path_tables()
+        index = NetIndex.from_network(net)
+
+        batch = PacketArrays.from_traffic([("n0", "n2", 0)], index)
+        engine.send_batch(batch)
+        assert int(batch.status[0]) == DELIVERED
+
+        engine.install_table("n1", {})  # drop n1's routes
+        batch = PacketArrays.from_traffic([("n0", "n2", 0)], index)
+        engine.send_batch(batch)
+        assert int(batch.status[0]) == NO_ROUTE
+
+    def test_delivery_rate_matches_history(self):
+        net = dumbbell_topology(3, 3)
+        engine = VectorForwardingEngine(net)
+        engine.install_shortest_path_tables()
+        traffic = traffic_stream(net.node_names(), 60, 5)
+        batch = PacketArrays.from_traffic(traffic,
+                                          NetIndex.from_network(net))
+        engine.send_batch(batch)
+        delivered = int(np.count_nonzero(batch.status == DELIVERED))
+        assert engine.delivery_rate() == delivered / 60
+
+    def test_qos_round_zero_classification(self):
+        net = line_topology(2)
+        engine = VectorForwardingEngine(net)
+        engine.install_shortest_path_tables()
+        batch = PacketArrays.from_traffic(
+            [("n0", "n1", 10), ("n0", "n1", 0), ("n1", "n0", 10)],
+            NetIndex.from_network(net))
+        rounds = engine.send_batch(batch, tos_threshold=8,
+                                   bill_per_packet=0.5)
+        assert rounds[0].prioritized == 2
+        assert rounds[0].revenue == 1.0
+        assert all(r.revenue == 0.0 for r in rounds[1:])
+        assert list(batch.prioritized) == [True, False, True]
+
+
+class TestFlowSim:
+    def test_path_table_agrees_with_vector_engine(self):
+        net = dumbbell_topology(4, 4)
+        sim = FlowSim(net)
+        engine = VectorForwardingEngine(net)
+        engine.install_shortest_path_tables()
+        index = NetIndex.from_network(net)
+
+        pairs = [(src, dst) for src in index.names for dst in index.names
+                 if src != dst]
+        batch = PacketArrays.from_traffic(
+            [(src, dst, 0) for src, dst in pairs], index)
+        engine.send_batch(batch)
+        for k, (src, dst) in enumerate(pairs):
+            i, j = index.of(src), index.of(dst)
+            assert sim.path_status(i, j) == int(batch.status[k])
+            assert sim.path_latency(i, j) == float(batch.latency[k])
+
+    def test_flow_population_is_conserved(self):
+        net = dumbbell_topology(4, 4)
+        sim = FlowSim(net)
+        flows = random_flows(5_000, len(sim.index), seed=3)
+        report = sim.route(flows)
+        assert (report.delivered + report.no_route + report.link_down
+                + report.ttl_exceeded) == len(flows)
+        assert report.delivery_rate == 1.0
+        assert report.demand_delivered == pytest.approx(
+            report.demand_offered)
+
+    def test_bottleneck_carries_all_cross_demand(self):
+        net = dumbbell_topology(3, 3, bottleneck_capacity=1.0)
+        sim = FlowSim(net)
+        index = sim.index
+        demand = np.full(4, 0.75)
+        flows = FlowArrays(
+            src=np.array([index.of("src0")] * 4),
+            dst=np.array([index.of("dst0")] * 4),
+            demand=demand,
+        )
+        report = sim.route(flows)
+        assert report.utilization["L<->R"] == pytest.approx(3.0)
+        assert report.oversubscribed() == ["L<->R"]
+
+    def test_partitioned_flows_report_no_route(self):
+        from tussle.netsim.topology import Network
+        net = Network()
+        for name in ("a0", "a1", "b0", "b1"):
+            net.add_node(name)
+        net.add_link("a0", "a1", latency=0.01)
+        net.add_link("b0", "b1", latency=0.01)
+        sim = FlowSim(net)
+        flows = FlowArrays(
+            src=np.array([sim.index.of("a0")]),
+            dst=np.array([sim.index.of("b0")]),
+            demand=np.array([1.0]),
+        )
+        report = sim.route(flows)
+        assert report.no_route == 1
+        assert report.delivered == 0
+
+    def test_random_flows_reproducible_and_valid(self):
+        one = random_flows(1_000, 10, seed=9)
+        two = random_flows(1_000, 10, seed=9)
+        assert np.array_equal(one.src, two.src)
+        assert np.array_equal(one.dst, two.dst)
+        assert np.array_equal(one.demand, two.demand)
+        assert not np.any(one.src == one.dst)
+        assert np.all(one.demand > 0)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ScaleError):
+            FlowArrays(src=np.zeros(3, dtype=np.int64),
+                       dst=np.zeros(2, dtype=np.int64),
+                       demand=np.ones(3))
