@@ -98,3 +98,11 @@ class ResilienceError(TussleError):
 
 class ScaleError(TussleError):
     """A vectorized backend was misused or failed its parity contract."""
+
+
+class TopogenError(TopologyError):
+    """A topology-generation config, loader, or gate was used inconsistently.
+
+    Also a :class:`TopologyError`, since every topogen failure is
+    ultimately about producing or consuming a malformed topology.
+    """

@@ -28,6 +28,8 @@ from .x07_transparency_failures import run_x07
 from .r01_fault_blame import run_r01
 from .r02_retry_recovery import run_r02
 from .n01_substrate import run_n01
+from .t01_topo_choice import run_t01
+from .t02_topo_blame import run_t02
 from ..scale.large import run_l01, run_l02
 
 #: The twelve paper-claim experiments plus extension experiments
@@ -35,8 +37,10 @@ from ..scale.large import run_l01, run_l02
 #: choice + guidelines audit, X04 dynamic isolation, X05 network collision, X06 QoS binding, X07 transparency failures)
 #: the at-scale re-runs (L01 lock-in, L02 value pricing) on the
 #: vectorized ``tussle.scale`` backend, the resilience experiments
-#: (R01 fault-blame routing, R02 retry/breaker recovery), and the
-#: substrate-fidelity invariance experiment (N01).
+#: (R01 fault-blame routing, R02 retry/breaker recovery), the
+#: substrate-fidelity invariance experiment (N01), and the generated-
+#: topology experiments (T01 path choice, T02 blame routing) on
+#: ``tussle.topogen`` internets.
 ALL_EXPERIMENTS = {
     "E01": run_e01,
     "E02": run_e02,
@@ -62,6 +66,8 @@ ALL_EXPERIMENTS = {
     "R01": run_r01,
     "R02": run_r02,
     "N01": run_n01,
+    "T01": run_t01,
+    "T02": run_t02,
 }
 
 __all__ = [
@@ -72,4 +78,5 @@ __all__ = [
     "run_l01", "run_l02",
     "run_r01", "run_r02",
     "run_n01",
+    "run_t01", "run_t02",
 ]

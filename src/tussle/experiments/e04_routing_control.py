@@ -19,39 +19,23 @@ source routing with payment; overlay over BGP.
 
 from __future__ import annotations
 
-import random
-from typing import List, Tuple
-
-from ..netsim.topology import Network, random_as_graph
 from ..routing import (
     OverlayNetwork,
     PathVectorRouting,
     SourceRoutingSystem,
     TransitTerms,
 )
+from ..topogen.presets import e04_reference_graph, stub_pairs
 from .common import ExperimentResult, Table
 
 __all__ = ["run_e04"]
 
 
-def _stub_pairs(network: Network, count: int) -> List[Tuple[int, int]]:
-    stubs = [a.asn for a in network.ases if a.tier == 3]
-    pairs: List[Tuple[int, int]] = []
-    for i, src in enumerate(stubs):
-        dst = stubs[(i + len(stubs) // 2) % len(stubs)]
-        if src != dst:
-            pairs.append((src, dst))
-        if len(pairs) >= count:
-            break
-    return pairs
-
-
 def run_e04(n_pairs: int = 8, seed: int = 5) -> ExperimentResult:
-    network = random_as_graph(n_tier1=3, n_tier2=6, n_tier3=12,
-                              rng=random.Random(seed))
+    network = e04_reference_graph(seed)
     bgp = PathVectorRouting(network)
     bgp.converge()
-    pairs = _stub_pairs(network, n_pairs)
+    pairs = stub_pairs(network, n_pairs)
 
     table = Table(
         "E04: routing control regime vs user path choice and revenue",

@@ -22,27 +22,13 @@ from __future__ import annotations
 from ..netsim import (
     BlanketFirewall,
     ForwardingEngine,
-    Network,
-    NodeKind,
     PortFilterFirewall,
 )
+from ..topogen.presets import guarded_enterprise_network as _build_network
 from ..trust import AttackKind, Attacker, ThreatCampaign, TrustAwareFirewall, TrustGraph
 from .common import ExperimentResult, Table
 
 __all__ = ["run_e05"]
-
-
-def _build_network() -> Network:
-    net = Network()
-    net.add_node("victim", kind=NodeKind.HOST)
-    net.add_node("gw", kind=NodeKind.MIDDLEBOX)
-    net.add_node("internet", kind=NodeKind.ROUTER)
-    for name in ("friend", "colleague", "stranger", "badguy0", "badguy1"):
-        net.add_node(name, kind=NodeKind.HOST)
-        net.add_link(name, "internet")
-    net.add_link("internet", "gw")
-    net.add_link("gw", "victim")
-    return net
 
 
 def _engine() -> ForwardingEngine:

@@ -30,33 +30,16 @@ from typing import List, Tuple
 from ..netsim.faults import Audience, FaultReporter
 from ..netsim.forwarding import ForwardingEngine
 from ..netsim.packets import make_packet
-from ..netsim.topology import Network
 from ..resil import ChaosInjector, ChaosSchedule
 from ..routing import RouteRecovery
+from ..topogen.presets import (
+    MULTIHOMED_PRIMARY_LINKS as _PRIMARY_LINKS,
+    MULTIHOMED_PROVIDER_NODES as _PROVIDER_NODES,
+    multihomed_user_network as _build_network,
+)
 from .common import ExperimentResult, Table
 
 __all__ = ["run_r01"]
-
-#: Nodes inside either provider's network — the operator's domain.
-_PROVIDER_NODES = ("aE", "aC", "bE", "bX", "bC")
-#: Links on the primary (provider-A) path, in canonical key order.
-_PRIMARY_LINKS = (("aC", "aE"), ("aC", "dst"), ("aE", "u"))
-
-
-def _build_network() -> Network:
-    net = Network()
-    for name in ("u", "aE", "aC", "bE", "bX", "bC", "dst"):
-        net.add_node(name)
-    # Provider A: 3-hop path (primary under shortest-path routing).
-    net.add_link("u", "aE")
-    net.add_link("aE", "aC")
-    net.add_link("aC", "dst")
-    # Provider B: 4-hop standby path.
-    net.add_link("u", "bE")
-    net.add_link("bE", "bX")
-    net.add_link("bX", "bC")
-    net.add_link("bC", "dst")
-    return net
 
 
 def _engine() -> ForwardingEngine:

@@ -30,7 +30,6 @@ from typing import Dict, List
 
 from ..netsim.faults import Audience, FaultReporter
 from ..netsim.forwarding import ForwardingEngine
-from ..netsim.topology import Network
 from ..netsim.transport import ReliableSender
 from ..resil import (
     Backoff,
@@ -42,24 +41,17 @@ from ..resil import (
     link_target,
 )
 from ..resil.workerchaos import digest63
+from ..topogen.presets import (
+    FLAKY_PROVIDER_NODES as _PROVIDER_NODES,
+    flaky_provider_network as _build_network,
+)
 from .common import ExperimentResult, Table
 
 __all__ = ["run_r02"]
 
-_PROVIDER_NODES = ("p1", "p2")
 #: Probe launch times: three land inside transient outages
 #: ([0.7, 1.2], [3.7, 4.2], [6.7, 7.2]), six in healthy windows.
 _PROBE_TIMES = (0.2, 0.9, 2.0, 3.0, 3.9, 5.0, 6.0, 6.9, 8.0)
-
-
-def _build_network() -> Network:
-    net = Network()
-    for name in ("u", "p1", "p2", "dst"):
-        net.add_node(name)
-    net.add_link("u", "p1")
-    net.add_link("p1", "p2")
-    net.add_link("p2", "dst")
-    return net
 
 
 def _engine() -> ForwardingEngine:

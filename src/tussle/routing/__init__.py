@@ -15,6 +15,7 @@ from .policies import (
     OpenPolicy,
     RoutingPolicy,
     classify_neighbor,
+    is_valley_free,
 )
 from .pathvector import PathVectorRouting
 from .sourcerouting import (
@@ -36,7 +37,7 @@ __all__ = [
     "ControlPoint", "Route", "RoutingProtocol",
     "LinkStateDatabase", "LinkStateRouting",
     "GaoRexfordPolicy", "NeighborClass", "OpenPolicy", "RoutingPolicy",
-    "classify_neighbor",
+    "classify_neighbor", "is_valley_free",
     "PathVectorRouting",
     "RouteAttempt", "SourceRoutingSystem", "TransitTerms", "valley_free_paths",
     "OverlayNetwork", "OverlayPath",

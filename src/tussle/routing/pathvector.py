@@ -52,6 +52,8 @@ class PathVectorRouting(RoutingProtocol):
         self._rib: Dict[int, Dict[int, Route]] = {}
         # what each AS has announced to each neighbour (for visibility study)
         self.announcements: Dict[Tuple[int, int], Dict[int, Route]] = {}
+        # array-backed RIB when converge_fast() was used instead
+        self._fast = None
         self._converged = False
         self.iterations_used = 0
 
@@ -68,6 +70,7 @@ class PathVectorRouting(RoutingProtocol):
         asns = [a.asn for a in self.network.ases]
         self._rib = {asn: {asn: Route(destination=asn, path=(asn,))} for asn in asns}
         self.announcements = {}
+        self._fast = None
         ctx = _obs_current()
         trace = ctx.tracer if ctx.tracer.enabled else None
         metrics = (ctx.metrics.scope("routing.pathvector")
@@ -139,31 +142,83 @@ class PathVectorRouting(RoutingProtocol):
             f"path-vector routing failed to converge in {self.max_iterations} iterations"
         )
 
+    def converge_fast(self, destinations: Optional[Tuple[int, ...]] = None) -> int:
+        """Compute the same fixed point via the array-batched fast path.
+
+        Delegates to :func:`tussle.scale.vrouting.converge_valley_free`,
+        which exploits Gao-Rexford structure to reach the unique stable
+        selection in three propagation phases instead of whole-RIB
+        announce/select rounds — seconds, not minutes, at 10^3-10^4
+        ASes.  Queries (``routes``/``as_path``/``reachable``/
+        ``transit_load``/``reachability_matrix``) then read the array
+        RIB; per-round ``announced_routes`` visibility is the one thing
+        the fast path cannot answer, since it never materialises rounds.
+
+        ``destinations`` restricts the RIB to those destination ASes
+        (the 10^4-AS mode).  Only the default Gao-Rexford policy is
+        eligible; bespoke policies need the scalar protocol.  Returns
+        the number of propagation levels (the iteration-count analogue).
+        """
+        from ..scale.vrouting import converge_valley_free
+
+        if type(self.policy) is not GaoRexfordPolicy:
+            raise RoutingError(
+                "converge_fast() implements the Gao-Rexford policy only; "
+                f"{type(self.policy).__name__} needs the scalar converge()")
+        self._rib = {}
+        self.announcements = {}
+        self._fast = converge_valley_free(self.network, destinations)
+        self._converged = True
+        self.iterations_used = self._fast.levels
+        return self.iterations_used
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def routes(self, asn: int) -> Dict[int, Route]:
         self._check_converged()
+        if self._fast is not None:
+            self._fast.index.of(asn)  # raises on unknown AS
+            rib: Dict[int, Route] = {}
+            for dst in self._fast.dest_asns:
+                path = self._fast.as_path(asn, dst)
+                if path is not None:
+                    rib[dst] = Route(destination=dst, path=path,
+                                     selected_by=ControlPoint.PROVIDER
+                                     if len(path) > 1 else None)
+            return rib
         try:
             return dict(self._rib[asn])
         except KeyError:
             raise RoutingError(f"unknown AS {asn}") from None
 
     def reachable(self, src: int, dst: int) -> bool:
+        if self._fast is not None:
+            self._check_converged()
+            return self._fast.reachable(src, dst)
         return dst in self.routes(src)
 
     def as_path(self, src: int, dst: int) -> Optional[Tuple[int, ...]]:
+        if self._fast is not None:
+            self._check_converged()
+            return self._fast.as_path(src, dst)
         route = self.routes(src).get(dst)
         return route.path if route else None
 
     def announced_routes(self, frm: int, to: int) -> Dict[int, Route]:
         """What ``frm`` announced to ``to`` in the final round."""
         self._check_converged()
+        if self._fast is not None:
+            raise RoutingError(
+                "per-round announcement visibility requires the scalar "
+                "converge(); converge_fast() never materialises rounds")
         return dict(self.announcements.get((frm, to), {}))
 
     def transit_load(self, asn: int) -> int:
         """Number of (src, dst) selected routes transiting ``asn``."""
         self._check_converged()
+        if self._fast is not None:
+            return int(self._fast.transit_load()[self._fast.index.of(asn)])
         count = 0
         for src, rib in self._rib.items():
             if src == asn:
@@ -174,9 +229,16 @@ class PathVectorRouting(RoutingProtocol):
         return count
 
     def reachability_matrix(self) -> Dict[Tuple[int, int], bool]:
-        """(src, dst) -> reachable, over all AS pairs."""
+        """(src, dst) -> reachable, over the converged destination set."""
         self._check_converged()
         asns = [a.asn for a in self.network.ases]
+        if self._fast is not None:
+            return {
+                (s, d): self._fast.reachable(s, d)
+                for s in asns
+                for d in self._fast.dest_asns
+                if s != d
+            }
         return {
             (s, d): d in self._rib[s]
             for s in asns

@@ -22,7 +22,8 @@ from typing import Tuple
 from ..netsim.topology import Network
 from .base import Route
 
-__all__ = ["NeighborClass", "RoutingPolicy", "GaoRexfordPolicy", "OpenPolicy"]
+__all__ = ["NeighborClass", "RoutingPolicy", "GaoRexfordPolicy", "OpenPolicy",
+           "is_valley_free"]
 
 
 class NeighborClass(IntEnum):
@@ -65,8 +66,12 @@ class RoutingPolicy:
 class GaoRexfordPolicy(RoutingPolicy):
     """The canonical provider-interest policy.
 
-    Preference: customer > peer > provider (local-pref), then shorter AS
-    path, then lower next-hop ASN (deterministic tiebreak).
+    Preference is a documented *total* order: customer > peer > provider
+    (local-pref), then shorter AS path, then lower next-hop ASN, then
+    lexicographically smaller AS path.  The final key makes route
+    selection independent of candidate arrival order — without it, two
+    routes through the same next hop but different tails would tie and
+    the incumbent would win, leaking iteration order into the RIB.
 
     Export ("valley-free" rule): routes learned from a customer may be
     announced to everyone; routes learned from a peer or provider may be
@@ -74,12 +79,13 @@ class GaoRexfordPolicy(RoutingPolicy):
     of its providers/peers for free.
     """
 
-    def _rank(self, network: Network, me: int, route: Route) -> Tuple[int, int, int]:
+    def _rank(self, network: Network, me: int,
+              route: Route) -> Tuple[int, int, int, Tuple[int, ...]]:
         if route.length == 0:
             neighbor_class = NeighborClass.CUSTOMER  # own prefix, best
         else:
             neighbor_class = classify_neighbor(network, me, route.next_hop)
-        return (int(neighbor_class), route.length, route.next_hop)
+        return (int(neighbor_class), route.length, route.next_hop, route.path)
 
     def prefer(self, network: Network, me: int, a: Route, b: Route) -> Route:
         return min((a, b), key=lambda r: self._rank(network, me, r))
@@ -100,10 +106,43 @@ class OpenPolicy(RoutingPolicy):
 
     Used as the tussle-free baseline; with it, path-vector routing reduces
     to shortest-AS-path routing and every feasible path is announced.
+    Tie-breaking follows the same documented total order as
+    :class:`GaoRexfordPolicy` minus the class term: shorter AS path, then
+    lower next-hop ASN, then lexicographically smaller AS path.
     """
 
     def prefer(self, network: Network, me: int, a: Route, b: Route) -> Route:
-        return min((a, b), key=lambda r: (r.length, r.next_hop))
+        return min((a, b), key=lambda r: (r.length, r.next_hop, r.path))
 
     def may_export(self, network: Network, me: int, route: Route, to_neighbor: int) -> bool:
         return True
+
+
+def is_valley_free(network: Network, path: Tuple[int, ...]) -> bool:
+    """Does an AS path obey the Gao-Rexford export rules?
+
+    Read from the selecting AS toward the destination, a valley-free
+    path climbs customer->provider edges zero or more times, crosses at
+    most one peer edge, then descends provider->customer edges — i.e.
+    once it stops climbing it never climbs again, and it never crosses
+    a second peering.  Paths with unrelated consecutive ASes are not
+    valley-free (no relationship = no announcement).
+    """
+    if path is None or len(path) == 0:
+        return False
+    descending = False
+    peered = False
+    for a, b in zip(path, path[1:]):
+        step = classify_neighbor(network, a, b)
+        if step is NeighborClass.UNKNOWN:
+            return False
+        if step is NeighborClass.PROVIDER:  # climbing up
+            if descending or peered:
+                return False
+        elif step is NeighborClass.PEER:  # one lateral hop
+            if descending or peered:
+                return False
+            peered = True
+        else:  # CUSTOMER: descending
+            descending = True
+    return True

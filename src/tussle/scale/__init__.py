@@ -23,6 +23,12 @@ drop-in packet-vector backend, the byte-identity gate in
 :mod:`~tussle.scale.nparity` (``python -m tussle.scale netsim-parity``),
 and :mod:`~tussle.scale.flowsim` as the declared flow-level
 approximation for 10^6-flow populations.
+
+Routing side: :mod:`~tussle.scale.vrouting` batches Gao-Rexford
+valley-free route propagation over arrays so
+``PathVectorRouting.converge_fast()`` reaches the scalar protocol's
+fixed point on 10^3-10^4-AS graphs in seconds
+(``tests/topogen/test_fastpath.py`` holds the backends path-identical).
 """
 
 from .arrays import ConsumerBatch, MarketArrays
@@ -45,6 +51,7 @@ from .nparity import (
 from .parity import ParityCase, ParityReport, parity_cases, run_parity, verify_case
 from .vforwarding import NetRound, VectorForwardingEngine
 from .vmarket import VectorMarket
+from .vrouting import ASIndex, RibArrays, converge_valley_free
 
 __all__ = [
     "ConsumerBatch",
@@ -74,4 +81,8 @@ __all__ = [
     "FlowReport",
     "FlowSim",
     "random_flows",
+    # valley-free convergence fast path
+    "ASIndex",
+    "RibArrays",
+    "converge_valley_free",
 ]

@@ -1,0 +1,169 @@
+"""CLI for the topology generator: generate, gate, and inspect graphs.
+
+``python -m tussle.topogen gen --ases 1000 --seed 0`` writes the
+canonical JSON graph document to stdout (or ``--out``).
+``python -m tussle.topogen check --ases 1000 --seeds 0 1 2 3 4`` is the
+CI gate: per seed it generates twice asserting byte-identical canonical
+JSON, converges valley-free routing, and verifies every selected path
+obeys Gao-Rexford export rules and every stub pair is connected.
+``python -m tussle.topogen load PATH`` ingests a CAIDA as-rel file or a
+canonical JSON document and prints its shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .caida import load_caida
+from .canonical import graph_from_json, graph_to_json
+from .config import ROUTER_DETAIL_LEVELS, TopogenConfig
+from .generator import generate_internet
+
+__all__ = ["main"]
+
+
+def _config_from_args(args: argparse.Namespace) -> TopogenConfig:
+    overrides = {"n_ases": args.ases, "router_detail": args.router_detail}
+    if args.regions is not None:
+        overrides["n_regions"] = args.regions
+    if args.ixps is not None:
+        overrides["n_ixps"] = args.ixps
+    return TopogenConfig(**overrides)
+
+
+def _stats_lines(net) -> List[str]:
+    tiers = {1: 0, 2: 0, 3: 0}
+    for autonomous in net.ases:
+        tiers[autonomous.tier] = tiers.get(autonomous.tier, 0) + 1
+    n_p2c = sum(len(net.providers_of(a.asn)) for a in net.ases)
+    n_peer = sum(len(net.peers_of(a.asn)) for a in net.ases) // 2
+    return [
+        f"ases: {len(net.ases)} (tier1={tiers.get(1, 0)} "
+        f"tier2={tiers.get(2, 0)} stub={tiers.get(3, 0)})",
+        f"relationships: {n_p2c} provider-customer, {n_peer} peer",
+        f"routers: {len(net.nodes)} nodes, {len(net.links)} links",
+    ]
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    net = generate_internet(config, seed=args.seed)
+    provenance = {"name": "tussle.topogen", "seed": args.seed,
+                  "params": config.to_params()}
+    text = graph_to_json(net, generator=provenance)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {len(text)} canonical bytes to {args.out}")
+    if args.stats:
+        for line in _stats_lines(net):
+            print(line)
+    elif not args.out:
+        print(text)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from ..routing.policies import is_valley_free
+    from ..scale.vrouting import CLASS_NONE, converge_valley_free
+
+    config = _config_from_args(args)
+    failures = 0
+    for seed in args.seeds:
+        first = graph_to_json(generate_internet(config, seed=seed))
+        second = graph_to_json(generate_internet(config, seed=seed))
+        if first != second:
+            print(f"[FAIL] seed={seed}: two runs differ "
+                  f"({len(first)} vs {len(second)} bytes)")
+            failures += 1
+            continue
+        net = graph_from_json(first)
+        stubs = [a.asn for a in net.ases if a.tier == 3]
+        sample = stubs[:: max(1, len(stubs) // args.sample)][: args.sample]
+        rib = converge_valley_free(net, destinations=sample)
+        bad_paths = 0
+        unreachable = 0
+        for dst in sample:
+            column = rib.column_of(dst)
+            for row, asn in enumerate(rib.index.asns):
+                if rib.cls[row, column] == CLASS_NONE:
+                    unreachable += 1
+                    continue
+                path = rib.as_path(int(asn), dst)
+                if not is_valley_free(net, path):
+                    bad_paths += 1
+        if bad_paths or unreachable:
+            print(f"[FAIL] seed={seed}: {bad_paths} valley violations, "
+                  f"{unreachable} unreachable (AS, stub) pairs")
+            failures += 1
+        else:
+            print(f"[ok] seed={seed}: byte-identical ({len(first)} bytes), "
+                  f"{len(sample)} stub columns valley-free and "
+                  f"fully reachable")
+    print(f"check: {len(args.seeds) - failures}/{len(args.seeds)} "
+          f"seed(s) clean")
+    return 1 if failures else 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    text = path.read_text(encoding="utf-8")
+    if text.lstrip().startswith("{"):
+        net = graph_from_json(text)
+    else:
+        net = load_caida(path)
+    for line in _stats_lines(net):
+        print(line)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tussle.topogen",
+        description="Deterministic tiered internet topology generation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_shape(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--ases", type=int, default=1000,
+                         help="total AS count (default 1000)")
+        cmd.add_argument("--router-detail", choices=ROUTER_DETAIL_LEVELS,
+                         default="core",
+                         help="which tiers get router graphs (default core)")
+        cmd.add_argument("--regions", type=int, default=None,
+                         help="number of geographic regions")
+        cmd.add_argument("--ixps", type=int, default=None,
+                         help="number of IXP meeting points")
+
+    gen = sub.add_parser("gen", help="generate one graph as canonical JSON")
+    add_shape(gen)
+    gen.add_argument("--seed", type=int, default=0, help="generator seed")
+    gen.add_argument("--out", help="write to this path instead of stdout")
+    gen.add_argument("--stats", action="store_true",
+                     help="print a shape summary instead of the document")
+
+    check = sub.add_parser(
+        "check", help="determinism + valley-free gate over seeds")
+    add_shape(check)
+    check.add_argument("--seeds", type=int, nargs="+",
+                       default=[0, 1, 2, 3, 4],
+                       help="seeds to gate (default 0..4)")
+    check.add_argument("--sample", type=int, default=10,
+                       help="stub destinations sampled per seed (default 10)")
+
+    load = sub.add_parser(
+        "load", help="ingest a CAIDA as-rel file or canonical JSON document")
+    load.add_argument("path", help="file to load")
+
+    args = parser.parse_args(argv)
+    if args.command == "gen":
+        return _cmd_gen(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    return _cmd_load(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

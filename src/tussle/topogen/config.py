@@ -1,0 +1,143 @@
+"""Topology-generation knobs.
+
+One frozen dataclass holds every structural knob of the tiered internet
+generator so a topology is a pure function of ``(config, seed)``.  The
+defaults produce the 10^3-AS graph the T01/T02 experiments and the CI
+determinism gate use; the CLI (``python -m tussle.topogen gen``) exposes
+the most-travelled knobs as flags.
+
+Scaling behaviour: tier populations are *fractions* of ``n_ases`` so the
+same config shape describes 10^2 smoke graphs and 10^4 stress graphs.
+Router-level detail is opt-in per tier (``router_detail``) because a
+10^4-AS run usually wants the AS-level business graph only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
+
+from ..errors import TopogenError
+
+__all__ = ["TopogenConfig", "ROUTER_DETAIL_LEVELS"]
+
+#: Which ASes get an intra-AS Waxman router graph.
+#: ``none``: business graph only; ``core``: tier-1 and tier-2 ASes;
+#: ``all``: every AS including stubs.
+ROUTER_DETAIL_LEVELS = ("none", "core", "all")
+
+
+@dataclass(frozen=True)
+class TopogenConfig:
+    """Structural knobs of the tiered internet generator.
+
+    Attributes
+    ----------
+    n_ases:
+        Total AS count across all tiers.
+    tier1_fraction / transit_fraction:
+        Share of ASes that are tier-1 core (min 3, full peer clique) and
+        tier-2 regional transit; the remainder are stub/access ASes.
+    n_regions:
+        Geographic regions; tier-2s and stubs attach within a region.
+    n_ixps:
+        Internet exchange points (meeting rooms where co-located members
+        peer); assigned round-robin to regions.
+    t2_multihome_p / stub_multihome_p:
+        Probability that a tier-2 (stub) buys transit from a second
+        tier-1 (tier-2).
+    t2_peer_p:
+        Probability that two tier-2s in the same region peer directly.
+    ixp_peer_p:
+        Probability that two co-located IXP members peer.
+    ixp_connections:
+        IXPs each tier-1 attaches to.
+    router_detail:
+        Which tiers get intra-AS Waxman router graphs (see
+        :data:`ROUTER_DETAIL_LEVELS`).
+    waxman_alpha / waxman_beta:
+        Waxman edge-probability parameters ``alpha * exp(-d / (beta * L))``.
+    routers_tier1 / routers_tier2 / routers_stub:
+        Inclusive ``(lo, hi)`` router counts per AS of that tier.
+    core_percentile:
+        Percentage of each AS's routers (by betweenness centrality)
+        assigned the ``core`` role; the rest are ``edge``.
+    """
+
+    n_ases: int = 1000
+    tier1_fraction: float = 0.01
+    transit_fraction: float = 0.15
+    n_regions: int = 5
+    n_ixps: int = 8
+    t2_multihome_p: float = 0.5
+    stub_multihome_p: float = 0.4
+    t2_peer_p: float = 0.15
+    ixp_peer_p: float = 0.3
+    ixp_connections: int = 2
+    router_detail: str = "core"
+    waxman_alpha: float = 0.4
+    waxman_beta: float = 0.2
+    routers_tier1: Tuple[int, int] = (8, 12)
+    routers_tier2: Tuple[int, int] = (4, 6)
+    routers_stub: Tuple[int, int] = (2, 3)
+    core_percentile: int = 20
+
+    def __post_init__(self) -> None:
+        if self.n_ases < 20:
+            raise TopogenError(
+                f"n_ases={self.n_ases}: the tiered generator needs at "
+                f"least 20 ASes (use netsim.random_as_graph for toys)")
+        if not 0.0 < self.tier1_fraction < 0.5:
+            raise TopogenError("tier1_fraction must be in (0, 0.5)")
+        if not 0.0 < self.transit_fraction < 0.9:
+            raise TopogenError("transit_fraction must be in (0, 0.9)")
+        if self.n_regions < 1:
+            raise TopogenError("need at least one region")
+        if self.n_ixps < 1:
+            raise TopogenError("need at least one IXP")
+        if self.router_detail not in ROUTER_DETAIL_LEVELS:
+            raise TopogenError(
+                f"router_detail {self.router_detail!r} not one of "
+                f"{ROUTER_DETAIL_LEVELS}")
+        if self.n_tier2 < 2 * self.n_regions:
+            raise TopogenError(
+                f"{self.n_tier2} tier-2 ASes cannot cover {self.n_regions} "
+                f"regions with the 2-per-region floor stub multihoming "
+                f"needs; shrink n_regions or raise transit_fraction")
+        for name in ("routers_tier1", "routers_tier2", "routers_stub"):
+            lo, hi = getattr(self, name)
+            if not 1 <= lo <= hi:
+                raise TopogenError(f"{name}=({lo}, {hi}) is not a valid "
+                                   f"inclusive range")
+        if not 1 <= self.core_percentile <= 100:
+            raise TopogenError("core_percentile must be in [1, 100]")
+        _ = self.n_stub  # fractions must leave room for stubs; raises if not
+
+    # ------------------------------------------------------------------
+    # Derived tier populations
+    # ------------------------------------------------------------------
+    @property
+    def n_tier1(self) -> int:
+        return max(3, round(self.n_ases * self.tier1_fraction))
+
+    @property
+    def n_tier2(self) -> int:
+        return max(2 * self.n_regions, round(self.n_ases * self.transit_fraction))
+
+    @property
+    def n_stub(self) -> int:
+        n = self.n_ases - self.n_tier1 - self.n_tier2
+        if n < 1:
+            raise TopogenError(
+                f"tier fractions leave no stub ASes "
+                f"({self.n_tier1} tier-1 + {self.n_tier2} tier-2 of "
+                f"{self.n_ases})")
+        return n
+
+    def to_params(self) -> Dict[str, object]:
+        """Canonically-serialisable knob dict (embedded in graph JSON)."""
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, tuple) else value
+        return out

@@ -1,0 +1,308 @@
+"""Deterministic tiered internet generator.
+
+Builds :class:`~tussle.netsim.topology.Network` objects with the shape
+the paper's routing tussles play out on (§V-A-4): a clique of tier-1
+core providers peering with each other, regional tier-2 transit networks
+buying transit from the core, stub/access ASes multihoming into their
+region's transit nets, and IXP meeting points where co-located members
+peer.  Optionally each AS gets an intra-AS Waxman router graph whose
+highest-betweenness routers are assigned the ``core`` role (the border
+routers that carry inter-AS links).
+
+Determinism contract
+--------------------
+``generate_internet(config, seed)`` is a pure function: the same
+``(config, seed)`` always yields a byte-identical canonical JSON graph
+(see :mod:`tussle.topogen.canonical`; the CI ``topogen`` job double-runs
+the CLI and compares bytes).  All randomness flows from the explicit
+``seed`` through per-stage substreams (``rng.getrandbits``), so adding a
+draw to one wiring stage cannot reorder the draws of another.
+
+Valley-free contract
+--------------------
+Provider->customer edges form a DAG by construction (tier-1s have no
+providers, tier-2s buy only from tier-1s, stubs only from tier-2s), so
+Gao-Rexford policies are guaranteed convergent and every stub can reach
+every other AS (customer routes climb to the tier-1 clique, the clique
+peers, provider routes descend).  ``python -m tussle.topogen check``
+asserts the resulting selected paths are valley-free across seeds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import TopogenError
+from ..netsim.topology import Network, NodeKind, Relationship
+from .config import TopogenConfig
+
+__all__ = ["generate_internet", "waxman_graph", "betweenness_centrality",
+           "core_routers"]
+
+#: Inter-AS link latency by the lower tier number of the two endpoints.
+_INTER_AS_LATENCY = {1: 0.02, 2: 0.015, 3: 0.01}
+#: Link capacity (bits/s) by the lower tier number of the two endpoints.
+_INTER_AS_CAPACITY = {1: 1e10, 2: 1e9, 3: 1e8}
+
+
+def _substream(rng: random.Random) -> random.Random:
+    """An independent per-stage RNG derived from the master stream."""
+    return random.Random(rng.getrandbits(63))
+
+
+# ----------------------------------------------------------------------
+# Intra-AS router graphs
+# ----------------------------------------------------------------------
+def waxman_graph(
+    n: int, rng: random.Random, alpha: float = 0.4, beta: float = 0.2,
+) -> Tuple[List[Tuple[float, float]], List[Tuple[int, int]]]:
+    """A connected Waxman(alpha, beta) graph on ``n`` unit-square points.
+
+    Edge probability is ``alpha * exp(-d / (beta * L))`` with ``L`` the
+    unit square's diameter.  Connectivity is guaranteed by linking any
+    point that drew no edge to an earlier point to its nearest earlier
+    neighbour, so the construction stays deterministic (no rejection
+    loops) and single-component.
+    """
+    if n < 1:
+        raise TopogenError("waxman graph needs at least one node")
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    diameter = math.sqrt(2.0)
+    edges: List[Tuple[int, int]] = []
+    for j in range(1, n):
+        xj, yj = points[j]
+        attached = False
+        nearest, nearest_d = 0, float("inf")
+        for i in range(j):
+            xi, yi = points[i]
+            d = math.hypot(xj - xi, yj - yi)
+            if d < nearest_d:
+                nearest, nearest_d = i, d
+            if rng.random() < alpha * math.exp(-d / (beta * diameter)):
+                edges.append((i, j))
+                attached = True
+        if not attached:
+            edges.append((nearest, j))
+    return points, edges
+
+
+def betweenness_centrality(n: int, edges: Sequence[Tuple[int, int]]) -> List[float]:
+    """Brandes betweenness for a small undirected graph (exact, unscaled)."""
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for a, b in edges:
+        adj[a].append(b)
+        adj[b].append(a)
+    centrality = [0.0] * n
+    for source in range(n):
+        stack: List[int] = []
+        preds: List[List[int]] = [[] for _ in range(n)]
+        sigma = [0] * n
+        sigma[source] = 1
+        dist = [-1] * n
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            stack.append(v)
+            for w in adj[v]:
+                if dist[w] < 0:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+                if dist[w] == dist[v] + 1:
+                    sigma[w] += sigma[v]
+                    preds[w].append(v)
+        delta = [0.0] * n
+        while stack:
+            w = stack.pop()
+            for v in preds[w]:
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w])
+            if w != source:
+                centrality[w] += delta[w]
+    return centrality
+
+
+def core_routers(n: int, edges: Sequence[Tuple[int, int]],
+                 percentile: int) -> List[int]:
+    """Indices of the top-``percentile``% routers by betweenness (min 1).
+
+    Ties break toward the lower index so role assignment is a pure
+    function of the graph.
+    """
+    centrality = betweenness_centrality(n, edges)
+    ranked = sorted(range(n), key=lambda i: (-centrality[i], i))
+    count = max(1, round(n * percentile / 100))
+    return sorted(ranked[:count])
+
+
+# ----------------------------------------------------------------------
+# The generator
+# ----------------------------------------------------------------------
+def generate_internet(config: TopogenConfig = TopogenConfig(),
+                      seed: int = 0) -> Network:
+    """Generate a tiered internet as a pure function of (config, seed).
+
+    The returned network carries:
+
+    * AS-level: every AS with ``tier`` set and metadata ``region`` (all
+      tiers), ``ixps`` (tier-1/2 members), plus Gao-Rexford business
+      relationships;
+    * node-level (per ``config.router_detail``): Waxman router graphs
+      with metadata ``role`` (``core``/``edge``) and unit-square ``pos``,
+      and one inter-AS link per business relationship between the two
+      ASes' lowest-numbered core routers.
+    """
+    master = random.Random(seed)
+    # One substream per wiring stage, drawn in a fixed order so a new
+    # draw in one stage never shifts another stage's sequence.
+    rng_regions = _substream(master)
+    rng_ixp = _substream(master)
+    rng_t2 = _substream(master)
+    rng_stub = _substream(master)
+    rng_routers = _substream(master)
+
+    net = Network()
+    tier1 = list(range(1, config.n_tier1 + 1))
+    tier2 = list(range(config.n_tier1 + 1,
+                       config.n_tier1 + config.n_tier2 + 1))
+    stubs = list(range(config.n_tier1 + config.n_tier2 + 1,
+                       config.n_tier1 + config.n_tier2 + config.n_stub + 1))
+
+    # --- Regions: tier-2s round-robin (every region gets transit),
+    # stubs drawn uniformly.
+    region_of: Dict[int, int] = {}
+    for position, asn in enumerate(tier2):
+        region_of[asn] = position % config.n_regions
+    for asn in stubs:
+        region_of[asn] = rng_regions.randrange(config.n_regions)
+    tier2_by_region: Dict[int, List[int]] = {r: [] for r in range(config.n_regions)}
+    for asn in tier2:
+        tier2_by_region[region_of[asn]].append(asn)
+
+    for asn in tier1:
+        net.add_as(asn, tier=1, region=-1, ixps=[])
+    for asn in tier2:
+        net.add_as(asn, tier=2, region=region_of[asn], ixps=[])
+    for asn in stubs:
+        net.add_as(asn, tier=3, region=region_of[asn])
+
+    related = set()
+
+    def relate(a: int, b: int, rel: Relationship) -> bool:
+        key = (a, b) if a <= b else (b, a)
+        if a == b or key in related:
+            return False
+        related.add(key)
+        net.add_as_relationship(a, b, rel)
+        return True
+
+    # --- Tier-1 clique: full peer mesh.
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            relate(a, b, Relationship.PEER_PEER)
+
+    # --- IXP membership: region-homed meeting points.
+    ixp_region = {ixp: ixp % config.n_regions for ixp in range(config.n_ixps)}
+    ixp_members: Dict[int, List[int]] = {ixp: [] for ixp in range(config.n_ixps)}
+    all_ixps = list(range(config.n_ixps))
+    for asn in tier1:
+        joined = sorted(rng_ixp.sample(
+            all_ixps, min(config.ixp_connections, config.n_ixps)))
+        net.autonomous_system(asn).metadata["ixps"] = joined
+        for ixp in joined:
+            ixp_members[ixp].append(asn)
+    for asn in tier2:
+        local = [i for i in all_ixps if ixp_region[i] == region_of[asn]]
+        pool = local if local else all_ixps
+        count = min(1 + (rng_ixp.random() < 0.3), len(pool))
+        joined = sorted(rng_ixp.sample(pool, count))
+        net.autonomous_system(asn).metadata["ixps"] = joined
+        for ixp in joined:
+            ixp_members[ixp].append(asn)
+
+    # --- Tier-2 transit from the core, plus regional peering.
+    for asn in tier2:
+        n_providers = 1 + (rng_t2.random() < config.t2_multihome_p)
+        for provider in rng_t2.sample(tier1, min(n_providers, len(tier1))):
+            relate(asn, provider, Relationship.CUSTOMER_PROVIDER)
+    for region in range(config.n_regions):
+        locals_ = tier2_by_region[region]
+        for i, a in enumerate(locals_):
+            for b in locals_[i + 1:]:
+                if rng_t2.random() < config.t2_peer_p:
+                    relate(a, b, Relationship.PEER_PEER)
+
+    # --- IXP peering: co-located members meet and (sometimes) peer.
+    for ixp in all_ixps:
+        members = ixp_members[ixp]
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if rng_ixp.random() < config.ixp_peer_p:
+                    relate(a, b, Relationship.PEER_PEER)
+
+    # --- Stubs multihome into their region's transit nets.
+    for asn in stubs:
+        pool = tier2_by_region[region_of[asn]]
+        n_providers = 1 + (rng_stub.random() < config.stub_multihome_p)
+        for provider in rng_stub.sample(pool, min(n_providers, len(pool))):
+            relate(asn, provider, Relationship.CUSTOMER_PROVIDER)
+
+    # --- Intra-AS router graphs + inter-AS border links.
+    _build_router_level(net, config, tier1, tier2, stubs, rng_routers)
+    return net
+
+
+def _routered_tiers(config: TopogenConfig) -> Tuple[int, ...]:
+    if config.router_detail == "none":
+        return ()
+    if config.router_detail == "core":
+        return (1, 2)
+    return (1, 2, 3)
+
+
+def _build_router_level(net: Network, config: TopogenConfig,
+                        tier1: List[int], tier2: List[int],
+                        stubs: List[int], rng: random.Random) -> None:
+    tiers = _routered_tiers(config)
+    if not tiers:
+        return
+    sizes = {1: config.routers_tier1, 2: config.routers_tier2,
+             3: config.routers_stub}
+    border_of: Dict[int, str] = {}
+    for tier, asns in ((1, tier1), (2, tier2), (3, stubs)):
+        if tier not in tiers:
+            continue
+        lo, hi = sizes[tier]
+        for asn in asns:
+            n_routers = rng.randint(lo, hi)
+            points, edges = waxman_graph(
+                n_routers, rng, config.waxman_alpha, config.waxman_beta)
+            cores = core_routers(n_routers, edges, config.core_percentile)
+            core_set = set(cores)
+            names = [f"as{asn}-r{i}" for i in range(n_routers)]
+            for i, name in enumerate(names):
+                net.add_node(
+                    name, kind=NodeKind.ROUTER, asn=asn,
+                    role="core" if i in core_set else "edge",
+                    pos=[points[i][0], points[i][1]])
+            for a, b in edges:
+                (xa, ya), (xb, yb) = points[a], points[b]
+                net.add_link(names[a], names[b],
+                             latency=0.001 + 0.01 * math.hypot(xb - xa, yb - ya),
+                             capacity=_INTER_AS_CAPACITY[tier])
+            border_of[asn] = names[cores[0]]
+    # One physical link per business relationship whose two ASes both
+    # have routers, joining their lowest-numbered core routers.
+    for autonomous in net.ases:
+        asn = autonomous.asn
+        if asn not in border_of:
+            continue
+        for neighbor in sorted(net.as_neighbors(asn)):
+            if neighbor <= asn or neighbor not in border_of:
+                continue
+            tier = min(autonomous.tier, net.autonomous_system(neighbor).tier)
+            net.add_link(border_of[asn], border_of[neighbor],
+                         latency=_INTER_AS_LATENCY[tier],
+                         capacity=_INTER_AS_CAPACITY[tier])

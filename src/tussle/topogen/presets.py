@@ -1,0 +1,134 @@
+"""Shared topology fixtures for experiments, tests and benchmarks.
+
+Before this module, E04, R01, R02 and E05 each hand-built their own
+workload network inline, and tests re-typed the same graphs; every copy
+was one more place a topology tweak could drift.  Each preset here is
+the single definition of one reference workload:
+
+* :func:`e04_reference_graph` — the seeded 3/6/12 hierarchical AS graph
+  E04 compares routing-control regimes on;
+* :func:`multihomed_user_network` — R01's dual-provider user (primary
+  3-hop path through provider A, 4-hop standby through provider B);
+* :func:`flaky_provider_network` — R02's single chain whose provider
+  link flaps;
+* :func:`guarded_enterprise_network` — E05's victim-behind-a-gateway
+  firewall workload;
+* :func:`stub_pairs` — the deterministic stub-to-stub traffic pairing
+  E04 and T01 both measure over.
+
+The constants R01 needs to classify faults (which nodes belong to the
+providers, which links are on the primary path) live next to the
+builder so topology and classification cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..netsim.topology import Network, NodeKind, random_as_graph
+
+__all__ = [
+    "e04_reference_graph",
+    "multihomed_user_network",
+    "MULTIHOMED_PROVIDER_NODES",
+    "MULTIHOMED_PRIMARY_LINKS",
+    "flaky_provider_network",
+    "FLAKY_PROVIDER_NODES",
+    "guarded_enterprise_network",
+    "stub_pairs",
+]
+
+#: Nodes inside either provider of :func:`multihomed_user_network`.
+MULTIHOMED_PROVIDER_NODES = ("aE", "aC", "bE", "bX", "bC")
+#: Links on its primary (provider-A) path, in canonical key order.
+MULTIHOMED_PRIMARY_LINKS = (("aC", "aE"), ("aC", "dst"), ("aE", "u"))
+
+#: Provider nodes of :func:`flaky_provider_network`.
+FLAKY_PROVIDER_NODES = ("p1", "p2")
+
+
+def e04_reference_graph(seed: int = 5,
+                        rng: Optional[random.Random] = None) -> Network:
+    """The seeded hierarchical AS graph E04 runs its four regimes on.
+
+    Three tier-1s in a full peer mesh, six tier-2 transit nets, twelve
+    multihoming stubs — small enough to enumerate paths by hand, rich
+    enough that provider policy actually bites.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    return random_as_graph(n_tier1=3, n_tier2=6, n_tier3=12, rng=rng)
+
+
+def multihomed_user_network() -> Network:
+    """R01's workload: user ``u`` multihomed through providers A and B.
+
+    Provider A is the 3-hop primary (``u``-``aE``-``aC``-``dst``);
+    provider B the 4-hop standby (``u``-``bE``-``bX``-``bC``-``dst``),
+    so shortest-path routing prefers A and re-convergence falls back
+    to B.
+    """
+    net = Network()
+    for name in ("u", "aE", "aC", "bE", "bX", "bC", "dst"):
+        net.add_node(name)
+    net.add_link("u", "aE")
+    net.add_link("aE", "aC")
+    net.add_link("aC", "dst")
+    net.add_link("u", "bE")
+    net.add_link("bE", "bX")
+    net.add_link("bX", "bC")
+    net.add_link("bC", "dst")
+    return net
+
+
+def flaky_provider_network() -> Network:
+    """R02's workload: one chain ``u``-``p1``-``p2``-``dst``.
+
+    No standby path on purpose: when the provider link flaps, retry is
+    the user's only remedy, which is exactly what R02 measures.
+    """
+    net = Network()
+    for name in ("u", "p1", "p2", "dst"):
+        net.add_node(name)
+    net.add_link("u", "p1")
+    net.add_link("p1", "p2")
+    net.add_link("p2", "dst")
+    return net
+
+
+def guarded_enterprise_network() -> Network:
+    """E05's workload: a victim host behind a gateway middlebox.
+
+    Five sources (two legitimate, one stranger, two attackers) reach
+    ``victim`` only through ``internet`` -> ``gw``, so the gateway is
+    the one place firewall policy can act.
+    """
+    net = Network()
+    net.add_node("victim", kind=NodeKind.HOST)
+    net.add_node("gw", kind=NodeKind.MIDDLEBOX)
+    net.add_node("internet", kind=NodeKind.ROUTER)
+    for name in ("friend", "colleague", "stranger", "badguy0", "badguy1"):
+        net.add_node(name, kind=NodeKind.HOST)
+        net.add_link(name, "internet")
+    net.add_link("internet", "gw")
+    net.add_link("gw", "victim")
+    return net
+
+
+def stub_pairs(network: Network, count: int) -> List[Tuple[int, int]]:
+    """Deterministic stub-to-stub (src, dst) pairs, half the ring apart.
+
+    Pairs each tier-3 AS with the stub halfway around the (ASN-ordered)
+    stub list, the pairing E04 introduced; shared so T01 measures the
+    same traffic shape at 10^2-10^3 ASes.
+    """
+    stubs = [a.asn for a in network.ases if a.tier == 3]
+    pairs: List[Tuple[int, int]] = []
+    for i, src in enumerate(stubs):
+        dst = stubs[(i + len(stubs) // 2) % len(stubs)]
+        if src != dst:
+            pairs.append((src, dst))
+        if len(pairs) >= count:
+            break
+    return pairs

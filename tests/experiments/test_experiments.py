@@ -54,6 +54,7 @@ def test_experiment_registry_complete():
         + ["L01", "L02"]
         + ["N01"]
         + ["R01", "R02"]
+        + ["T01", "T02"]
         + ["X01", "X02", "X03", "X04", "X05", "X06", "X07"]
     )
     assert sorted(ALL_EXPERIMENTS) == expected

@@ -1,0 +1,60 @@
+"""Tests for the generated-topology experiments T01 and T02."""
+
+from tussle.experiments import ALL_EXPERIMENTS, run_t01, run_t02
+
+
+class TestT01:
+    def setup_method(self):
+        # Small graph: the claims are structural, not scale-dependent,
+        # and the seed matrix already runs the 10^3-AS default.
+        self.result = run_t01(n_ases=120, n_pairs=10, seed=0)
+
+    def test_shape_holds(self):
+        assert self.result.shape_holds, self.result.format()
+
+    def test_tables_present(self):
+        titles = [t.title for t in self.result.tables]
+        assert any("tiered internet" in t for t in titles)
+        assert any("path choice" in t for t in titles)
+        assert any("valley-free" in t for t in titles)
+
+    def test_bgp_single_path_and_overlay_choice(self):
+        regimes = {r["regime"]: r for r in self.result.tables[1].rows}
+        assert regimes["bgp"]["mean_paths_per_pair"] == 1.0
+        assert regimes["overlay"]["mean_paths_per_pair"] > 1.0
+
+    def test_result_serialises_canonically(self):
+        text = self.result.to_json()
+        assert run_t01(n_ases=120, n_pairs=10, seed=0).to_json() == text
+
+
+class TestT02:
+    def setup_method(self):
+        self.result = run_t02(n_ases=40, seed=0)
+
+    def test_shape_holds(self):
+        assert self.result.shape_holds, self.result.format()
+
+    def test_workload_is_derived_not_hand_built(self):
+        derivation = self.result.tables[0]
+        roles = {r["role"]: r for r in derivation.rows}
+        assert roles["primary"]["provider_asn"] \
+            != roles["standby"]["provider_asn"]
+        assert roles["standby"]["router_hops"] \
+            > roles["primary"]["router_hops"]
+
+    def test_deterministic_per_seed(self):
+        assert run_t02(n_ases=40, seed=0).to_json() == self.result.to_json()
+
+    def test_single_homed_seed_still_yields_dual_homing(self):
+        """Whatever the seed, _pick_user guarantees two providers."""
+        for seed in (0, 1, 2):
+            result = run_t02(n_ases=20, seed=seed)
+            assert result.shape_holds, result.format()
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert ALL_EXPERIMENTS["T01"] is run_t01
+        assert ALL_EXPERIMENTS["T02"] is run_t02
+        assert len(ALL_EXPERIMENTS) == 26

@@ -1,0 +1,121 @@
+"""Edge cases for Network analysis helpers and the AS graph.
+
+Targets the BFS frontier code in ``connected``/``shortest_path`` and
+the behaviour of single-AS and post-removal graphs — the degenerate
+shapes topogen's loaders can legally produce.
+"""
+
+import pytest
+
+from tussle.errors import TopologyError
+from tussle.netsim.topology import Network, Relationship
+
+
+def diamond():
+    """a-b-d and a-c-d: two equal-length paths."""
+    net = Network()
+    for name in ("a", "b", "c", "d"):
+        net.add_node(name)
+    net.add_link("a", "b")
+    net.add_link("b", "d")
+    net.add_link("a", "c")
+    net.add_link("c", "d")
+    return net
+
+
+class TestConnected:
+    def test_node_is_connected_to_itself(self):
+        net = Network()
+        net.add_node("only")
+        assert net.connected("only", "only")
+
+    def test_unknown_node_raises(self):
+        net = Network()
+        net.add_node("a")
+        with pytest.raises(TopologyError):
+            net.connected("a", "ghost")
+
+    def test_disconnected_after_remove_link(self):
+        net = diamond()
+        assert net.connected("a", "d")
+        net.remove_link("a", "b")
+        assert net.connected("a", "d")  # still via c
+        net.remove_link("a", "c")
+        assert not net.connected("a", "d")
+        assert net.connected("b", "d")
+
+    def test_disconnected_after_remove_node(self):
+        """remove_node drops every incident link in one call."""
+        net = Network()
+        for name in ("left", "mid", "right"):
+            net.add_node(name)
+        net.add_link("left", "mid")
+        net.add_link("mid", "right")
+        net.remove_node("mid")
+        assert not net.connected("left", "right")
+        with pytest.raises(TopologyError):
+            net.node("mid")
+
+    def test_downed_links_break_connectivity_without_removal(self):
+        net = diamond()
+        net.fail_link("a", "b")
+        net.fail_link("a", "c")
+        assert not net.connected("a", "d")
+        net.restore_link("a", "c")
+        assert net.connected("a", "d")
+
+
+class TestShortestPath:
+    def test_self_path_is_singleton(self):
+        net = diamond()
+        assert net.shortest_path("a", "a") == ["a"]
+
+    def test_disconnected_returns_none(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        assert net.shortest_path("a", "b") is None
+
+    def test_equal_length_paths_pick_lexicographic_neighbor(self):
+        """neighbors() iterates sorted, so BFS prefers 'b' over 'c'."""
+        assert diamond().shortest_path("a", "d") == ["a", "b", "d"]
+
+    def test_frontier_advances_level_by_level(self):
+        """A long chain plus a shortcut: BFS must take the shortcut."""
+        net = Network()
+        for name in ("a", "b", "c", "d", "e", "z"):
+            net.add_node(name)
+        for pair in (("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"),
+                     ("e", "z")):
+            net.add_link(*pair)
+        net.add_link("a", "z")
+        assert net.shortest_path("a", "z") == ["a", "z"]
+
+    def test_path_respects_link_state(self):
+        net = diamond()
+        net.fail_link("b", "d")
+        assert net.shortest_path("a", "d") == ["a", "c", "d"]
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(TopologyError):
+            diamond().shortest_path("a", "nope")
+
+
+class TestSingleASGraph:
+    def test_single_as_has_no_neighbors(self):
+        net = Network()
+        net.add_as(42, tier=1)
+        assert net.as_neighbors(42) == set()
+        assert net.providers_of(42) == set()
+        assert net.relationship(42, 42) is None
+
+    def test_unknown_as_raises(self):
+        net = Network()
+        with pytest.raises(TopologyError):
+            net.as_neighbors(42)
+
+    def test_self_relationship_rejected(self):
+        net = Network()
+        net.add_as(1)
+        with pytest.raises(TopologyError):
+            net.add_as_relationship(1, 1, Relationship.PEER_PEER)

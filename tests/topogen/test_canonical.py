@@ -1,0 +1,95 @@
+"""Tests for the canonical JSON graph document."""
+
+import json
+
+import pytest
+
+from tussle.errors import TopogenError
+from tussle.netsim.topology import Network, NodeKind, Relationship
+from tussle.topogen import (
+    TopogenConfig,
+    generate_internet,
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+
+
+def small_net():
+    net = Network()
+    net.add_as(1, tier=1, region=0)
+    net.add_as(2, tier=2, region=0)
+    net.add_as(3, tier=3, region=0)
+    net.add_as_relationship(2, 1, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(3, 2, Relationship.CUSTOMER_PROVIDER)
+    net.add_as_relationship(1, 3, Relationship.PEER_PEER)
+    net.add_node("r1", kind=NodeKind.ROUTER, asn=1, role="core")
+    net.add_node("r2", kind=NodeKind.ROUTER, asn=2, role="core")
+    net.add_link("r1", "r2", latency=0.02, capacity=1e9)
+    return net
+
+
+class TestRoundTrip:
+    def test_small_net_round_trips_bytewise(self):
+        text = graph_to_json(small_net())
+        assert graph_to_json(graph_from_json(text)) == text
+
+    def test_generated_net_round_trips_bytewise(self):
+        net = generate_internet(TopogenConfig(n_ases=60), seed=2)
+        text = graph_to_json(net)
+        assert graph_to_json(graph_from_json(text)) == text
+
+    def test_relationships_survive(self):
+        net = graph_from_json(graph_to_json(small_net()))
+        assert net.providers_of(2) == {1}
+        assert net.providers_of(3) == {2}
+        assert net.peers_of(1) == {3}
+        assert net.autonomous_system(1).tier == 1
+
+    def test_infinite_capacity_encodes_as_null(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b")  # default capacity is infinite
+        document = graph_to_dict(net)
+        assert document["links"][0]["capacity"] is None
+        restored = graph_from_dict(json.loads(graph_to_json(net)))
+        assert restored.link("a", "b").capacity == float("inf")
+
+    def test_link_state_survives(self):
+        net = small_net()
+        net.fail_link("r1", "r2")
+        restored = graph_from_json(graph_to_json(net))
+        assert restored.link("r1", "r2").up is False
+
+    def test_provenance_is_embedded(self):
+        config = TopogenConfig(n_ases=40)
+        net = generate_internet(config, seed=9)
+        document = graph_to_dict(
+            net, generator={"name": "tussle.topogen", "seed": 9,
+                            "params": config.to_params()})
+        assert document["generator"]["seed"] == 9
+        assert document["generator"]["params"]["n_ases"] == 40
+
+
+class TestValidation:
+    def test_rejects_non_document(self):
+        with pytest.raises(TopogenError):
+            graph_from_dict({"nodes": []})
+
+    def test_rejects_unknown_schema(self):
+        document = graph_to_dict(small_net())
+        document["schema"] = 99
+        with pytest.raises(TopogenError):
+            graph_from_dict(document)
+
+    def test_rejects_non_json(self):
+        with pytest.raises(TopogenError):
+            graph_from_json("not json at all")
+
+    def test_rejects_unknown_relationship_kind(self):
+        document = graph_to_dict(small_net())
+        document["relationships"][0][2] = "frenemy"
+        with pytest.raises(TopogenError):
+            graph_from_dict(document)

@@ -1,0 +1,132 @@
+"""Parity gate: converge_fast() must reproduce the scalar fixed point.
+
+Gao-Rexford guarantees a unique stable route selection and both
+backends break ties by the same documented total order (class, AS-path
+length, lowest next-hop ASN, lexicographic path), so parity is exact:
+same paths, same reachability, same transit loads — not approximately,
+byte for byte.
+"""
+
+import random
+
+import pytest
+
+from tussle.errors import RoutingError, ScaleError
+from tussle.netsim.topology import Network, Relationship, random_as_graph
+from tussle.routing import GaoRexfordPolicy, OpenPolicy, PathVectorRouting
+from tussle.scale.vrouting import converge_valley_free
+from tussle.topogen import TopogenConfig, generate_internet
+
+
+def assert_parity(net):
+    scalar = PathVectorRouting(net)
+    scalar.converge()
+    fast = PathVectorRouting(net)
+    fast.converge_fast()
+    asns = [a.asn for a in net.ases]
+    for s in asns:
+        for d in asns:
+            assert scalar.as_path(s, d) == fast.as_path(s, d), (s, d)
+            assert scalar.reachable(s, d) == fast.reachable(s, d)
+    for asn in asns:
+        assert scalar.transit_load(asn) == fast.transit_load(asn), asn
+    assert scalar.reachability_matrix() == fast.reachability_matrix()
+
+
+class TestParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_as_graphs(self, seed):
+        assert_parity(random_as_graph(n_tier1=3, n_tier2=6, n_tier3=12,
+                                      rng=random.Random(seed)))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_generated_internets(self, seed):
+        assert_parity(generate_internet(
+            TopogenConfig(n_ases=40, router_detail="none"), seed=seed))
+
+    def test_partitioned_business_graph(self):
+        """Unreachable pairs are unreachable in both backends."""
+        net = Network()
+        for asn in (1, 2, 10, 11):
+            net.add_as(asn)
+        net.add_as_relationship(1, 2, Relationship.CUSTOMER_PROVIDER)
+        net.add_as_relationship(10, 11, Relationship.CUSTOMER_PROVIDER)
+        assert_parity(net)
+        rib = converge_valley_free(net)
+        assert rib.reachable(1, 2) and not rib.reachable(1, 10)
+
+    def test_valley_blocked_pair(self):
+        """Two providers of one customer cannot reach each other through
+        it — the textbook valley both backends must refuse."""
+        net = Network()
+        for asn in (1, 2, 3):
+            net.add_as(asn)
+        net.add_as_relationship(1, 2, Relationship.CUSTOMER_PROVIDER)
+        net.add_as_relationship(1, 3, Relationship.CUSTOMER_PROVIDER)
+        assert_parity(net)
+        rib = converge_valley_free(net)
+        assert not rib.reachable(2, 3)
+        assert not rib.reachable(3, 2)
+        assert rib.reachable(2, 1) and rib.reachable(1, 3)
+
+
+class TestRibArrays:
+    def setup_method(self):
+        self.net = random_as_graph(n_tier1=3, n_tier2=6, n_tier3=12,
+                                   rng=random.Random(7))
+
+    def test_destination_subset(self):
+        dests = [a.asn for a in self.net.ases if a.tier == 3][:4]
+        rib = converge_valley_free(self.net, destinations=dests)
+        full = converge_valley_free(self.net)
+        for d in dests:
+            for a in self.net.ases:
+                assert rib.as_path(a.asn, d) == full.as_path(a.asn, d)
+        with pytest.raises(ScaleError):
+            rib.column_of(dests[0] + 10_000)
+
+    def test_duplicate_destinations_rejected(self):
+        asns = [a.asn for a in self.net.ases]
+        with pytest.raises(ScaleError):
+            converge_valley_free(self.net, destinations=[asns[0], asns[0]])
+
+    def test_path_length_and_counts(self):
+        rib = converge_valley_free(self.net)
+        asns = [a.asn for a in self.net.ases]
+        assert rib.path_length(asns[0], asns[0]) == 0
+        counts = rib.reachability_counts()
+        assert counts.shape == (len(asns),)
+        assert (counts >= 1).all()
+
+
+class TestGuards:
+    def test_siblings_rejected(self):
+        net = Network()
+        net.add_as(1)
+        net.add_as(2)
+        net.add_as_relationship(1, 2, Relationship.SIBLING)
+        with pytest.raises(ScaleError):
+            converge_valley_free(net)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ScaleError):
+            converge_valley_free(Network())
+
+    def test_non_gao_rexford_policy_rejected(self):
+        net = random_as_graph(rng=random.Random(0))
+        proto = PathVectorRouting(net, policy=OpenPolicy())
+        with pytest.raises(RoutingError):
+            proto.converge_fast()
+
+    def test_announced_routes_unavailable_on_fast_path(self):
+        net = random_as_graph(rng=random.Random(0))
+        proto = PathVectorRouting(net, policy=GaoRexfordPolicy())
+        proto.converge_fast()
+        asns = sorted(a.asn for a in net.ases)
+        with pytest.raises(RoutingError):
+            proto.announced_routes(asns[0], asns[1])
+
+    def test_queries_require_convergence(self):
+        proto = PathVectorRouting(random_as_graph(rng=random.Random(0)))
+        with pytest.raises(RoutingError):
+            proto.routes(1)

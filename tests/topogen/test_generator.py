@@ -1,0 +1,160 @@
+"""Tests for the deterministic tiered internet generator."""
+
+import pytest
+
+from tussle.errors import TopogenError
+from tussle.topogen import (
+    TopogenConfig,
+    betweenness_centrality,
+    core_routers,
+    generate_internet,
+    graph_to_json,
+    waxman_graph,
+)
+
+import random
+
+
+class TestConfig:
+    def test_derived_tier_sizes_partition_the_as_count(self):
+        config = TopogenConfig(n_ases=1000)
+        assert config.n_tier1 + config.n_tier2 + config.n_stub == 1000
+
+    def test_small_configs_keep_tier1_floor(self):
+        config = TopogenConfig(n_ases=20)
+        assert config.n_tier1 >= 3
+        assert config.n_stub > 0
+
+    @pytest.mark.parametrize("bad", [
+        {"n_ases": 5},
+        {"tier1_fraction": 0.0},
+        {"n_ases": 20, "transit_fraction": 0.85},
+        {"router_detail": "everything"},
+        {"routers_tier1": (5, 3)},
+        {"core_percentile": 0},
+        {"n_regions": 0},
+    ])
+    def test_bad_knobs_raise(self, bad):
+        with pytest.raises(TopogenError):
+            TopogenConfig(**bad)
+
+    def test_to_params_is_json_plain(self):
+        params = TopogenConfig().to_params()
+        assert params["n_ases"] == 1000
+        assert isinstance(params["routers_tier1"], list)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        config = TopogenConfig(n_ases=80)
+        first = graph_to_json(generate_internet(config, seed=7))
+        second = graph_to_json(generate_internet(config, seed=7))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        config = TopogenConfig(n_ases=80)
+        assert (graph_to_json(generate_internet(config, seed=0))
+                != graph_to_json(generate_internet(config, seed=1)))
+
+    def test_router_detail_does_not_disturb_the_as_graph(self):
+        """Router-level draws ride their own substream: the business
+        graph is identical whether or not routers are generated."""
+        base = TopogenConfig(n_ases=60, router_detail="none")
+        detailed = TopogenConfig(n_ases=60, router_detail="core")
+        plain = generate_internet(base, seed=3)
+        routered = generate_internet(detailed, seed=3)
+        def business(net):
+            return [(a.asn, a.tier, sorted(net.providers_of(a.asn)),
+                     sorted(net.peers_of(a.asn))) for a in net.ases]
+        assert business(plain) == business(routered)
+
+
+class TestStructure:
+    def setup_method(self):
+        self.config = TopogenConfig(n_ases=120)
+        self.net = generate_internet(self.config, seed=0)
+
+    def test_tier_sizes(self):
+        tiers = {1: 0, 2: 0, 3: 0}
+        for a in self.net.ases:
+            tiers[a.tier] += 1
+        assert tiers[1] == self.config.n_tier1
+        assert tiers[2] == self.config.n_tier2
+        assert tiers[3] == self.config.n_stub
+
+    def test_tier1_full_peer_mesh_and_no_providers(self):
+        tier1 = [a.asn for a in self.net.ases if a.tier == 1]
+        for asn in tier1:
+            assert not self.net.providers_of(asn)
+            assert set(tier1) - {asn} <= self.net.peers_of(asn)
+
+    def test_tier2_buys_from_tier1_only(self):
+        for a in self.net.ases:
+            if a.tier != 2:
+                continue
+            providers = self.net.providers_of(a.asn)
+            assert providers
+            assert all(self.net.autonomous_system(p).tier == 1
+                       for p in providers)
+
+    def test_stubs_buy_regionally_and_sell_nothing(self):
+        for a in self.net.ases:
+            if a.tier != 3:
+                continue
+            providers = self.net.providers_of(a.asn)
+            assert 1 <= len(providers) <= 2
+            assert not self.net.customers_of(a.asn)
+            for p in providers:
+                provider = self.net.autonomous_system(p)
+                assert provider.tier == 2
+                assert provider.metadata["region"] == a.metadata["region"]
+
+    def test_provider_edges_form_a_dag(self):
+        """tier(provider) < tier(customer) everywhere => acyclic."""
+        for a in self.net.ases:
+            for p in self.net.providers_of(a.asn):
+                assert self.net.autonomous_system(p).tier < a.tier
+
+    def test_core_routers_carry_the_inter_as_links(self):
+        for link in self.net.links:
+            node_a, node_b = self.net.node(link.a), self.net.node(link.b)
+            if node_a.asn != node_b.asn:
+                assert node_a.metadata["role"] == "core"
+                assert node_b.metadata["role"] == "core"
+
+
+class TestWaxman:
+    def test_connected_for_every_size(self):
+        rng = random.Random(0)
+        for n in (1, 2, 5, 20):
+            points, edges = waxman_graph(n, rng)
+            assert len(points) == n
+            # union-find-free connectivity check via BFS
+            adj = {i: set() for i in range(n)}
+            for a, b in edges:
+                adj[a].add(b)
+                adj[b].add(a)
+            seen, frontier = {0}, [0]
+            while frontier:
+                for nbr in adj[frontier.pop()]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        frontier.append(nbr)
+            assert len(seen) == n
+
+    def test_zero_nodes_raises(self):
+        with pytest.raises(TopogenError):
+            waxman_graph(0, random.Random(0))
+
+
+class TestBetweenness:
+    def test_path_graph_center_wins(self):
+        # 0-1-2: node 1 sits on the only 0<->2 geodesic.
+        centrality = betweenness_centrality(3, [(0, 1), (1, 2)])
+        assert centrality[1] > centrality[0] == centrality[2] == 0.0
+
+    def test_core_selection_is_deterministic_and_bounded(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        assert core_routers(4, edges, 25) == core_routers(4, edges, 25)
+        assert len(core_routers(4, edges, 25)) == 1
+        assert core_routers(1, [], 20) == [0]

@@ -1,0 +1,75 @@
+"""Tests for the shared workload presets."""
+
+from tussle.netsim.forwarding import ForwardingEngine
+from tussle.topogen.presets import (
+    FLAKY_PROVIDER_NODES,
+    MULTIHOMED_PRIMARY_LINKS,
+    MULTIHOMED_PROVIDER_NODES,
+    e04_reference_graph,
+    flaky_provider_network,
+    guarded_enterprise_network,
+    multihomed_user_network,
+    stub_pairs,
+)
+
+
+class TestE04Graph:
+    def test_shape_matches_the_experiment(self):
+        net = e04_reference_graph()
+        tiers = {1: 0, 2: 0, 3: 0}
+        for a in net.ases:
+            tiers[a.tier] += 1
+        assert tiers == {1: 3, 2: 6, 3: 12}
+
+    def test_deterministic_per_seed(self):
+        def fingerprint(net):
+            return [(a.asn, sorted(net.as_neighbors(a.asn)))
+                    for a in net.ases]
+        assert fingerprint(e04_reference_graph(5)) \
+            == fingerprint(e04_reference_graph(5))
+
+    def test_stub_pairs_are_stub_to_stub_and_capped(self):
+        net = e04_reference_graph()
+        pairs = stub_pairs(net, 8)
+        assert len(pairs) == 8
+        stubs = {a.asn for a in net.ases if a.tier == 3}
+        assert all(s in stubs and d in stubs and s != d for s, d in pairs)
+
+
+class TestMultihomedUser:
+    def test_primary_beats_standby_under_shortest_path(self):
+        net = multihomed_user_network()
+        path = net.shortest_path("u", "dst")
+        assert path == ["u", "aE", "aC", "dst"]
+
+    def test_constants_match_the_topology(self):
+        net = multihomed_user_network()
+        for name in MULTIHOMED_PROVIDER_NODES:
+            net.node(name)  # raises if missing
+        keys = {link.key() for link in net.links}
+        assert set(MULTIHOMED_PRIMARY_LINKS) <= keys
+
+    def test_standby_survives_primary_failure(self):
+        net = multihomed_user_network()
+        net.fail_link("u", "aE")
+        assert net.shortest_path("u", "dst") == ["u", "bE", "bX", "bC", "dst"]
+
+
+class TestFlakyProvider:
+    def test_single_chain_no_alternative(self):
+        net = flaky_provider_network()
+        assert net.shortest_path("u", "dst") == ["u", "p1", "p2", "dst"]
+        net.fail_link("p1", "p2")
+        assert net.shortest_path("u", "dst") is None
+        for name in FLAKY_PROVIDER_NODES:
+            net.node(name)
+
+
+class TestGuardedEnterprise:
+    def test_all_roads_lead_through_the_gateway(self):
+        net = guarded_enterprise_network()
+        engine = ForwardingEngine(net)
+        engine.install_shortest_path_tables()
+        for src in ("friend", "colleague", "stranger", "badguy0", "badguy1"):
+            path = net.shortest_path(src, "victim")
+            assert path[-2] == "gw"
