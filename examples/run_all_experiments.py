@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Regenerate every experiment table and print the full report.
 
-This is the one-shot reproduction driver: it runs all 21 experiment
-harnesses (E01-E12, the L01-L02 population-scale tiers, X01-X07),
-prints each table, and summarizes which of the paper's qualitative
-claims held.
+This is the one-shot reproduction driver: it runs all 28 experiment
+harnesses (E01-E12, X01-X07, the L01-L02 population-scale tiers,
+R01-R02, N01, T01-T02 and the P01-P02 peering-economics arc), prints
+each table, and summarizes which of the paper's qualitative claims
+held.
 
 Run:  python examples/run_all_experiments.py
 """

@@ -100,6 +100,10 @@ class ScaleError(TussleError):
     """A vectorized backend was misused or failed its parity contract."""
 
 
+class PeeringError(TussleError):
+    """A peering valuation, bargain, or fixed-point loop was misused."""
+
+
 class TopogenError(TopologyError):
     """A topology-generation config, loader, or gate was used inconsistently.
 

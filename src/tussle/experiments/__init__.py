@@ -28,6 +28,8 @@ from .x07_transparency_failures import run_x07
 from .r01_fault_blame import run_r01
 from .r02_retry_recovery import run_r02
 from .n01_substrate import run_n01
+from .p01_paid_peering import run_p01
+from .p02_depeering_war import run_p02
 from .t01_topo_choice import run_t01
 from .t02_topo_blame import run_t02
 from ..scale.large import run_l01, run_l02
@@ -38,9 +40,11 @@ from ..scale.large import run_l01, run_l02
 #: the at-scale re-runs (L01 lock-in, L02 value pricing) on the
 #: vectorized ``tussle.scale`` backend, the resilience experiments
 #: (R01 fault-blame routing, R02 retry/breaker recovery), the
-#: substrate-fidelity invariance experiment (N01), and the generated-
+#: substrate-fidelity invariance experiment (N01), the generated-
 #: topology experiments (T01 path choice, T02 blame routing) on
-#: ``tussle.topogen`` internets.
+#: ``tussle.topogen`` internets, and the peering-economics experiments
+#: (P01 paid-peering dispute, P02 depeering war) driving the
+#: ``tussle.peering`` bargaining/routing fixed-point loop.
 ALL_EXPERIMENTS = {
     "E01": run_e01,
     "E02": run_e02,
@@ -68,6 +72,8 @@ ALL_EXPERIMENTS = {
     "N01": run_n01,
     "T01": run_t01,
     "T02": run_t02,
+    "P01": run_p01,
+    "P02": run_p02,
 }
 
 __all__ = [
@@ -79,4 +85,5 @@ __all__ = [
     "run_r01", "run_r02",
     "run_n01",
     "run_t01", "run_t02",
+    "run_p01", "run_p02",
 ]

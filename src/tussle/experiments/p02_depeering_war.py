@@ -1,0 +1,166 @@
+"""P02 — a depeering war on a 10^3-AS internet (§V-A-4 at scale).
+
+The paper's run-time-tussle claim, stress-tested where it is hardest:
+a generated 1000-AS internet whose whole peering mesh is bargained into
+existence by :class:`~tussle.peering.PeeringDynamics`, then shocked by
+the depeering of its single busiest settlement.  One experiment run is
+the full coupling loop, end to end:
+
+* **Bargain-in** — from the generator's seed topology, the market
+  iterates to a fixed point: hundreds of agreements struck over
+  exclusive-cone gravity traffic, unprofitable generator peerings
+  abandoned, the rest re-priced at the volumes the converged routes
+  actually deliver.
+* **War** — the busiest peer pair tears its link down and embargoes
+  re-bargaining.  The valley-free RIB reconverges
+  (:meth:`~tussle.routing.pathvector.PathVectorRouting.converge_fast`),
+  demand reroutes through paid transit, and both combatants' accounts
+  lose value — money and routes moving together, which is the point.
+* **Peace** — the embargo lifts; re-bargaining restores the agreement
+  and the exact pre-war accounts.  The restoration is byte-exact
+  because the fixed point is a pure function of ``(network, seed,
+  economics)`` — the determinism contract that makes a 10^3-AS
+  tussle experiment reproducible at all (``tests/peering/`` double-runs
+  this experiment and compares canonical JSON bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..peering import PeeringDynamics, PeeringEconomics
+from ..topogen import TopogenConfig, generate_internet
+from .common import ExperimentResult, Table
+
+__all__ = ["run_p02"]
+
+
+def run_p02(n_ases: int = 1000, seed: int = 0) -> ExperimentResult:
+    config = TopogenConfig(n_ases=n_ases, router_detail="none")
+    network = generate_internet(config, seed=seed)
+    econ = PeeringEconomics()
+    dyn = PeeringDynamics(network, seed=seed, econ=econ)
+
+    # --- Bargain the 10^3-AS peering mesh into existence.
+    initial = dyn.run()
+    rounds = Table(
+        "P02: bargaining rounds to the initial fixed point",
+        ["iteration", "agreements", "peered", "depeered",
+         "total_transit_cost", "total_transfers"],
+    )
+    for rec in initial.history:
+        row = rec.to_dict()
+        row.pop("routing_levels")
+        rounds.add_row(**row)
+
+    # The busiest settlement on the mesh: the war target.
+    rib = dyn.routing.fast_rib
+    busiest, busiest_volume = None, -1.0
+    for pair in sorted(initial.agreements):
+        ra, rb = rib.index.of(pair[0]), rib.index.of(pair[1])
+        volume = float(dyn.volumes[ra, rb] + dyn.volumes[rb, ra])
+        if volume > busiest_volume:
+            busiest, busiest_volume = pair, volume
+    a, b = busiest
+    agreement_before = initial.agreements[busiest]
+    volumes_before = dyn.volumes.copy()
+    accounts_before = dyn.accounts()
+    reach_before = float((rib.cls != 3).mean())
+    transit_before = initial.history[-1].total_transit_cost
+
+    # --- War: the link comes down, the market re-settles around it.
+    dyn.depeer(a, b)
+    war = dyn.run()
+    rerouted = float(np.abs(dyn.volumes - volumes_before).sum())
+    accounts_war = dyn.accounts()
+    reach_war = float((dyn.routing.fast_rib.cls != 3).mean())
+    transit_war = war.history[-1].total_transit_cost
+
+    # --- Peace: embargo lifted, agreement re-bargained.
+    dyn.lift_embargo(a, b)
+    peace = dyn.run()
+    accounts_peace = dyn.accounts()
+    reach_peace = float((dyn.routing.fast_rib.cls != 3).mean())
+    restored = peace.agreements.get(busiest)
+
+    def net(accounts, asn):
+        return accounts[asn].net
+
+    phases = Table(
+        "P02: the war, phase by phase",
+        ["phase", "agreements", "reachability", "transit_cost",
+         "net_a", "net_b"],
+    )
+    phases.add_row(phase="fixed-point", agreements=len(initial.agreements),
+                   reachability=reach_before, transit_cost=transit_before,
+                   net_a=net(accounts_before, a), net_b=net(accounts_before, b))
+    phases.add_row(phase="war", agreements=len(war.agreements),
+                   reachability=reach_war, transit_cost=transit_war,
+                   net_a=net(accounts_war, a), net_b=net(accounts_war, b))
+    phases.add_row(phase="peace", agreements=len(peace.agreements),
+                   reachability=reach_peace,
+                   transit_cost=peace.history[-1].total_transit_cost,
+                   net_a=net(accounts_peace, a), net_b=net(accounts_peace, b))
+
+    shock = Table("P02: the depeering shock", ["metric", "value"])
+    shock.add_row(metric="war_pair", value=f"{a}-{b}")
+    shock.add_row(metric="edge_volume_before", value=busiest_volume)
+    shock.add_row(metric="volume_rerouted_l1", value=rerouted)
+    shock.add_row(metric="initial_iterations", value=initial.iterations)
+    shock.add_row(metric="war_iterations", value=war.iterations)
+    shock.add_row(metric="peace_iterations", value=peace.iterations)
+
+    result = ExperimentResult(
+        experiment_id="P02",
+        title="Depeering war on a 10^3-AS bargained peering mesh",
+        paper_claim=("§V-A-4: interconnection is a run-time tussle — "
+                     "agreements are struck and torn down while the network "
+                     "operates, each depeering rerouting real traffic and "
+                     "repricing both combatants' interconnection value, yet "
+                     "never touching the reachability users pay for."),
+        tables=[rounds, phases, shock],
+    )
+    result.add_check(
+        "the 10^3-AS market bargains to a fixed point within the cap",
+        initial.converged and initial.verdict == "fixed-point",
+        detail=(f"{len(initial.agreements)} agreements after "
+                f"{initial.iterations} rounds on {n_ases} ASes"),
+    )
+    result.add_check(
+        "depeering the busiest settlement measurably reroutes traffic",
+        rerouted > busiest_volume,
+        detail=(f"{rerouted:.0f} volume-units moved (edge carried "
+                f"{busiest_volume:.0f})"),
+    )
+    result.add_check(
+        "the war reprices both combatants and destroys joint value",
+        net(accounts_war, a) != net(accounts_before, a)
+        and net(accounts_war, b) != net(accounts_before, b)
+        and (net(accounts_war, a) + net(accounts_war, b))
+        < (net(accounts_before, a) + net(accounts_before, b)),
+        detail=(f"AS {a}: {net(accounts_before, a):.0f}->"
+                f"{net(accounts_war, a):.0f}, AS {b}: "
+                f"{net(accounts_before, b):.0f}->{net(accounts_war, b):.0f}; "
+                "a side can win a war, but the pair never does"),
+    )
+    result.add_check(
+        "war traffic detours onto paid transit",
+        transit_war > transit_before,
+        detail=f"transit bill {transit_before:.0f}->{transit_war:.0f}",
+    )
+    result.add_check(
+        "reachability never moves: the tussle is isolated on peer edges",
+        reach_before == 1.0 and reach_war == 1.0 and reach_peace == 1.0,
+        detail="customer/provider DAG untouched through the war",
+    )
+    result.add_check(
+        "peace re-bargains the identical agreement at the identical "
+        "fixed point",
+        peace.converged and restored is not None
+        and restored.to_dict() == agreement_before.to_dict()
+        and all(net(accounts_peace, x) == net(accounts_before, x)
+                for x in (a, b)),
+        detail="restoration is byte-exact: the fixed point is a pure "
+               "function of (network, seed, economics)",
+    )
+    return result

@@ -316,6 +316,33 @@ class Network:
             self._siblings[a].add(b)
             self._siblings[b].add(a)
 
+    def remove_as_relationship(self, a: int, b: int) -> Relationship:
+        """Remove the business relationship between two ASes.
+
+        Returns the relationship that was removed (as seen from ``a``;
+        for ``CUSTOMER_PROVIDER`` either ordering of the arguments is
+        accepted).  Raises :class:`TopologyError` if the ASes are not
+        related — depeering a link that does not exist is a caller bug,
+        not a no-op.
+        """
+        rel = self.relationship(a, b)
+        if rel is None:
+            raise TopologyError(f"ASes {a} and {b} have no relationship")
+        if rel is Relationship.CUSTOMER_PROVIDER:
+            if b in self._providers[a]:
+                self._providers[a].discard(b)
+                self._customers[b].discard(a)
+            else:
+                self._providers[b].discard(a)
+                self._customers[a].discard(b)
+        elif rel is Relationship.PEER_PEER:
+            self._peers[a].discard(b)
+            self._peers[b].discard(a)
+        else:
+            self._siblings[a].discard(b)
+            self._siblings[b].discard(a)
+        return rel
+
     def providers_of(self, asn: int) -> Set[int]:
         self.autonomous_system(asn)
         return set(self._providers[asn])

@@ -172,6 +172,24 @@ class PathVectorRouting(RoutingProtocol):
         self.iterations_used = self._fast.levels
         return self.iterations_used
 
+    @property
+    def fast_rib(self):
+        """The array-backed RIB built by :meth:`converge_fast`.
+
+        Consumers that run whole-RIB kernels (e.g. the peering layer's
+        traffic-volume pass) read the
+        :class:`~tussle.scale.vrouting.RibArrays` directly instead of
+        issuing per-pair queries.  Raises :class:`RoutingError` when the
+        protocol converged via the scalar path (or not at all) — the
+        arrays only exist on the fast path.
+        """
+        self._check_converged()
+        if self._fast is None:
+            raise RoutingError(
+                "fast_rib is only available after converge_fast(); the "
+                "scalar converge() keeps a per-AS dict RIB instead")
+        return self._fast
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -49,6 +49,12 @@ from .nparity import (
     verify_netsim_case,
 )
 from .parity import ParityCase, ParityReport, parity_cases, run_parity, verify_case
+from .tmatrix import (
+    gravity_demand,
+    stub_content,
+    stub_populations,
+    zipf_attribute,
+)
 from .vforwarding import NetRound, VectorForwardingEngine
 from .vmarket import VectorMarket
 from .vrouting import ASIndex, RibArrays, converge_valley_free
@@ -85,4 +91,9 @@ __all__ = [
     "ASIndex",
     "RibArrays",
     "converge_valley_free",
+    # gravity traffic-demand kernels
+    "zipf_attribute",
+    "stub_populations",
+    "stub_content",
+    "gravity_demand",
 ]

@@ -290,7 +290,10 @@ def converge_valley_free(network: Network,
     prov_len = np.full((n, d), -1, dtype=np.int64)
     prov_nh = np.full((n, d), -1, dtype=np.int64)
     k = 1
-    while prov_p.size and k <= int(announce.max()) + 1 and k <= n:
+    # announce is zero-size when the destination set is empty (a
+    # stub-less internet still converges — to an empty RIB).
+    while prov_p.size and announce.size \
+            and k <= int(announce.max()) + 1 and k <= n:
         edge_active, col_active = np.nonzero(
             (announce[prov_p] == k - 1) & ~settled[cust_u]
             & (prov_len[cust_u] < 0))

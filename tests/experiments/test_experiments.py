@@ -53,6 +53,7 @@ def test_experiment_registry_complete():
         [f"E{i:02d}" for i in range(1, 13)]
         + ["L01", "L02"]
         + ["N01"]
+        + ["P01", "P02"]
         + ["R01", "R02"]
         + ["T01", "T02"]
         + ["X01", "X02", "X03", "X04", "X05", "X06", "X07"]

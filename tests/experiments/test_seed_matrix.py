@@ -1,7 +1,9 @@
 """Seed-matrix tier: every experiment's shape claims hold on every seed.
 
-This is the robustness tier ISSUE 3 calls for: the full 23-experiment
-matrix over >= 5 base seeds, run through the sweep engine's in-process
+This is the robustness tier ISSUE 3 calls for: the full 28-experiment
+matrix (paper claims E01-E12, extensions X01-X07, at-scale L01-L02,
+resilience R01-R02, substrate N01, topology T01-T02, peering P01-P02)
+over >= 5 base seeds, run through the sweep engine's in-process
 executor so the exact cell/seed-derivation path exercised here is the
 one ``python -m tussle sweep`` uses.  A single-seed demo can pass by
 luck; this tier is the evidence the headline claims are properties of

@@ -57,4 +57,4 @@ class TestRegistry:
     def test_registered(self):
         assert ALL_EXPERIMENTS["T01"] is run_t01
         assert ALL_EXPERIMENTS["T02"] is run_t02
-        assert len(ALL_EXPERIMENTS) == 26
+        assert len(ALL_EXPERIMENTS) == 28

@@ -31,7 +31,7 @@ class TestCli:
     def test_summary_runs_everything(self, capsys):
         assert main(["summary"]) == 0
         out = capsys.readouterr().out
-        assert out.count("HOLDS") == 26
+        assert out.count("HOLDS") == 28
 
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 0
